@@ -1,0 +1,411 @@
+package element
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md §5.
+// Each bench runs the corresponding experiment end to end in virtual time
+// and reports the headline quantities via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"element/internal/aqm"
+	"element/internal/cc"
+	"element/internal/core"
+	"element/internal/exp"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/tcpinfo"
+	"element/internal/trace"
+	"element/internal/units"
+)
+
+// benchDur keeps per-iteration simulated time moderate so -bench=. finishes
+// quickly while preserving every experiment's dynamics.
+const benchDur = 25 * units.Second
+
+func cellValue(b *testing.B, r *exp.Result, row, col int) float64 {
+	b.Helper()
+	s := strings.Fields(r.Rows[row][col])[0]
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", r.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkFig2DelayComposition(b *testing.B) {
+	var snd, net, rcv float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig2(int64(i+1), benchDur)
+		snd = cellValue(b, r, 0, 1)
+		net = cellValue(b, r, 1, 1)
+		rcv = cellValue(b, r, 2, 1)
+	}
+	b.ReportMetric(snd, "sender-ms")
+	b.ReportMetric(net, "network-ms")
+	b.ReportMetric(rcv, "receiver-ms")
+}
+
+func BenchmarkFig3AQMComparison(b *testing.B) {
+	var fifoNet, codelNet float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig3(int64(i+1), 15*units.Second)
+		for _, row := range r.Rows {
+			if row[0] == "wired-low-bw" && row[1] == "pfifo_fast" {
+				v, _ := strconv.ParseFloat(row[3], 64)
+				fifoNet = v
+			}
+			if row[0] == "wired-low-bw" && row[1] == "codel" {
+				v, _ := strconv.ParseFloat(row[3], 64)
+				codelNet = v
+			}
+		}
+	}
+	b.ReportMetric(fifoNet, "fifo-net-ms")
+	b.ReportMetric(codelNet, "codel-net-ms")
+}
+
+func BenchmarkTable1Tools(b *testing.B) {
+	var gtSnd, elSnd, ping float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Table1(int64(i+1), 3, benchDur)
+		gtSnd = cellValue(b, r, 0, 1)
+		elSnd = cellValue(b, r, 1, 1)
+		ping = cellValue(b, r, 2, 2)
+	}
+	b.ReportMetric(gtSnd, "truth-snd-s")
+	b.ReportMetric(elSnd, "element-snd-s")
+	b.ReportMetric(ping, "tcpping-rtt-s")
+}
+
+func BenchmarkFig6Accuracy(b *testing.B) {
+	var estMean, actMean float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig6(int64(i+1), benchDur)
+		estMean = cellValue(b, r, 0, 2)
+		actMean = cellValue(b, r, 1, 2)
+	}
+	b.ReportMetric(estMean, "est-snd-ms")
+	b.ReportMetric(actMean, "actual-snd-ms")
+}
+
+func BenchmarkFig7Environments(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig7(int64(i+1), 12*units.Second)
+		worst = 100
+		for _, row := range r.Rows {
+			v, _ := strconv.ParseFloat(row[5], 64)
+			if v < worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-env-acc-%")
+}
+
+func BenchmarkFig8Dynamics(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig8(int64(i+1), 60*units.Second)
+		acc = cellValue(b, r, 0, 4)
+	}
+	b.ReportMetric(acc, "dynbw-acc-%")
+}
+
+func BenchmarkFig9BufferSizing(b *testing.B) {
+	var emTput, emDelay, autoDelay float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig9(int64(i+1), benchDur)
+		for j, row := range r.Rows {
+			switch row[0] {
+			case "ELEMENT":
+				emTput = cellValue(b, r, j, 1)
+				emDelay = cellValue(b, r, j, 2)
+			case "auto-tuning":
+				autoDelay = cellValue(b, r, j, 2)
+			}
+		}
+	}
+	b.ReportMetric(emTput, "elem-tput-Mbps")
+	b.ReportMetric(emDelay, "elem-delay-ms")
+	b.ReportMetric(autoDelay, "autotune-delay-ms")
+}
+
+func BenchmarkFig10BufferedAmount(b *testing.B) {
+	var alone, withEM float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig10(int64(i+1), benchDur)
+		alone = cellValue(b, r, 0, 1)
+		withEM = cellValue(b, r, 1, 1)
+	}
+	b.ReportMetric(alone, "cubic-maxbuf-KB")
+	b.ReportMetric(withEM, "element-maxbuf-KB")
+}
+
+func BenchmarkFig13Grid(b *testing.B) {
+	var bestRatio float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig13(int64(i+1), benchDur)
+		bestRatio = 0
+		for j := range r.Rows {
+			if v := cellValue(b, r, j, 4); v > bestRatio {
+				bestRatio = v
+			}
+		}
+	}
+	b.ReportMetric(bestRatio, "best-delay-ratio-x")
+}
+
+func BenchmarkFig14Production(b *testing.B) {
+	var lteRatio float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig14(int64(i+1), benchDur)
+		for j, row := range r.Rows {
+			if row[0] == "lte" && row[1] == "upload" {
+				lteRatio = cellValue(b, r, j, 4)
+			}
+		}
+	}
+	b.ReportMetric(lteRatio, "lte-upload-ratio-x")
+}
+
+func BenchmarkFig15CCInteraction(b *testing.B) {
+	var cubicSnd, cubicEMSnd, bbrSnd float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig15(int64(i+1), benchDur)
+		for j, row := range r.Rows {
+			switch row[0] {
+			case "cubic":
+				cubicSnd = cellValue(b, r, j, 1)
+			case "cubic+ELEMENT":
+				cubicEMSnd = cellValue(b, r, j, 1)
+			case "bbr":
+				bbrSnd = cellValue(b, r, j, 1)
+			}
+		}
+	}
+	b.ReportMetric(cubicSnd, "cubic-snd-s")
+	b.ReportMetric(cubicEMSnd, "cubic+EM-snd-s")
+	b.ReportMetric(bbrSnd, "bbr-snd-s")
+}
+
+func BenchmarkFig16UDPComparison(b *testing.B) {
+	var sproutDelay, elemDelay, elemTput float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig16(int64(i+1), 30*units.Second)
+		for j, row := range r.Rows {
+			if row[1] != "low-latency" {
+				continue
+			}
+			switch row[0] {
+			case "sprout":
+				sproutDelay = cellValue(b, r, j, 2)
+			case "ELEMENT":
+				elemDelay = cellValue(b, r, j, 2)
+				elemTput = cellValue(b, r, j, 3)
+			}
+		}
+	}
+	b.ReportMetric(sproutDelay, "sprout-delay-s")
+	b.ReportMetric(elemDelay, "elem-delay-s")
+	b.ReportMetric(elemTput, "elem-tput-Mbps")
+}
+
+func BenchmarkFig18VR(b *testing.B) {
+	var cubicMiss, elemMiss float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig18(int64(i+1), benchDur)
+		for j, row := range r.Rows {
+			switch row[0] {
+			case "cubic alone":
+				cubicMiss = cellValue(b, r, j, 5)
+			case "ELEMENT+cubic":
+				elemMiss = cellValue(b, r, j, 5)
+			}
+		}
+	}
+	b.ReportMetric(cubicMiss, "cubic-miss-%")
+	b.ReportMetric(elemMiss, "elem-miss-%")
+}
+
+// BenchmarkTrackerOverhead measures the real CPU cost of one ELEMENT
+// TCP_INFO poll plus write-record bookkeeping — the §7 overhead question at
+// the granularity a Go profile cares about.
+func BenchmarkTrackerOverhead(b *testing.B) {
+	eng := sim.New(1)
+	src := &staticInfo{info: tcpinfo.TCPInfo{
+		BytesAcked: 1 << 20, Unacked: 10, SndMSS: 1460, SndCwnd: 100,
+		RTT: 50 * units.Millisecond,
+	}}
+	tr := core.NewSenderTracker(eng, src, units.Second) // self-ticks disabled in practice
+	cum := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cum += 1460
+		tr.OnWrite(cum)
+		src.info.BytesAcked = cum
+		tr.PollOnce()
+	}
+}
+
+// staticInfo is a fixed TCP_INFO source for micro-benchmarks.
+type staticInfo struct{ info tcpinfo.TCPInfo }
+
+func (s *staticInfo) GetsockoptTCPInfo() tcpinfo.TCPInfo { return s.info }
+func (s *staticInfo) SetSndBuf(int)                      {}
+
+// traceCollector shortens the constructor for the ablation helpers.
+func traceCollector(eng *sim.Engine) *trace.Collector { return trace.New(eng) }
+
+// BenchmarkAblationPollInterval sweeps ELEMENT's polling period P and
+// reports the resulting sender-side estimation accuracy (DESIGN.md §5).
+func BenchmarkAblationPollInterval(b *testing.B) {
+	for _, interval := range []units.Duration{units.Millisecond, 10 * units.Millisecond, 100 * units.Millisecond} {
+		interval := interval
+		b.Run(interval.String(), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = senderAccuracyWithInterval(int64(i+1), interval)
+			}
+			b.ReportMetric(acc*100, "accuracy-%")
+		})
+	}
+}
+
+func senderAccuracyWithInterval(seed int64, interval units.Duration) float64 {
+	eng := sim.New(seed)
+	disc := aqm.MustNew(aqm.KindFIFO, aqm.Config{LimitPackets: 100}, eng.Rand())
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond, Discipline: disc},
+		Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+	})
+	net := stack.NewNet(eng, path)
+	col := traceCollector(eng)
+	conn := stack.Dial(net, stack.ConnConfig{
+		CC: cc.KindCubic, SenderHooks: col.SenderHooks(), ReceiverHooks: col.ReceiverHooks(),
+	})
+	snd := core.AttachSender(eng, conn.Sender, core.Options{Interval: interval})
+	eng.Spawn("w", func(p *sim.Proc) {
+		for snd.Send(p, 16<<10).Size > 0 {
+		}
+	})
+	eng.Spawn("r", func(p *sim.Proc) {
+		for conn.Receiver.Read(p, 1<<20) > 0 {
+		}
+	})
+	eng.RunUntil(units.Time(benchDur))
+	eng.Shutdown()
+
+	est := snd.Estimates().Series()
+	truth := col.SenderDelay()
+	if len(est) == 0 || len(truth) == 0 {
+		return 0
+	}
+	var errSum float64
+	n := 0
+	for _, s := range est {
+		gt, ok := truth.At(s.At)
+		if !ok {
+			continue
+		}
+		d := (s.Delay - gt).Seconds()
+		if d < 0 {
+			d = -d
+		}
+		errSum += d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 1 - (errSum/float64(n))/truth.Mean().Seconds()
+}
+
+// BenchmarkAblationMinimizerParams sweeps Algorithm 3's D_thr and reports
+// the delay/throughput trade-off.
+func BenchmarkAblationMinimizerParams(b *testing.B) {
+	for _, dthr := range []units.Duration{10 * units.Millisecond, 25 * units.Millisecond, 100 * units.Millisecond} {
+		dthr := dthr
+		b.Run("Dthr="+dthr.String(), func(b *testing.B) {
+			var delay, tput float64
+			for i := 0; i < b.N; i++ {
+				delay, tput = minimizerTradeoff(int64(i+1), dthr)
+			}
+			b.ReportMetric(delay*1000, "snd-delay-ms")
+			b.ReportMetric(tput/1e6, "tput-Mbps")
+		})
+	}
+}
+
+func minimizerTradeoff(seed int64, dthr units.Duration) (delaySec, tputBps float64) {
+	eng := sim.New(seed)
+	disc := aqm.MustNew(aqm.KindFIFO, aqm.Config{LimitPackets: 100}, eng.Rand())
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond, Discipline: disc},
+		Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+	})
+	net := stack.NewNet(eng, path)
+	col := traceCollector(eng)
+	conn := stack.Dial(net, stack.ConnConfig{
+		CC: cc.KindCubic, SenderHooks: col.SenderHooks(), ReceiverHooks: col.ReceiverHooks(),
+	})
+	snd := core.AttachSender(eng, conn.Sender, core.Options{
+		Minimize:  true,
+		Minimizer: core.MinimizerConfig{Dthr: dthr},
+	})
+	eng.Spawn("w", func(p *sim.Proc) {
+		for snd.Send(p, 16<<10).Size > 0 {
+		}
+	})
+	eng.Spawn("r", func(p *sim.Proc) {
+		for conn.Receiver.Read(p, 1<<20) > 0 {
+		}
+	})
+	eng.RunUntil(units.Time(benchDur))
+	eng.Shutdown()
+	return col.SenderDelay().Mean().Seconds(),
+		float64(conn.Receiver.ReadCum()) * 8 / benchDur.Seconds()
+}
+
+// BenchmarkAblationAutotune contrasts the send-buffer auto-tuner (the
+// bufferbloat driver) against a fixed buffer at the same scenario.
+func BenchmarkAblationAutotune(b *testing.B) {
+	for _, fixed := range []int{0, 128 << 10} {
+		fixed := fixed
+		name := "autotune"
+		if fixed > 0 {
+			name = "fixed-128KiB"
+		}
+		b.Run(name, func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				s := exp.RunScenario(exp.ScenarioConfig{
+					Seed: int64(i + 1), Rate: 10 * units.Mbps, RTT: 50 * units.Millisecond,
+					Disc: aqm.KindFIFO, QueuePackets: 100, Duration: benchDur,
+					Flows: []exp.FlowSpec{{SndBuf: fixed}},
+				})
+				delay = s.Flows[0].GT.SenderDelay().Mean().Seconds()
+			}
+			b.ReportMetric(delay*1000, "snd-delay-ms")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw engine performance: simulated
+// seconds of a loaded 3-flow testbed per wall-clock second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.RunScenario(exp.ScenarioConfig{
+			Seed: int64(i + 1), Rate: 10 * units.Mbps, RTT: 50 * units.Millisecond,
+			Disc: aqm.KindFIFO, Duration: 10 * units.Second,
+			Flows: []exp.FlowSpec{{}, {}, {}},
+		})
+	}
+	b.ReportMetric(float64(10*b.N)/b.Elapsed().Seconds(), "sim-s/wall-s")
+}

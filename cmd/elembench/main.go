@@ -1,0 +1,62 @@
+// Command elembench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	elembench                 # run every experiment
+//	elembench -run fig13      # run one experiment
+//	elembench -list           # list experiment IDs
+//	elembench -seed 7 -dur 60 # override seed and per-run duration (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"element/internal/exp"
+	"element/internal/units"
+)
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "experiment id to run (empty = all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		dur      = flag.Float64("dur", 0, "per-run simulated duration in seconds (0 = experiment default)")
+		markdown = flag.Bool("md", false, "emit GitHub-flavoured markdown (for EXPERIMENTS.md)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	duration := units.DurationFromSeconds(*dur)
+	run := func(e exp.Experiment) {
+		start := time.Now()
+		res := e.Run(*seed, duration)
+		if *markdown {
+			fmt.Print(res.Markdown())
+		} else {
+			fmt.Print(res.Render())
+			fmt.Printf("(%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *runID != "" {
+		e, err := exp.Lookup(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range exp.Registry {
+		run(e)
+	}
+}

@@ -1,0 +1,97 @@
+// Command elemsim runs one ad-hoc scenario: a configurable path, N bulk
+// flows, optionally one of them driven through ELEMENT, and prints the
+// per-flow delay decomposition and throughput. It is the workhorse for
+// exploring configurations outside the paper's fixed experiments.
+//
+// Example:
+//
+//	elemsim -bw 10 -rtt 50 -qdisc codel -flows 3 -element -dur 30
+//	elemsim -profile lte -dir upload -flows 2 -element -minimize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"element/internal/aqm"
+	"element/internal/cc"
+	"element/internal/exp"
+	"element/internal/netem"
+	"element/internal/units"
+)
+
+func main() {
+	var (
+		bw       = flag.Float64("bw", 10, "bottleneck bandwidth (Mbps), ignored with -profile")
+		rtt      = flag.Float64("rtt", 50, "base RTT (ms), ignored with -profile")
+		profile  = flag.String("profile", "", "production profile: lan|cable|wifi|lte|wired-low-bw|wired-high-bw")
+		dir      = flag.String("dir", "download", "data direction with -profile: download|upload")
+		qdisc    = flag.String("qdisc", "pfifo_fast", "bottleneck qdisc: pfifo_fast|codel|fq_codel|pie")
+		qlen     = flag.Int("qlen", 0, "bottleneck queue limit in packets (0 = default)")
+		ecn      = flag.Bool("ecn", false, "enable ECN")
+		loss     = flag.Float64("loss", 0, "random loss rate (0..1)")
+		flows    = flag.Int("flows", 1, "number of bulk flows")
+		algo     = flag.String("cc", "cubic", "congestion control: reno|cubic|vegas|bbr")
+		element  = flag.Bool("element", false, "attach ELEMENT trackers to flow 1")
+		minimize = flag.Bool("minimize", false, "run ELEMENT's latency minimization on flow 1")
+		wireless = flag.Bool("wireless", false, "tell the minimizer the sender is on LTE/WiFi")
+		dur      = flag.Float64("dur", 30, "simulated duration (seconds)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := exp.ScenarioConfig{
+		Seed:         *seed,
+		Rate:         units.Rate(*bw) * units.Mbps,
+		RTT:          units.DurationFromSeconds(*rtt / 1000),
+		Disc:         aqm.Kind(*qdisc),
+		QueuePackets: *qlen,
+		ECN:          *ecn,
+		LossRate:     *loss,
+		Duration:     units.DurationFromSeconds(*dur),
+	}
+	if *profile != "" {
+		p, err := netem.ProfileByName(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Profile = &p
+		if *dir == "upload" {
+			cfg.Direction = netem.Upload
+		}
+	}
+	for i := 0; i < *flows; i++ {
+		spec := exp.FlowSpec{CC: cc.Kind(*algo)}
+		if i == 0 {
+			spec.Element = *element || *minimize
+			spec.Minimize = *minimize
+			spec.Wireless = *wireless
+		}
+		cfg.Flows = append(cfg.Flows, spec)
+	}
+
+	s := exp.RunScenario(cfg)
+	fmt.Printf("%-6s %-10s %12s %12s %12s %12s %12s\n",
+		"flow", "cc", "snd(ms)", "net(ms)", "rcv(ms)", "total(ms)", "tput(Mbps)")
+	for i, f := range s.Flows {
+		fmt.Printf("%-6d %-10s %12.1f %12.1f %12.1f %12.1f %12.2f\n",
+			i+1, *algo,
+			f.GT.SenderDelay().Mean().Seconds()*1000,
+			f.GT.NetworkDelay().Mean().Seconds()*1000,
+			f.GT.ReceiverDelay().Mean().Seconds()*1000,
+			f.TotalDelay().Seconds()*1000,
+			f.GoodputBps/1e6)
+	}
+	if f := s.Flows[0]; f.Sender != nil {
+		est := f.Sender.Estimates().Series()
+		fmt.Printf("\nELEMENT flow 1: %d sender estimates, mean %.1f ms (truth %.1f ms)\n",
+			len(est), est.Mean().Seconds()*1000, f.GT.SenderDelay().Mean().Seconds()*1000)
+		if f.Sender.Min != nil {
+			sleeps, total := f.Sender.Min.Sleeps()
+			fmt.Printf("minimizer: target %d bytes, %d pacing sleeps totalling %v\n",
+				f.Sender.Min.Target(), sleeps, total)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command elemtrace prints the time-resolved delay decomposition of a
+// single flow: ELEMENT's user-level estimates side by side with the kernel
+// ground truth, in tab-separated columns suitable for plotting — the
+// simulator's version of the paper's Figure 6 data collection.
+//
+// Example:
+//
+//	elemtrace -bw 10 -rtt 50 -dur 40 > trace.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"element/internal/aqm"
+	"element/internal/cc"
+	"element/internal/exp"
+	"element/internal/units"
+)
+
+func main() {
+	var (
+		bw    = flag.Float64("bw", 10, "bottleneck bandwidth (Mbps)")
+		rtt   = flag.Float64("rtt", 50, "base RTT (ms)")
+		qdisc = flag.String("qdisc", "pfifo_fast", "bottleneck qdisc")
+		algo  = flag.String("cc", "cubic", "congestion control")
+		dur   = flag.Float64("dur", 40, "simulated duration (seconds)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	s := exp.RunScenario(exp.ScenarioConfig{
+		Seed:     *seed,
+		Rate:     units.Rate(*bw) * units.Mbps,
+		RTT:      units.DurationFromSeconds(*rtt / 1000),
+		Disc:     aqm.Kind(*qdisc),
+		Duration: units.DurationFromSeconds(*dur),
+		Flows:    []exp.FlowSpec{{CC: cc.Kind(*algo), Element: true}},
+	})
+	f := s.Flows[0]
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "# side\tt_seconds\tdelay_seconds\tsource")
+	for _, x := range f.Sender.Estimates().Series() {
+		fmt.Fprintf(w, "sender\t%.6f\t%.6f\telement\n", x.At.Seconds(), x.Delay.Seconds())
+	}
+	for _, x := range f.GT.SenderDelay() {
+		fmt.Fprintf(w, "sender\t%.6f\t%.6f\tactual\n", x.At.Seconds(), x.Delay.Seconds())
+	}
+	for _, x := range f.Receiver.Estimates().Series() {
+		fmt.Fprintf(w, "receiver\t%.6f\t%.6f\telement\n", x.At.Seconds(), x.Delay.Seconds())
+	}
+	for _, x := range f.GT.ReceiverDelay() {
+		fmt.Fprintf(w, "receiver\t%.6f\t%.6f\tactual\n", x.At.Seconds(), x.Delay.Seconds())
+	}
+	for _, x := range f.GT.NetworkDelay() {
+		fmt.Fprintf(w, "network\t%.6f\t%.6f\tactual\n", x.At.Seconds(), x.Delay.Seconds())
+	}
+}

@@ -1,0 +1,24 @@
+// Package element is a from-scratch Go reproduction of "I Sent It: Where
+// Does Slow Data Go to Wait?" (EuroSys 2019): the ELEMENT user-level TCP
+// latency-decomposition framework, its latency-minimization algorithm, and
+// the complete substrate it is evaluated on — a deterministic discrete-event
+// network simulator with a segment-level TCP stack (Cubic/Reno/Vegas/BBR,
+// SACK, Linux-style send-buffer auto-tuning), queueing disciplines
+// (pfifo_fast, CoDel, FQ-CoDel, PIE, SFQ), production network profiles,
+// ground-truth tracing, baseline measurement tools, and the paper's
+// applications.
+//
+// Layout:
+//
+//	internal/core     ELEMENT itself (Algorithms 1–3 and the em_* API)
+//	internal/...      substrates (sim, tcp, cc, aqm, netem, stack, ...)
+//	internal/exp      one reproducer per table/figure of the paper
+//	cmd/elembench     prints every table/figure of the evaluation
+//	cmd/elemsim       ad-hoc scenario driver
+//	cmd/elemtrace     time-resolved delay decomposition dumps
+//	examples/         runnable applications built on the library
+//
+// The benchmarks in bench_test.go regenerate each experiment under
+// `go test -bench`. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-paper results.
+package element

@@ -1,0 +1,65 @@
+// svcstream: the scalable-video use case of §4.4 — a layered (SVC) encoder
+// whose enhancement layers are dropped in the application buffer, right
+// before they would enter the TCP layer, whenever ELEMENT reports the send
+// buffer backing up. The base layer always flows, so playback never stalls;
+// quality sheds instead of latency.
+//
+// Run: go run ./examples/svcstream
+package main
+
+import (
+	"fmt"
+
+	"element/internal/apps"
+	"element/internal/aqm"
+	"element/internal/cc"
+	"element/internal/core"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/units"
+)
+
+func main() {
+	run := func(useElement bool) *apps.SVCStats {
+		eng := sim.New(7)
+		path := netem.NewPath(eng, netem.PathConfig{
+			Forward: netem.LinkConfig{
+				Rate: 12 * units.Mbps, Delay: 15 * units.Millisecond,
+				Discipline: aqm.NewFIFO(aqm.Config{LimitPackets: 100}),
+			},
+			Reverse: netem.LinkConfig{Rate: 12 * units.Mbps, Delay: 15 * units.Millisecond},
+		})
+		net := stack.NewNet(eng, path)
+		conn := stack.Dial(net, stack.ConnConfig{CC: cc.KindCubic})
+		var snd *core.Sender
+		if useElement {
+			snd = core.AttachSender(eng, conn.Sender, core.Options{Minimize: true})
+		}
+		st := apps.RunSVC(eng, apps.SVCConfig{
+			UseElement: useElement, Element: snd, Conn: conn,
+			Duration: 30 * units.Second,
+		})
+		eng.RunUntil(units.Time(31 * units.Second))
+		eng.Shutdown()
+		return st
+	}
+
+	fmt.Println("SVC streaming: 3-layer ladder (4.8 / 9.6 / 19.2 Mbps) over a 12 Mbps link")
+	fmt.Println()
+	fmt.Printf("%-18s %12s %10s %10s %10s\n",
+		"configuration", "base p50", "base share", "enh1 share", "enh2 share")
+	for _, useElement := range []bool{false, true} {
+		st := run(useElement)
+		name := "cubic alone"
+		if useElement {
+			name = "cubic + ELEMENT"
+		}
+		fmt.Printf("%-18s %10.0fms %9.0f%% %9.0f%% %9.0f%%\n",
+			name,
+			st.FrameDelays.Mean().Seconds()*1000,
+			100*st.QualityShare(0), 100*st.QualityShare(1), 100*st.QualityShare(2))
+	}
+	fmt.Println("\nWithout ELEMENT every layer is written and the stream falls seconds behind;")
+	fmt.Println("with ELEMENT the top layer sheds and the base layer arrives on time.")
+}

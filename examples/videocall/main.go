@@ -1,0 +1,88 @@
+// videocall: the TCP-based video-conferencing use case of §3.3. Two
+// parties exchange synchronized media streams in both directions over one
+// cable-modem path; each direction is monitored with ELEMENT so the
+// application can see when either leg's latency drifts and the streams fall
+// out of sync — visibility no existing tool provides for TCP.
+//
+// Run: go run ./examples/videocall
+package main
+
+import (
+	"fmt"
+
+	"element/internal/cc"
+	"element/internal/core"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/units"
+)
+
+const (
+	frameSize   = 16 << 10 // ≈ 4 Mbps at 30 fps per direction
+	fps         = 30
+	callSeconds = 30
+)
+
+func main() {
+	eng := sim.New(2026)
+	prof := netem.Cable
+	// Downstream path (A→B) and upstream path (B→A) as two emulated
+	// duplex paths, one per media direction, sharing the cable profile.
+	down := prof.Build(eng, netem.BuildOptions{Direction: netem.Download})
+	up := prof.Build(eng, netem.BuildOptions{Direction: netem.Upload})
+	netDown := stack.NewNet(eng, down)
+	netUp := stack.NewNet(eng, up)
+
+	mkLeg := func(n *stack.Net, name string) (*core.Sender, *core.Receiver) {
+		conn := stack.Dial(n, stack.ConnConfig{CC: cc.KindCubic})
+		snd := core.AttachSender(eng, conn.Sender, core.Options{Minimize: true})
+		rcv := core.AttachReceiver(eng, conn.Receiver, core.Options{})
+		// Media source: one frame per tick.
+		eng.Spawn(name+"-source", func(p *sim.Proc) {
+			for {
+				if snd.SendFull(p, frameSize).Size < frameSize {
+					return
+				}
+				p.Sleep(units.Second / fps)
+			}
+		})
+		eng.Spawn(name+"-sink", func(p *sim.Proc) {
+			for rcv.Read(p, 1<<20).Size > 0 {
+			}
+		})
+		return snd, rcv
+	}
+
+	sndDown, _ := mkLeg(netDown, "alice-to-bob")
+	sndUp, _ := mkLeg(netUp, "bob-to-alice")
+
+	// The sync monitor: once per second, compare the two directions'
+	// latencies and flag drift — the §3.3 use case.
+	fmt.Printf("%6s  %14s  %14s  %s\n", "t(s)", "A→B delay(ms)", "B→A delay(ms)", "sync")
+	var monitor func()
+	monitor = func() {
+		d1 := sndDown.Estimates().Latest().Delay
+		d2 := sndUp.Estimates().Latest().Delay
+		drift := d1 - d2
+		if drift < 0 {
+			drift = -drift
+		}
+		status := "in sync"
+		if drift > 100*units.Millisecond {
+			status = "DRIFT — moderate the faster stream"
+		}
+		fmt.Printf("%6.0f  %14.1f  %14.1f  %s\n",
+			eng.Now().Seconds(), d1.Seconds()*1000, d2.Seconds()*1000, status)
+		if eng.Now() < units.Time((callSeconds-1)*units.Second) {
+			eng.Schedule(units.Second, monitor)
+		}
+	}
+	eng.Schedule(units.Second, monitor)
+
+	eng.RunUntil(units.Time(callSeconds * units.Second))
+	eng.Shutdown()
+
+	fmt.Printf("\nBoth directions ran with Algorithm 3 keeping the send buffers near the knee;\n")
+	fmt.Printf("the app observed per-direction latency live, via getsockopt(TCP_INFO) only.\n")
+}

@@ -1,0 +1,3 @@
+module element
+
+go 1.22

@@ -1,0 +1,157 @@
+package apps
+
+import (
+	"element/internal/core"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/stats"
+	"element/internal/units"
+)
+
+// SVC streaming (§4.4's first approach, applied to scalable video coding):
+// each frame is encoded as a base layer plus enhancement layers. The base
+// layer is mandatory; enhancement layers improve quality but can be
+// "dropped in the application buffer right before they are sent to the TCP
+// layer" when ELEMENT reports the send buffer backing up — trading quality
+// for latency without touching the transport.
+
+// SVCLayer describes one layer of the scalable encoding.
+type SVCLayer struct {
+	Name  string
+	Bytes int // per-frame size of this layer
+}
+
+// DefaultSVCLayers is a 3-layer ladder: base + two enhancements.
+// At 30 fps: base ≈ 4.8 Mbps, +enh1 ≈ 9.6 Mbps, +enh2 ≈ 19.2 Mbps.
+var DefaultSVCLayers = []SVCLayer{
+	{Name: "base", Bytes: 20 << 10},
+	{Name: "enh1", Bytes: 20 << 10},
+	{Name: "enh2", Bytes: 40 << 10},
+}
+
+// SVCStats reports an SVC run.
+type SVCStats struct {
+	// FrameDelays is the base-layer delivery delay per frame (what the
+	// viewer's playout cares about).
+	FrameDelays stats.Series
+	// LayersSent[i] counts frames that included layer i.
+	LayersSent []int
+	// LayersDropped[i] counts frames whose layer i was dropped at the
+	// application buffer.
+	LayersDropped []int
+}
+
+// QualityShare reports the fraction of frames that carried layer i.
+func (s *SVCStats) QualityShare(layer int) float64 {
+	total := s.LayersSent[0] // base is always attempted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LayersSent[layer]) / float64(total)
+}
+
+// SVCConfig configures an SVC streaming session.
+type SVCConfig struct {
+	FPS        int
+	Layers     []SVCLayer
+	UseElement bool
+	Element    *core.Sender
+	Conn       *stack.Conn
+	Duration   units.Duration
+}
+
+// RunSVC streams layered frames: the base layer always goes out; each
+// enhancement layer is included only if (with ELEMENT) the send-buffer
+// delay leaves room under the threshold. Without ELEMENT every layer is
+// always written and the socket buffer absorbs the overload.
+func RunSVC(eng *sim.Engine, cfg SVCConfig) *SVCStats {
+	if cfg.FPS == 0 {
+		cfg.FPS = 30
+	}
+	if cfg.Layers == nil {
+		cfg.Layers = DefaultSVCLayers
+	}
+	st := &SVCStats{
+		LayersSent:    make([]int, len(cfg.Layers)),
+		LayersDropped: make([]int, len(cfg.Layers)),
+	}
+	framePeriod := units.Duration(int64(units.Second) / int64(cfg.FPS))
+
+	type frameMark struct {
+		createdAt units.Time
+		endSeq    uint64
+	}
+	var pending []frameMark
+
+	eng.Spawn("svc-viewer", func(p *sim.Proc) {
+		for {
+			if cfg.Conn.Receiver.Read(p, 1<<20) == 0 {
+				return
+			}
+			cum := cfg.Conn.Receiver.ReadCum()
+			now := p.Now()
+			for len(pending) > 0 && pending[0].endSeq <= cum {
+				st.FrameDelays = append(st.FrameDelays, stats.Sample{
+					At: now, Delay: now.Sub(pending[0].createdAt), Bytes: 1,
+				})
+				pending = pending[1:]
+			}
+		}
+	})
+
+	eng.Spawn("svc-encoder", func(p *sim.Proc) {
+		// Layer count persists across frames: shed quickly on delay, probe
+		// one layer up after a clean half second. (A throughput budget
+		// cannot drive this decision — an app-limited flow's measured
+		// throughput only ever shows what it currently offers.)
+		include := len(cfg.Layers)
+		cleanTicks := 0
+		for p.Now() < units.Time(cfg.Duration) {
+			tick := p.Now()
+			if cfg.UseElement {
+				bufDelay := cfg.Element.Estimates().Latest().Delay
+				switch {
+				case bufDelay > 2*core.DefaultDthr:
+					include = 1
+					cleanTicks = 0
+				case bufDelay > core.DefaultDthr:
+					if include > 1 {
+						include--
+					}
+					cleanTicks = 0
+				default:
+					cleanTicks++
+					if cleanTicks > cfg.FPS/2 && include < len(cfg.Layers) {
+						include++
+						cleanTicks = 0
+					}
+				}
+			}
+			for i, layer := range cfg.Layers {
+				if i >= include {
+					st.LayersDropped[i]++
+					continue
+				}
+				st.LayersSent[i]++
+				var written int
+				if cfg.UseElement {
+					written = cfg.Element.SendFull(p, layer.Bytes).Size
+				} else {
+					written = cfg.Conn.Sender.WriteFull(p, layer.Bytes)
+				}
+				if written < layer.Bytes {
+					return
+				}
+				if i == 0 {
+					pending = append(pending, frameMark{
+						createdAt: tick, endSeq: cfg.Conn.Sender.WrittenCum(),
+					})
+				}
+			}
+			if elapsed := p.Now().Sub(tick); elapsed < framePeriod {
+				p.Sleep(framePeriod - elapsed)
+			}
+		}
+	})
+	return st
+}

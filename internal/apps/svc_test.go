@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"testing"
+
+	"element/internal/aqm"
+	"element/internal/cc"
+	"element/internal/core"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/units"
+)
+
+// svcRun streams SVC over a link that cannot carry all layers (full ladder
+// ≈ 19.2 Mbps vs a 12 Mbps link).
+func svcRun(t *testing.T, useElement bool) *SVCStats {
+	t.Helper()
+	eng := sim.New(17)
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{
+			Rate: 12 * units.Mbps, Delay: 15 * units.Millisecond,
+			// Shallow emulator buffer, as in the paper's controlled runs.
+			Discipline: aqm.NewFIFO(aqm.Config{LimitPackets: 100}),
+		},
+		Reverse: netem.LinkConfig{Rate: 12 * units.Mbps, Delay: 15 * units.Millisecond},
+	})
+	net := stack.NewNet(eng, path)
+	c := stack.Dial(net, stack.ConnConfig{CC: cc.KindCubic})
+	var snd *core.Sender
+	if useElement {
+		snd = core.AttachSender(eng, c.Sender, core.Options{Minimize: true})
+	}
+	st := RunSVC(eng, SVCConfig{
+		UseElement: useElement, Element: snd, Conn: c, Duration: 30 * units.Second,
+	})
+	eng.RunUntil(units.Time(31 * units.Second))
+	eng.Shutdown()
+	return st
+}
+
+func TestSVCBaselineSendsEverythingAndLags(t *testing.T) {
+	st := svcRun(t, false)
+	for i := range st.LayersDropped {
+		if st.LayersDropped[i] != 0 {
+			t.Fatalf("baseline dropped layer %d", i)
+		}
+	}
+	// Over-committed link: base-layer delivery lags well behind real time
+	// (bounded by the socket buffer the auto-tuner grants, so ~hundreds of
+	// ms rather than unbounded).
+	base := st.FrameDelays.Mean()
+	if base < 150*units.Millisecond {
+		t.Fatalf("baseline frame delay %v — expected severe lag", base)
+	}
+	elem := svcRun(t, true).FrameDelays.Mean()
+	if elem*2 > base {
+		t.Fatalf("ELEMENT frame delay %v not ≪ baseline %v", elem, base)
+	}
+}
+
+func TestSVCElementDropsEnhancementsKeepsLatency(t *testing.T) {
+	st := svcRun(t, true)
+	if st.LayersSent[0] == 0 {
+		t.Fatal("no frames sent")
+	}
+	// The top enhancement must be shed most of the time (the link cannot
+	// carry it), while the base layer always flows.
+	if share := st.QualityShare(len(DefaultSVCLayers) - 1); share > 0.7 {
+		t.Fatalf("top layer carried %.0f%% of frames on an overloaded link", 100*share)
+	}
+	// And the base layer arrives promptly.
+	if st.FrameDelays.Mean() > 150*units.Millisecond {
+		t.Fatalf("ELEMENT frame delay %v", st.FrameDelays.Mean())
+	}
+	// Quality adaptation should still use capacity: some frames carry at
+	// least one enhancement layer.
+	if st.QualityShare(1) < 0.2 {
+		t.Fatalf("enhancement-1 share %.2f — over-throttled", st.QualityShare(1))
+	}
+}

@@ -1,0 +1,301 @@
+package aqm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"element/internal/pkt"
+	"element/internal/units"
+)
+
+func mkpkt(flow int, n int) *pkt.Packet {
+	return &pkt.Packet{FlowID: flow, PayloadLen: n, HeaderLen: pkt.DefaultHeaderLen}
+}
+
+func TestFIFOOrderAndTailDrop(t *testing.T) {
+	f := NewFIFO(Config{LimitPackets: 3})
+	now := units.Time(0)
+	for i := 0; i < 5; i++ {
+		p := mkpkt(1, 100+i)
+		ok := f.Enqueue(p, now)
+		if i < 3 && !ok {
+			t.Fatalf("packet %d dropped below limit", i)
+		}
+		if i >= 3 && ok {
+			t.Fatalf("packet %d accepted above limit", i)
+		}
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	wantBytes := (100 + 40) + (101 + 40) + (102 + 40)
+	if f.Bytes() != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", f.Bytes(), wantBytes)
+	}
+	for i := 0; i < 3; i++ {
+		p := f.Dequeue(now)
+		if p == nil || p.PayloadLen != 100+i {
+			t.Fatalf("dequeue %d: got %v", i, p)
+		}
+	}
+	if f.Dequeue(now) != nil {
+		t.Fatal("dequeue from empty queue returned packet")
+	}
+	st := f.Stats()
+	if st.Enqueued != 3 || st.TailDrops != 2 || st.Dequeued != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: FIFO conserves packets — every enqueued packet is dequeued
+// exactly once, in order, regardless of the interleaving.
+func TestPropertyFIFOConservation(t *testing.T) {
+	f := func(ops []bool, limit uint8) bool {
+		lim := int(limit%64) + 1
+		q := NewFIFO(Config{LimitPackets: lim})
+		nextIn, nextOut := 0, 0
+		inFlight := 0
+		for _, enq := range ops {
+			if enq {
+				p := mkpkt(1, nextIn)
+				if q.Enqueue(p, 0) {
+					nextIn++
+					inFlight++
+				} else if inFlight != lim {
+					return false // dropped while not full
+				}
+			} else {
+				p := q.Dequeue(0)
+				if inFlight == 0 {
+					if p != nil {
+						return false
+					}
+					continue
+				}
+				if p == nil || p.PayloadLen != nextOut {
+					return false
+				}
+				nextOut++
+				inFlight--
+			}
+		}
+		return q.Len() == inFlight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drainDelay runs a fixed-rate drain against a discipline being overloaded
+// and returns the average sojourn time in the second half of the run.
+func drainDelay(t *testing.T, d Discipline) units.Duration {
+	t.Helper()
+	const (
+		pktSize    = 1460
+		rate       = units.Rate(10 * units.Mbps)
+		arrival    = units.Rate(12 * units.Mbps) // 20% overload
+		duration   = 30 * units.Second
+		sizeOnWire = pktSize + pkt.DefaultHeaderLen
+	)
+	txTime := rate.TransmissionTime(sizeOnWire)
+	arrGap := arrival.TransmissionTime(sizeOnWire)
+
+	var now units.Time
+	var nextArr, nextDep units.Time
+	var total units.Duration
+	var count int
+	half := units.Time(duration / 2)
+	for now < units.Time(duration) {
+		if nextArr <= nextDep {
+			now = nextArr
+			d.Enqueue(mkpkt(1, pktSize), now)
+			nextArr = now.Add(arrGap)
+		} else {
+			now = nextDep
+			p := d.Dequeue(now)
+			if p != nil {
+				if now > half {
+					total += now.Sub(p.EnqueuedAt)
+					count++
+				}
+				nextDep = now.Add(txTime)
+			} else {
+				nextDep = nextArr
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no packets drained")
+	}
+	return total / units.Duration(count)
+}
+
+func TestCoDelControlsDelay(t *testing.T) {
+	fifoDelay := drainDelay(t, NewFIFO(Config{LimitPackets: 1000}))
+	codelDelay := drainDelay(t, NewCoDel(Config{LimitPackets: 1000}))
+	// FIFO under 20% overload fills 1000 packets: ~1.2s standing delay.
+	if fifoDelay < 500*units.Millisecond {
+		t.Fatalf("FIFO delay %v unexpectedly low", fifoDelay)
+	}
+	// CoDel against persistent unresponsive overload cannot reach its 5ms
+	// target (a known property: nothing backs off), but it must keep the
+	// standing delay a small fraction of the tail-drop FIFO's.
+	if codelDelay > 150*units.Millisecond {
+		t.Fatalf("CoDel delay %v, want < 150ms", codelDelay)
+	}
+	if codelDelay >= fifoDelay/5 {
+		t.Fatalf("CoDel (%v) not ≪ FIFO (%v)", codelDelay, fifoDelay)
+	}
+}
+
+func TestPIEControlsDelay(t *testing.T) {
+	pieDelay := drainDelay(t, NewPIE(Config{LimitPackets: 1000}, rand.New(rand.NewSource(3))))
+	if pieDelay > 60*units.Millisecond {
+		t.Fatalf("PIE delay %v, want < 60ms (target 15ms)", pieDelay)
+	}
+}
+
+func TestFQCoDelControlsDelay(t *testing.T) {
+	fqDelay := drainDelay(t, NewFQCoDel(Config{}))
+	if fqDelay > 150*units.Millisecond {
+		t.Fatalf("FQ-CoDel delay %v, want < 150ms", fqDelay)
+	}
+}
+
+func TestCoDelECNMarksInsteadOfDropping(t *testing.T) {
+	c := NewCoDel(Config{LimitPackets: 1000, ECN: true})
+	delay := drainDelayECT(t, c)
+	st := c.Stats()
+	if st.AQMDrops != 0 {
+		t.Fatalf("ECN CoDel dropped %d packets", st.AQMDrops)
+	}
+	if st.ECNMarks == 0 {
+		t.Fatal("ECN CoDel marked no packets under overload")
+	}
+	_ = delay
+}
+
+// drainDelayECT is drainDelay with ECN-capable packets.
+func drainDelayECT(t *testing.T, d Discipline) units.Duration {
+	t.Helper()
+	const pktSize = 1460
+	rate := units.Rate(10 * units.Mbps)
+	arrGap := units.Rate(12 * units.Mbps).TransmissionTime(pktSize + 40)
+	txTime := rate.TransmissionTime(pktSize + 40)
+	var now, nextArr, nextDep units.Time
+	for now < units.Time(10*units.Second) {
+		if nextArr <= nextDep {
+			now = nextArr
+			p := mkpkt(1, pktSize)
+			p.ECT = true
+			d.Enqueue(p, now)
+			nextArr = now.Add(arrGap)
+		} else {
+			now = nextDep
+			if p := d.Dequeue(now); p != nil {
+				nextDep = now.Add(txTime)
+			} else {
+				nextDep = nextArr
+			}
+		}
+	}
+	return 0
+}
+
+func TestFQCoDelIsolatesSparseFlow(t *testing.T) {
+	// A bulk flow overloads the link; a sparse flow sends one packet per
+	// 100ms. Under FIFO the sparse flow inherits the bulk queue delay (and,
+	// once the queue pins at its limit, is mostly phase-locked out); under
+	// FQ-CoDel it should see near-zero delay. Delays are averaged over all
+	// delivered sparse packets.
+	measure := func(d Discipline) units.Duration {
+		const pktSize = 1460
+		rate := units.Rate(10 * units.Mbps)
+		bulkGap := units.Rate(12 * units.Mbps).TransmissionTime(pktSize + 40)
+		var now, nextBulk, nextSparse, nextDep units.Time
+		nextSparse = units.Time(50 * units.Millisecond)
+		var sparseTotal units.Duration
+		var sparseCount int
+		for now < units.Time(20*units.Second) {
+			switch {
+			case nextBulk <= nextSparse && nextBulk <= nextDep:
+				now = nextBulk
+				d.Enqueue(mkpkt(1, pktSize), now)
+				nextBulk = now.Add(bulkGap)
+			case nextSparse <= nextDep:
+				now = nextSparse
+				d.Enqueue(mkpkt(2, 200), now)
+				nextSparse = now.Add(100 * units.Millisecond)
+			default:
+				now = nextDep
+				p := d.Dequeue(now)
+				if p == nil {
+					nextDep = min64(nextBulk, nextSparse)
+					continue
+				}
+				if p.FlowID == 2 {
+					sparseTotal += now.Sub(p.EnqueuedAt)
+					sparseCount++
+				}
+				nextDep = now.Add(rate.TransmissionTime(p.Size()))
+			}
+		}
+		if sparseCount == 0 {
+			t.Fatal("sparse flow starved")
+		}
+		return sparseTotal / units.Duration(sparseCount)
+	}
+	fifoSparse := measure(NewFIFO(Config{LimitPackets: 1000}))
+	fqSparse := measure(NewFQCoDel(Config{}))
+	if fqSparse > 10*units.Millisecond {
+		t.Fatalf("FQ-CoDel sparse delay %v, want < 10ms", fqSparse)
+	}
+	if fifoSparse < 100*units.Millisecond {
+		t.Fatalf("FIFO sparse delay %v unexpectedly low", fifoSparse)
+	}
+}
+
+func min64(a, b units.Time) units.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFactory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range AllKinds {
+		d, err := New(k, Config{}, rng)
+		if err != nil {
+			t.Fatalf("New(%q): %v", k, err)
+		}
+		if d.Name() != string(k) {
+			t.Fatalf("Name = %q, want %q", d.Name(), k)
+		}
+	}
+	if _, err := New("bogus", Config{}, rng); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPIEDropProbConvergesToZeroWhenIdle(t *testing.T) {
+	p := NewPIE(Config{}, rand.New(rand.NewSource(9)))
+	// Force some drop probability by simulating standing delay.
+	p.qdelay = 100 * units.Millisecond
+	p.qdelayOld = 100 * units.Millisecond
+	p.started = true
+	for i := 0; i < 100; i++ {
+		p.step()
+	}
+	if p.DropProb() <= 0 {
+		t.Fatal("drop prob did not rise under standing delay")
+	}
+	p.qdelay, p.qdelayOld = 0, 0
+	for i := 0; i < 5000; i++ {
+		p.step()
+	}
+	if p.DropProb() > 0.001 {
+		t.Fatalf("drop prob %v did not decay when idle", p.DropProb())
+	}
+}

@@ -1,0 +1,61 @@
+package aqm
+
+import (
+	"element/internal/pkt"
+	"element/internal/units"
+)
+
+// DefaultFIFOLimit matches Linux's default txqueuelen of 1000 packets,
+// which is the buffer the paper's pfifo_fast experiments run against.
+const DefaultFIFOLimit = 1000
+
+// FIFO is a tail-drop first-in-first-out queue. It stands in for Linux's
+// default pfifo_fast qdisc: pfifo_fast has three priority bands selected by
+// the TOS byte, but every flow in the paper's experiments is best-effort
+// (band 1), so a single-band FIFO is behaviourally identical.
+type FIFO struct {
+	cfg   Config
+	q     fifoRing
+	stats Stats
+}
+
+// NewFIFO returns a tail-drop FIFO with the given configuration.
+func NewFIFO(cfg Config) *FIFO {
+	if cfg.LimitPackets == 0 {
+		cfg.LimitPackets = DefaultFIFOLimit
+	}
+	return &FIFO{cfg: cfg}
+}
+
+// Enqueue implements Discipline.
+func (f *FIFO) Enqueue(p *pkt.Packet, now units.Time) bool {
+	if f.q.len() >= f.cfg.LimitPackets {
+		f.stats.TailDrops++
+		return false
+	}
+	p.EnqueuedAt = now
+	f.q.push(p)
+	f.stats.Enqueued++
+	return true
+}
+
+// Dequeue implements Discipline.
+func (f *FIFO) Dequeue(now units.Time) *pkt.Packet {
+	p := f.q.pop()
+	if p != nil {
+		f.stats.Dequeued++
+	}
+	return p
+}
+
+// Len implements Discipline.
+func (f *FIFO) Len() int { return f.q.len() }
+
+// Bytes implements Discipline.
+func (f *FIFO) Bytes() int { return f.q.bytes }
+
+// Stats implements Discipline.
+func (f *FIFO) Stats() Stats { return f.stats }
+
+// Name implements Discipline.
+func (f *FIFO) Name() string { return "pfifo_fast" }

@@ -1,0 +1,171 @@
+package aqm
+
+import (
+	"math/rand"
+
+	"element/internal/pkt"
+	"element/internal/units"
+)
+
+// PIE parameters from RFC 8033.
+const (
+	// PIETarget is the target queueing delay.
+	PIETarget = 15 * units.Millisecond
+	// PIEUpdateInterval is how often the drop probability is recomputed.
+	PIEUpdateInterval = 15 * units.Millisecond
+	// PIEMaxBurst is the burst allowance after an idle period.
+	PIEMaxBurst = 150 * units.Millisecond
+	// PIEAlpha and PIEBeta are the proportional/integral gains (per second
+	// of delay error; RFC 8033 §4.2 uses 0.125 and 1.25 with autotuning).
+	PIEAlpha = 0.125
+	PIEBeta  = 1.25
+)
+
+// PIE is the Proportional Integral controller Enhanced AQM of RFC 8033.
+// This implementation uses packet timestamps to measure queueing delay
+// (RFC 8033 §5.1 explicitly allows timestamp-based latency measurement
+// instead of rate estimation), and applies the drop probability on enqueue.
+type PIE struct {
+	cfg   Config
+	q     fifoRing
+	rng   *rand.Rand
+	stats Stats
+
+	dropProb   float64
+	qdelay     units.Duration // latest measured queue delay
+	qdelayOld  units.Duration
+	burstLeft  units.Duration
+	lastUpdate units.Time
+	started    bool
+}
+
+// NewPIE returns a PIE queue. rng drives the random drop decisions; a nil
+// rng falls back to a fixed-seed source so behaviour stays deterministic.
+func NewPIE(cfg Config, rng *rand.Rand) *PIE {
+	if cfg.LimitPackets == 0 {
+		cfg.LimitPackets = DefaultFIFOLimit
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &PIE{cfg: cfg, rng: rng, burstLeft: PIEMaxBurst}
+}
+
+// update recomputes the drop probability. It is called lazily from
+// Enqueue/Dequeue and iterates once per elapsed update interval, which is
+// equivalent to the RFC's periodic timer in virtual time.
+func (p *PIE) update(now units.Time) {
+	if !p.started {
+		p.started = true
+		p.lastUpdate = now
+		return
+	}
+	for now.Sub(p.lastUpdate) >= PIEUpdateInterval {
+		p.lastUpdate = p.lastUpdate.Add(PIEUpdateInterval)
+		p.step()
+	}
+}
+
+// step performs one RFC 8033 §4.2 probability update.
+func (p *PIE) step() {
+	// Autotune gains by the current probability region (RFC 8033 §4.2).
+	alpha, beta := PIEAlpha, PIEBeta
+	switch {
+	case p.dropProb < 0.000001:
+		alpha /= 2048
+		beta /= 2048
+	case p.dropProb < 0.00001:
+		alpha /= 512
+		beta /= 512
+	case p.dropProb < 0.0001:
+		alpha /= 128
+		beta /= 128
+	case p.dropProb < 0.001:
+		alpha /= 32
+		beta /= 32
+	case p.dropProb < 0.01:
+		alpha /= 8
+		beta /= 8
+	case p.dropProb < 0.1:
+		alpha /= 2
+		beta /= 2
+	}
+	delta := alpha*(p.qdelay.Seconds()-PIETarget.Seconds()) +
+		beta*(p.qdelay.Seconds()-p.qdelayOld.Seconds())
+	p.dropProb += delta
+	// Decay when the queue is idle/empty.
+	if p.qdelay == 0 && p.qdelayOld == 0 {
+		p.dropProb *= 0.98
+	}
+	if p.dropProb < 0 {
+		p.dropProb = 0
+	}
+	if p.dropProb > 1 {
+		p.dropProb = 1
+	}
+	p.qdelayOld = p.qdelay
+
+	// Burst allowance counts down while the controller is active.
+	if p.burstLeft > 0 {
+		p.burstLeft -= PIEUpdateInterval
+		if p.burstLeft < 0 {
+			p.burstLeft = 0
+		}
+	}
+}
+
+// Enqueue implements Discipline: random early drop at the PIE probability.
+func (p *PIE) Enqueue(q *pkt.Packet, now units.Time) bool {
+	p.update(now)
+	if p.q.len() >= p.cfg.LimitPackets {
+		p.stats.TailDrops++
+		return false
+	}
+	// Burst protection and the small-queue exemptions of RFC 8033 §4.1.
+	exempt := p.burstLeft > 0 ||
+		(p.qdelayOld < PIETarget/2 && p.dropProb < 0.2) ||
+		p.q.len() <= 2
+	if !exempt && p.rng.Float64() < p.dropProb {
+		if dropOrMark(p.cfg, &p.stats, q) {
+			return false
+		}
+	}
+	q.EnqueuedAt = now
+	p.q.push(q)
+	p.stats.Enqueued++
+	return true
+}
+
+// Dequeue implements Discipline and refreshes the delay measurement from
+// the departing packet's sojourn time.
+func (p *PIE) Dequeue(now units.Time) *pkt.Packet {
+	p.update(now)
+	q := p.q.pop()
+	if q == nil {
+		p.qdelay = 0
+		// Re-arm the burst allowance when the queue fully drains and the
+		// controller has relaxed.
+		if p.dropProb == 0 && p.qdelayOld == 0 {
+			p.burstLeft = PIEMaxBurst
+		}
+		return nil
+	}
+	p.qdelay = now.Sub(q.EnqueuedAt)
+	p.stats.Dequeued++
+	return q
+}
+
+// Len implements Discipline.
+func (p *PIE) Len() int { return p.q.len() }
+
+// Bytes implements Discipline.
+func (p *PIE) Bytes() int { return p.q.bytes }
+
+// Stats implements Discipline.
+func (p *PIE) Stats() Stats { return p.stats }
+
+// Name implements Discipline.
+func (p *PIE) Name() string { return "pie" }
+
+// DropProb exposes the current drop probability for tests and traces.
+func (p *PIE) DropProb() float64 { return p.dropProb }

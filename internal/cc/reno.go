@@ -1,0 +1,76 @@
+package cc
+
+import "element/internal/units"
+
+// Reno implements TCP NewReno congestion control (RFC 5681): slow start,
+// congestion avoidance with one-MSS-per-RTT growth, and multiplicative
+// decrease by half on loss.
+type Reno struct {
+	mss      int
+	cwnd     float64 // in segments
+	ssthresh float64 // in segments
+	// ackedFrac accumulates partial congestion-avoidance credit.
+	lastCut units.Time
+}
+
+// NewReno returns a NewReno instance.
+func NewReno(mss int) *Reno {
+	return &Reno{mss: mss, cwnd: initialCwndSegs, ssthresh: maxSsthreshSegs}
+}
+
+// Name implements Algorithm.
+func (r *Reno) Name() string { return "reno" }
+
+// OnAck implements Algorithm.
+func (r *Reno) OnAck(now units.Time, ackedBytes int, rtt units.Duration, inFlight int, inRecovery bool) {
+	if inRecovery {
+		return // no window growth while loss recovery is in progress
+	}
+	segs := float64(ackedBytes) / float64(r.mss)
+	if r.cwnd < r.ssthresh {
+		r.cwnd += segs // slow start: exponential growth
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	r.cwnd += segs / r.cwnd // congestion avoidance: ~1 MSS per RTT
+}
+
+// OnLoss implements Algorithm.
+func (r *Reno) OnLoss(now units.Time) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < 2 {
+		r.ssthresh = 2
+	}
+	r.cwnd = r.ssthresh
+	r.lastCut = now
+}
+
+// OnECN implements Algorithm: like loss, at most once per ~RTT (we use the
+// time since the last cut as the guard).
+func (r *Reno) OnECN(now units.Time) {
+	if now.Sub(r.lastCut) < 10*units.Millisecond {
+		return
+	}
+	r.OnLoss(now)
+}
+
+// OnRTO implements Algorithm.
+func (r *Reno) OnRTO(now units.Time) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < 2 {
+		r.ssthresh = 2
+	}
+	r.cwnd = 1
+	r.lastCut = now
+}
+
+// CwndBytes implements Algorithm.
+func (r *Reno) CwndBytes() int { return int(r.cwnd * float64(r.mss)) }
+
+// SsthreshSegs implements Algorithm.
+func (r *Reno) SsthreshSegs() int { return int(r.ssthresh) }
+
+// PacingRate implements Algorithm (Reno does not pace).
+func (r *Reno) PacingRate() units.Rate { return 0 }

@@ -1,0 +1,109 @@
+package cc
+
+import "element/internal/units"
+
+// Vegas parameters (Brakmo & Peterson 1995): keep between alpha and beta
+// packets queued in the network.
+const (
+	vegasAlpha = 2.0
+	vegasBeta  = 4.0
+	vegasGamma = 1.0 // slow-start exit threshold
+)
+
+// Vegas implements TCP Vegas, the delay-based algorithm the paper uses as
+// its low-latency TCP reference point (§5.1, Figure 15). Vegas compares the
+// expected throughput cwnd/baseRTT with the actual throughput cwnd/RTT and
+// adjusts the window once per RTT to keep a small number of packets queued.
+type Vegas struct {
+	mss      int
+	cwnd     float64
+	ssthresh float64
+
+	baseRTT    units.Duration // minimum observed RTT
+	lastRTT    units.Duration
+	nextUpdate units.Time // next per-RTT adjustment time
+	slowStart  bool
+	ssToggle   bool // Vegas doubles every *other* RTT in slow start
+}
+
+// NewVegas returns a Vegas instance.
+func NewVegas(mss int) *Vegas {
+	return &Vegas{mss: mss, cwnd: initialCwndSegs, ssthresh: maxSsthreshSegs, slowStart: true}
+}
+
+// Name implements Algorithm.
+func (v *Vegas) Name() string { return "vegas" }
+
+// OnAck implements Algorithm.
+func (v *Vegas) OnAck(now units.Time, ackedBytes int, rtt units.Duration, inFlight int, inRecovery bool) {
+	if rtt > 0 {
+		if v.baseRTT == 0 || rtt < v.baseRTT {
+			v.baseRTT = rtt
+		}
+		v.lastRTT = rtt
+	}
+	if v.lastRTT == 0 || v.baseRTT == 0 || inRecovery {
+		return
+	}
+	if now < v.nextUpdate {
+		return
+	}
+	v.nextUpdate = now.Add(v.lastRTT)
+
+	// diff: packets occupying network queues.
+	expected := v.cwnd / v.baseRTT.Seconds()
+	actual := v.cwnd / v.lastRTT.Seconds()
+	diff := (expected - actual) * v.baseRTT.Seconds()
+
+	if v.slowStart {
+		if diff > vegasGamma {
+			v.slowStart = false
+			v.ssthresh = v.cwnd
+		} else {
+			// Double every other RTT.
+			v.ssToggle = !v.ssToggle
+			if v.ssToggle {
+				v.cwnd *= 2
+			}
+			return
+		}
+	}
+	switch {
+	case diff < vegasAlpha:
+		v.cwnd++
+	case diff > vegasBeta:
+		v.cwnd--
+	}
+	if v.cwnd < 2 {
+		v.cwnd = 2
+	}
+}
+
+// OnLoss implements Algorithm: Vegas halves like Reno on actual loss.
+func (v *Vegas) OnLoss(now units.Time) {
+	v.slowStart = false
+	v.cwnd = v.cwnd * 3 / 4 // Vegas's gentler reduction
+	if v.cwnd < 2 {
+		v.cwnd = 2
+	}
+	v.ssthresh = v.cwnd
+}
+
+// OnECN implements Algorithm.
+func (v *Vegas) OnECN(now units.Time) { v.OnLoss(now) }
+
+// OnRTO implements Algorithm.
+func (v *Vegas) OnRTO(now units.Time) {
+	v.slowStart = false
+	v.cwnd = 2
+	v.ssthresh = v.cwnd
+}
+
+// CwndBytes implements Algorithm.
+func (v *Vegas) CwndBytes() int { return int(v.cwnd * float64(v.mss)) }
+
+// SsthreshSegs implements Algorithm.
+func (v *Vegas) SsthreshSegs() int { return int(v.ssthresh) }
+
+// PacingRate implements Algorithm.
+func (v *Vegas) PacingRate() units.Rate { return 0 }

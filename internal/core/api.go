@@ -1,0 +1,261 @@
+package core
+
+import (
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/units"
+)
+
+// RetInfo mirrors the paper's `retinfo` struct (Figure 12): what every
+// ELEMENT wrapper call returns to the application, so that new applications
+// can adapt their data rate (resolution, encoding, frame count) to the
+// current latency situation.
+type RetInfo struct {
+	// Size is the number of bytes actually written/read, like the return
+	// value of the wrapped socket call.
+	Size int
+	// BufDelay is the latest estimated socket-buffer delay in seconds.
+	BufDelay float64
+	// Throughput is the estimated TCP-layer throughput in bits/s.
+	Throughput float64
+	// RTT is the smoothed RTT in seconds.
+	RTT float64
+	// Cwnd is the congestion window in segments.
+	Cwnd int
+}
+
+// Controller is a pluggable latency-control strategy. Algorithm 3 is the
+// default, but §4.4 explicitly allows applications to "override it with
+// their own algorithm": OnDelay receives every Algorithm 1 buffer-delay
+// sample, and AfterSend runs on the writing process after each send (where
+// a controller may sleep to pace the application).
+type Controller interface {
+	OnDelay(d units.Duration)
+	AfterSend(p *sim.Proc, cumWritten uint64)
+}
+
+// Options configures an ELEMENT attachment (the init_em arguments plus the
+// polling interval).
+type Options struct {
+	// Interval is the TCP_INFO polling period (0 = 10 ms).
+	Interval units.Duration
+	// Minimize runs Algorithm 3 on the sender (the "default latency
+	// minimization algorithm" used for legacy applications).
+	Minimize bool
+	// Wireless marks the sender's access network as LTE/WiFi, enabling
+	// Algorithm 3's buffer resizing step.
+	Wireless bool
+	// Minimizer overrides individual Algorithm 3 parameters.
+	Minimizer MinimizerConfig
+	// Controller replaces Algorithm 3 with a custom strategy. Mutually
+	// exclusive with Minimize.
+	Controller Controller
+}
+
+// Sender is ELEMENT attached to the sending side of a connection: the
+// em_send/em_write wrapper plus Algorithm 1 (and optionally Algorithm 3).
+type Sender struct {
+	eng     *sim.Engine
+	sock    *stack.Socket
+	Tracker *SenderTracker
+	Min     *Minimizer // nil unless Options.Minimize
+	ctrl    Controller // nil unless Options.Controller
+
+	lastAcked  uint64
+	lastAt     units.Time
+	throughput float64 // EWMA bits/s
+}
+
+// AttachSender wires ELEMENT onto a sending socket.
+func AttachSender(eng *sim.Engine, sock *stack.Socket, opts Options) *Sender {
+	if opts.Minimize && opts.Controller != nil {
+		panic("core: Options.Minimize and Options.Controller are mutually exclusive")
+	}
+	s := &Sender{eng: eng, sock: sock}
+	s.Tracker = NewSenderTracker(eng, sock, opts.Interval)
+	switch {
+	case opts.Minimize:
+		cfg := opts.Minimizer
+		cfg.Wireless = cfg.Wireless || opts.Wireless
+		s.Min = NewMinimizer(eng, sock, s.Tracker, cfg)
+	case opts.Controller != nil:
+		s.ctrl = opts.Controller
+		s.Tracker.subscribe(s.ctrl.OnDelay)
+	}
+	return s
+}
+
+// Send is em_send/em_write: the wrapped socket write. It records the write
+// for Algorithm 1, runs Algorithm 3's pacing if enabled, and returns the
+// ELEMENT measurement snapshot.
+func (s *Sender) Send(p *sim.Proc, n int) RetInfo {
+	got := s.sock.Write(p, n)
+	if got > 0 {
+		cum := s.sock.WrittenCum()
+		s.Tracker.OnWrite(cum)
+		if s.Min != nil {
+			s.Min.AfterSend(p, cum)
+		} else if s.ctrl != nil {
+			s.ctrl.AfterSend(p, cum)
+		}
+	}
+	return s.retinfo(got)
+}
+
+// SendFull writes exactly n bytes (blocking), pacing each chunk.
+func (s *Sender) SendFull(p *sim.Proc, n int) RetInfo {
+	total := 0
+	var ri RetInfo
+	for total < n {
+		ri = s.Send(p, n-total)
+		if ri.Size == 0 {
+			break
+		}
+		total += ri.Size
+	}
+	ri.Size = total
+	return ri
+}
+
+// retinfo assembles the RetInfo snapshot.
+func (s *Sender) retinfo(size int) RetInfo {
+	ti := s.sock.GetsockoptTCPInfo()
+	tput := s.ThroughputEstimate()
+	return RetInfo{
+		Size:       size,
+		BufDelay:   s.Tracker.Estimates().Latest().Delay.Seconds(),
+		Throughput: tput,
+		RTT:        ti.RTT.Seconds(),
+		Cwnd:       ti.SndCwnd,
+	}
+}
+
+// Estimates exposes the sender-side delay estimates.
+func (s *Sender) Estimates() *Estimates { return s.Tracker.Estimates() }
+
+// ThroughputEstimate reports the current TCP-layer throughput EWMA in
+// bits/s (the RetInfo.Throughput value) without performing a send.
+func (s *Sender) ThroughputEstimate() float64 {
+	ti := s.sock.GetsockoptTCPInfo()
+	now := s.eng.Now()
+	if now > s.lastAt {
+		inst := float64(ti.BytesAcked-s.lastAcked) * 8 / now.Sub(s.lastAt).Seconds()
+		if s.throughput == 0 {
+			s.throughput = inst
+		} else {
+			s.throughput = 0.875*s.throughput + 0.125*inst
+		}
+		s.lastAcked = ti.BytesAcked
+		s.lastAt = now
+	}
+	return s.throughput
+}
+
+// BufferedEstimate reports the bytes ELEMENT estimates to be waiting in
+// the TCP send buffer right now (Figure 10's y-axis).
+func (s *Sender) BufferedEstimate() int {
+	cum := s.sock.WrittenCum()
+	best := s.Tracker.EstimatedTCPBytes()
+	if cum <= best {
+		return 0
+	}
+	return int(cum - best)
+}
+
+// Close is fin_em for the sender.
+func (s *Sender) Close() {
+	s.Tracker.Stop()
+	if s.Min != nil {
+		s.Min.Stop()
+	}
+}
+
+// Receiver is ELEMENT attached to the receiving side: the em_read wrapper
+// plus Algorithm 2.
+type Receiver struct {
+	eng     *sim.Engine
+	sock    *stack.Socket
+	Tracker *ReceiverTracker
+
+	lastRead   uint64
+	lastAt     units.Time
+	throughput float64
+}
+
+// AttachReceiver wires ELEMENT onto a receiving socket.
+func AttachReceiver(eng *sim.Engine, sock *stack.Socket, opts Options) *Receiver {
+	return &Receiver{
+		eng:     eng,
+		sock:    sock,
+		Tracker: NewReceiverTracker(eng, sock, opts.Interval),
+	}
+}
+
+// Read is em_read: the wrapped socket read plus Algorithm 2 matching.
+func (r *Receiver) Read(p *sim.Proc, max int) RetInfo {
+	got := r.sock.Read(p, max)
+	if got > 0 {
+		r.Tracker.OnRead(r.sock.ReadCum(), got)
+	}
+	ti := r.sock.GetsockoptTCPInfo()
+	now := r.eng.Now()
+	if now > r.lastAt {
+		cum := r.sock.ReadCum()
+		inst := float64(cum-r.lastRead) * 8 / now.Sub(r.lastAt).Seconds()
+		if r.throughput == 0 {
+			r.throughput = inst
+		} else {
+			r.throughput = 0.875*r.throughput + 0.125*inst
+		}
+		r.lastRead = cum
+		r.lastAt = now
+	}
+	return RetInfo{
+		Size:       got,
+		BufDelay:   r.Tracker.Estimates().Latest().Delay.Seconds(),
+		Throughput: r.throughput,
+		RTT:        ti.RTT.Seconds(),
+		Cwnd:       ti.SndCwnd,
+	}
+}
+
+// Estimates exposes the receiver-side delay estimates.
+func (r *Receiver) Estimates() *Estimates { return r.Tracker.Estimates() }
+
+// Close is fin_em for the receiver.
+func (r *Receiver) Close() { r.Tracker.Stop() }
+
+// StreamWriter is the write surface legacy applications program against;
+// both a raw socket and an ELEMENT-wrapped socket satisfy it, which is the
+// simulator's equivalent of LD_PRELOAD interposition: the application code
+// is identical either way.
+type StreamWriter interface {
+	Write(p *sim.Proc, n int) int
+}
+
+// StreamReader is the read surface legacy applications program against.
+type StreamReader interface {
+	Read(p *sim.Proc, max int) int
+}
+
+// Interposed adapts an ELEMENT Sender to the plain socket Write signature,
+// transparently running the trackers and the latency-minimization
+// algorithm underneath — the dynamic-binding deployment of §4.5.
+type Interposed struct{ S *Sender }
+
+// Write implements StreamWriter.
+func (w Interposed) Write(p *sim.Proc, n int) int { return w.S.Send(p, n).Size }
+
+// InterposedReader adapts an ELEMENT Receiver to the plain Read signature.
+type InterposedReader struct{ R *Receiver }
+
+// Read implements StreamReader.
+func (r InterposedReader) Read(p *sim.Proc, max int) int { return r.R.Read(p, max).Size }
+
+// Interfaces are satisfied by the raw sockets too.
+var (
+	_ StreamWriter = (*stack.Socket)(nil)
+	_ StreamReader = (*stack.Socket)(nil)
+	_ StreamWriter = Interposed{}
+	_ StreamReader = InterposedReader{}
+)

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"element/internal/cc"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/units"
+)
+
+// onOffController is a deliberately crude custom strategy: hard on/off
+// pacing at a delay threshold — enough to prove the plug-in surface works.
+type onOffController struct {
+	thresh    units.Duration
+	throttled bool
+	samples   int
+	paces     int
+}
+
+func (c *onOffController) OnDelay(d units.Duration) {
+	c.samples++
+	c.throttled = d > c.thresh
+}
+
+func (c *onOffController) AfterSend(p *sim.Proc, cumWritten uint64) {
+	if c.throttled {
+		c.paces++
+		p.Sleep(5 * units.Millisecond)
+	}
+}
+
+func TestCustomControllerPluggable(t *testing.T) {
+	eng := sim.New(61)
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+		Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+	})
+	net := stack.NewNet(eng, path)
+	conn := stack.Dial(net, stack.ConnConfig{CC: cc.KindCubic})
+	ctrl := &onOffController{thresh: 50 * units.Millisecond}
+	snd := AttachSender(eng, conn.Sender, Options{Controller: ctrl})
+	eng.Spawn("w", func(p *sim.Proc) {
+		for snd.Send(p, 16<<10).Size > 0 {
+		}
+	})
+	eng.Spawn("r", func(p *sim.Proc) {
+		for conn.Receiver.Read(p, 1<<20) > 0 {
+		}
+	})
+	eng.RunUntil(units.Time(20 * units.Second))
+	eng.Shutdown()
+	if ctrl.samples == 0 {
+		t.Fatal("controller received no delay samples")
+	}
+	if ctrl.paces == 0 {
+		t.Fatal("controller never paced despite bufferbloat")
+	}
+	if snd.Min != nil {
+		t.Fatal("default minimizer attached alongside custom controller")
+	}
+}
+
+func TestMinimizeAndControllerMutuallyExclusive(t *testing.T) {
+	eng := sim.New(62)
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+		Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+	})
+	net := stack.NewNet(eng, path)
+	conn := stack.Dial(net, stack.ConnConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	AttachSender(eng, conn.Sender, Options{Minimize: true, Controller: &onOffController{}})
+}

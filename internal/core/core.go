@@ -1,0 +1,138 @@
+// Package core implements ELEMENT, the paper's primary contribution: a
+// user-level framework that decomposes end-to-end TCP latency into endhost
+// and network delays, and a latency-minimization algorithm built on it.
+//
+// ELEMENT runs entirely above the socket API. Its only inputs are
+//
+//   - getsockopt(TCP_INFO) snapshots (tcpinfo.TCPInfo), polled every
+//     Interval (10 ms by default), and
+//   - the byte counts and timestamps of the application's own socket
+//     write/read calls,
+//
+// exactly mirroring the real system, which needs no admin privileges. The
+// three algorithms are faithful transcriptions of the paper's pseudo-code:
+//
+//   - Algorithm 1 (SenderTracker): estimate the bytes that have left the
+//     TCP layer as B_est = tcpi_bytes_acked + tcpi_unacked·tcpi_snd_mss and
+//     match them against a FIFO list of (cumulative written bytes, time)
+//     records; the time difference is the send-buffer delay.
+//   - Algorithm 2 (ReceiverTracker): estimate the bytes received at the TCP
+//     layer as B_est = tcpi_segs_in·tcpi_rcv_mss, record (B_est, time) when
+//     it grows, and match application reads against the records; the time
+//     difference is the receive-side delay.
+//   - Algorithm 3 (Minimizer): application-level pacing that keeps just
+//     enough data in the send buffer, see minimize.go.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"element/internal/stats"
+	"element/internal/tcpinfo"
+	"element/internal/units"
+)
+
+// DefaultInterval is the paper's default tcp_info polling period P.
+const DefaultInterval = 10 * units.Millisecond
+
+// InfoSource is the slice of the socket surface ELEMENT is allowed to see:
+// TCP_INFO polling and buffer-size control. *stack.Socket implements it; so
+// can any recording fake in tests.
+type InfoSource interface {
+	// GetsockoptTCPInfo returns the current TCP_INFO snapshot.
+	GetsockoptTCPInfo() tcpinfo.TCPInfo
+	// SetSndBuf adjusts the send buffer (setsockopt(SO_SNDBUF)); the
+	// minimizer uses it on wireless senders (Algorithm 3, γ step).
+	SetSndBuf(bytes int)
+}
+
+// record is one entry of the paper's linked list: a cumulative byte count
+// and the time it was observed.
+type record struct {
+	bytes uint64
+	at    units.Time
+}
+
+// fifo is the paper's singly-linked list, backed by a slice.
+type fifo struct {
+	items []record
+	head  int
+}
+
+func (f *fifo) push(r record) { f.items = append(f.items, r) }
+
+func (f *fifo) empty() bool { return f.head >= len(f.items) }
+
+func (f *fifo) front() record { return f.items[f.head] }
+
+func (f *fifo) pop() record {
+	r := f.items[f.head]
+	f.items[f.head] = record{}
+	f.head++
+	if f.head > 128 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return r
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+// Measurement is what ELEMENT reports alongside each delay sample — the
+// columns the paper's trackers print (elapsed time, delay, cwnd, ssthresh,
+// rtt).
+type Measurement struct {
+	At       units.Time
+	Delay    units.Duration
+	Cwnd     int
+	Ssthresh int
+	RTT      units.Duration
+}
+
+// Estimates holds a tracker's output series.
+type Estimates struct {
+	samples stats.Series
+	log     []Measurement
+}
+
+func (e *Estimates) add(m Measurement, bytes int) {
+	e.samples = append(e.samples, stats.Sample{At: m.At, Delay: m.Delay, Bytes: bytes})
+	e.log = append(e.log, m)
+}
+
+// Series returns the delay estimates as a stats series.
+func (e *Estimates) Series() stats.Series { return e.samples }
+
+// Log returns the full measurement log.
+func (e *Estimates) Log() []Measurement { return e.log }
+
+// Latest returns the most recent measurement (zero value if none).
+func (e *Estimates) Latest() Measurement {
+	if len(e.log) == 0 {
+		return Measurement{}
+	}
+	return e.log[len(e.log)-1]
+}
+
+// WriteTo dumps the measurement log in the columns the paper's trackers
+// print — elapsed time, delay, cwnd, ssthresh, rtt — one line per sample
+// ("recorded into output files", §3.2). It implements io.WriterTo.
+func (e *Estimates) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintln(w, "# t_seconds\tdelay_seconds\tcwnd_segs\tssthresh_segs\trtt_seconds")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, m := range e.log {
+		n, err := fmt.Fprintf(w, "%.6f\t%.6f\t%d\t%d\t%.6f\n",
+			m.At.Seconds(), m.Delay.Seconds(), m.Cwnd, m.Ssthresh, m.RTT.Seconds())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// Algorithm 3 parameter defaults, exactly the values the paper reports
+// (§4.4: Δ=0.25, β=2.1, γ=1.1, δ=8, λ=1.5, D_thr=25 ms).
+const (
+	DefaultDthr      = 25 * units.Millisecond
+	DefaultDelta     = 0.25
+	DefaultBeta      = 2.1
+	DefaultGamma     = 1.1
+	DefaultMaxSleeps = 8
+	DefaultLambda    = 1.5
+)
+
+// MinimizerConfig tunes Algorithm 3. Zero values select the paper's
+// defaults.
+type MinimizerConfig struct {
+	// Dthr is the delay threshold the rate control aims for.
+	Dthr units.Duration
+	// Delta is the smoothing exponent Δ in (D_avg/D_thr)^Δ.
+	Delta float64
+	// Beta caps the target at β·cwnd·mss.
+	Beta float64
+	// Gamma scales the socket buffer on wireless senders (S_target·γ).
+	Gamma float64
+	// MaxSleeps is δ, the sleep-count limit per write call.
+	MaxSleeps int
+	// Lambda is λ: the i-th sleep lasts i^λ milliseconds.
+	Lambda float64
+	// Wireless enables the setsockopt(SO_SNDBUF) step for LTE/WiFi
+	// senders.
+	Wireless bool
+}
+
+func (c MinimizerConfig) withDefaults() MinimizerConfig {
+	if c.Dthr == 0 {
+		c.Dthr = DefaultDthr
+	}
+	if c.Delta == 0 {
+		c.Delta = DefaultDelta
+	}
+	if c.Beta == 0 {
+		c.Beta = DefaultBeta
+	}
+	if c.Gamma == 0 {
+		c.Gamma = DefaultGamma
+	}
+	if c.MaxSleeps == 0 {
+		c.MaxSleeps = DefaultMaxSleeps
+	}
+	if c.Lambda == 0 {
+		c.Lambda = DefaultLambda
+	}
+	return c
+}
+
+// Minimizer implements Algorithm 3, ELEMENT's default latency-minimization
+// algorithm for legacy TCP applications: keep an EWMA of the send-buffer
+// delay, periodically (once per SRTT) rescale the target amount of data
+// allowed to sit in the send buffer, and pace the application by sleeping
+// after writes while the estimated buffered amount exceeds the target.
+//
+// As the paper notes, this is an application-layer analogue of FAST TCP's
+// equilibrium law: S_target = min(β·cwnd·mss, (D_thr/D_avg)^Δ·S_target).
+type Minimizer struct {
+	eng     *sim.Engine
+	src     InfoSource
+	tracker *SenderTracker
+	cfg     MinimizerConfig
+
+	davg    units.Duration // D_avg, EWMA of measured buffer delay
+	starget float64        // S_target, bytes
+	tlast   units.Time
+	ticker  *sim.Timer
+	stopped bool
+
+	// Instrumentation.
+	sleeps     int
+	sleepTotal units.Duration
+	updates    int
+}
+
+// NewMinimizer attaches Algorithm 3 to a sender tracker. It subscribes to
+// the tracker's delay samples (D_measure) and starts the checking thread.
+func NewMinimizer(eng *sim.Engine, src InfoSource, tracker *SenderTracker, cfg MinimizerConfig) *Minimizer {
+	m := &Minimizer{eng: eng, src: src, tracker: tracker, cfg: cfg.withDefaults()}
+	tracker.subscribe(m.onDelay)
+	m.schedule()
+	return m
+}
+
+// onDelay folds a new buffer-delay measurement into D_avg:
+// D_avg ← 7/8·D_avg + 1/8·D_measure.
+func (m *Minimizer) onDelay(d units.Duration) {
+	if m.davg == 0 {
+		m.davg = d
+		return
+	}
+	m.davg = m.davg*7/8 + d/8
+}
+
+// schedule runs the checking thread at the tracker's cadence; each tick
+// applies the per-SRTT target update when due.
+func (m *Minimizer) schedule() {
+	m.ticker = m.eng.Schedule(m.tracker.interval, func() {
+		if m.stopped {
+			return
+		}
+		m.check()
+		m.schedule()
+	})
+}
+
+// check is one pass of Algorithm 3's checking thread.
+func (m *Minimizer) check() {
+	ti := m.src.GetsockoptTCPInfo()
+	srtt := ti.RTT
+	if srtt <= 0 {
+		srtt = m.tracker.interval
+	}
+	if m.eng.Now().Sub(m.tlast) <= srtt {
+		return
+	}
+	if m.davg == 0 {
+		return // no measurements yet
+	}
+	if m.starget == 0 {
+		// Seed with the send buffer size obtained by getsockopt.
+		m.starget = float64(ti.SndBuf)
+	}
+	ratio := math.Pow(m.davg.Seconds()/m.cfg.Dthr.Seconds(), m.cfg.Delta)
+	if ratio > 0 {
+		m.starget /= ratio
+	}
+	if cap := m.cfg.Beta * float64(ti.SndCwnd*ti.SndMSS); m.starget > cap {
+		m.starget = cap
+	}
+	// Practical floor: at least one segment may always be buffered,
+	// otherwise the pacing loop can deadlock against its own estimate.
+	if min := float64(ti.SndMSS); m.starget < min {
+		m.starget = min
+	}
+	m.tlast = m.eng.Now()
+	m.updates++
+	if m.cfg.Wireless {
+		m.src.SetSndBuf(int(m.starget * m.cfg.Gamma))
+	}
+}
+
+// AfterSend is the pacing step run after each application send: sleep (up
+// to δ times, the i-th sleep lasting i^λ ms) while the amount estimated to
+// sit in the send buffer exceeds S_target. It must run on the writing
+// process.
+//
+// The estimate B_est is recomputed from a fresh TCP_INFO snapshot at every
+// loop iteration rather than from the tracker's 10 ms-stale cache: at high
+// bandwidth more than a full S_target can drain between tracker polls, and
+// pacing against the stale value would starve the TCP layer into
+// app-limited bursts (losing throughput, the opposite of the algorithm's
+// intent). Algorithm 3's pseudo-code reads the "current estimated sent
+// bytes at the TCP layer" at this point.
+func (m *Minimizer) AfterSend(p *sim.Proc, cumWritten uint64) {
+	if m.starget == 0 {
+		return // not calibrated yet
+	}
+	cnt := 0
+	for {
+		ti := m.src.GetsockoptTCPInfo()
+		best := ti.BytesAcked + uint64(ti.Unacked*ti.SndMSS)
+		buffered := float64(0)
+		if cumWritten > best {
+			buffered = float64(cumWritten - best)
+		}
+		if cnt > m.cfg.MaxSleeps || buffered <= m.starget {
+			return
+		}
+		cnt++
+		d := units.DurationFromSeconds(math.Pow(float64(cnt), m.cfg.Lambda) / 1000)
+		m.sleeps++
+		m.sleepTotal += d
+		p.Sleep(d)
+	}
+}
+
+// Target reports the current S_target in bytes.
+func (m *Minimizer) Target() int { return int(m.starget) }
+
+// AvgDelay reports the current D_avg.
+func (m *Minimizer) AvgDelay() units.Duration { return m.davg }
+
+// Sleeps reports how many pacing sleeps have been taken and their total
+// duration.
+func (m *Minimizer) Sleeps() (int, units.Duration) { return m.sleeps, m.sleepTotal }
+
+// Updates reports how many per-SRTT target updates have run.
+func (m *Minimizer) Updates() int { return m.updates }
+
+// Stop halts the checking thread.
+func (m *Minimizer) Stop() {
+	m.stopped = true
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}

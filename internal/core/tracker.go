@@ -1,0 +1,185 @@
+package core
+
+import (
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// SenderTracker implements Algorithm 1: user-level estimation of the delay
+// between the application's socket write and the TCP layer's transmission,
+// using only TCP_INFO statistics.
+type SenderTracker struct {
+	eng      *sim.Engine
+	src      InfoSource
+	interval units.Duration
+
+	list      fifo // (cumulative written bytes, write time), the paper's linked list
+	est       Estimates
+	lastBest  uint64
+	ticker    *sim.Timer
+	stopped   bool
+	onDelay   func(d units.Duration) // minimizer subscription
+	bestCache uint64                 // latest B_est, exposed for Algorithm 3
+	polls     int
+}
+
+// NewSenderTracker starts Algorithm 1's tcp_info tracking thread on eng.
+// interval = 0 uses the paper's 10 ms default.
+func NewSenderTracker(eng *sim.Engine, src InfoSource, interval units.Duration) *SenderTracker {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	t := &SenderTracker{eng: eng, src: src, interval: interval}
+	t.schedule()
+	return t
+}
+
+func (t *SenderTracker) schedule() {
+	t.ticker = t.eng.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.poll()
+		t.schedule()
+	})
+}
+
+// OnWrite is the data-sending-thread half of Algorithm 1: the application
+// wrapper calls it after every socket write with the cumulative number of
+// bytes written (seq).
+func (t *SenderTracker) OnWrite(cumBytes uint64) {
+	t.list.push(record{bytes: cumBytes, at: t.eng.Now()})
+}
+
+// poll is one iteration of the tcp_info tracking thread: estimate the bytes
+// that have left the TCP layer and emit a delay sample for every write
+// record at or below the estimate.
+func (t *SenderTracker) poll() {
+	t.polls++
+	ti := t.src.GetsockoptTCPInfo()
+	// B_est = tcpi_bytes_acked + tcpi_unacked * tcpi_snd_mss.
+	best := ti.BytesAcked + uint64(ti.Unacked*ti.SndMSS)
+	t.bestCache = best
+	now := t.eng.Now()
+	for !t.list.empty() && t.list.front().bytes <= best {
+		r := t.list.pop()
+		d := now.Sub(r.at)
+		t.est.add(Measurement{
+			At: now, Delay: d, Cwnd: ti.SndCwnd, Ssthresh: ti.SndSsthresh, RTT: ti.RTT,
+		}, int(r.bytes-t.lastBest))
+		t.lastBest = r.bytes
+		if t.onDelay != nil {
+			t.onDelay(d)
+		}
+	}
+}
+
+// EstimatedTCPBytes reports the latest B_est (Algorithm 3 reads it after
+// each send).
+func (t *SenderTracker) EstimatedTCPBytes() uint64 { return t.bestCache }
+
+// PollOnce runs a single tracking-thread iteration immediately. It exists
+// for micro-benchmarks and tests that drive the tracker manually.
+func (t *SenderTracker) PollOnce() { t.poll() }
+
+// Estimates exposes the tracker's delay series.
+func (t *SenderTracker) Estimates() *Estimates { return &t.est }
+
+// Polls reports how many TCP_INFO polls have run (overhead accounting).
+func (t *SenderTracker) Polls() int { return t.polls }
+
+// Pending reports the number of unmatched write records.
+func (t *SenderTracker) Pending() int { return t.list.len() }
+
+// Stop halts the tracking thread.
+func (t *SenderTracker) Stop() {
+	t.stopped = true
+	if t.ticker != nil {
+		t.ticker.Stop()
+	}
+}
+
+// subscribe registers the minimizer's delay callback.
+func (t *SenderTracker) subscribe(fn func(units.Duration)) { t.onDelay = fn }
+
+// ReceiverTracker implements Algorithm 2: user-level estimation of the
+// delay between TCP receiving data and the application reading it.
+type ReceiverTracker struct {
+	eng      *sim.Engine
+	src      InfoSource
+	interval units.Duration
+
+	list    fifo // (estimated received bytes at TCP, time)
+	est     Estimates
+	prev    uint64 // B_prev
+	ticker  *sim.Timer
+	stopped bool
+	polls   int
+}
+
+// NewReceiverTracker starts Algorithm 2's tcp_info tracking thread.
+func NewReceiverTracker(eng *sim.Engine, src InfoSource, interval units.Duration) *ReceiverTracker {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	t := &ReceiverTracker{eng: eng, src: src, interval: interval}
+	t.schedule()
+	return t
+}
+
+func (t *ReceiverTracker) schedule() {
+	t.ticker = t.eng.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.poll()
+		t.schedule()
+	})
+}
+
+// poll is one iteration of the tcp_info tracking thread: record the
+// estimated bytes received at the TCP layer whenever the estimate grows.
+func (t *ReceiverTracker) poll() {
+	t.polls++
+	ti := t.src.GetsockoptTCPInfo()
+	// B_est = tcpi_segs_in * tcpi_rcv_mss.
+	best := uint64(ti.SegsIn) * uint64(ti.RcvMSS)
+	if best > t.prev {
+		t.prev = best
+		t.list.push(record{bytes: best, at: t.eng.Now()})
+	}
+}
+
+// OnRead is the data-receiving-thread half of Algorithm 2: the wrapper
+// calls it after every socket read with the cumulative bytes read (seq).
+// Records below seq are discarded; the first record at or above seq (the
+// one covering the just-read byte) yields the delay sample.
+func (t *ReceiverTracker) OnRead(cumBytes uint64, readBytes int) {
+	now := t.eng.Now()
+	for !t.list.empty() {
+		if t.list.front().bytes <= cumBytes {
+			t.list.pop()
+			continue
+		}
+		r := t.list.front()
+		ti := t.src.GetsockoptTCPInfo()
+		t.est.add(Measurement{
+			At: now, Delay: now.Sub(r.at), Cwnd: ti.SndCwnd, Ssthresh: ti.SndSsthresh, RTT: ti.RTT,
+		}, readBytes)
+		break
+	}
+}
+
+// Estimates exposes the tracker's delay series.
+func (t *ReceiverTracker) Estimates() *Estimates { return &t.est }
+
+// Polls reports how many TCP_INFO polls have run.
+func (t *ReceiverTracker) Polls() int { return t.polls }
+
+// Stop halts the tracking thread.
+func (t *ReceiverTracker) Stop() {
+	t.stopped = true
+	if t.ticker != nil {
+		t.ticker.Stop()
+	}
+}

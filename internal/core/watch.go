@@ -1,0 +1,80 @@
+package core
+
+import (
+	"element/internal/units"
+)
+
+// This file implements the event-driven interface the paper sketches in
+// §7 ("jitter-sensitive applications will benefit from an event-driven
+// interface like select(): the application can then react as soon as the
+// jitter exceeds a given threshold") — a forward-looking feature of the
+// framework rather than part of the evaluated core.
+
+// Event is a threshold-crossing notification from a Watcher.
+type Event struct {
+	At units.Time
+	// Delay is the measurement that triggered the event.
+	Delay units.Duration
+	// Jitter is the absolute delay change versus the previous sample.
+	Jitter units.Duration
+}
+
+// Watcher delivers callbacks when the sender-side buffer delay (or its
+// jitter) exceeds application-set thresholds. Callbacks run in simulation
+// event context and must not block; an application process typically uses
+// them to signal a condition variable it waits on.
+type Watcher struct {
+	delayThresh  units.Duration
+	jitterThresh units.Duration
+	onDelay      func(Event)
+	onJitter     func(Event)
+
+	prev    units.Duration
+	prevSet bool
+	fired   int
+}
+
+// Watch attaches a watcher to an ELEMENT sender. Zero thresholds disable
+// the respective notification.
+func (s *Sender) Watch(delayThresh, jitterThresh units.Duration, onDelay, onJitter func(Event)) *Watcher {
+	w := &Watcher{
+		delayThresh:  delayThresh,
+		jitterThresh: jitterThresh,
+		onDelay:      onDelay,
+		onJitter:     onJitter,
+	}
+	prevHook := s.Tracker.onDelay
+	s.Tracker.subscribe(func(d units.Duration) {
+		if prevHook != nil {
+			prevHook(d) // keep the minimizer (or earlier watchers) fed
+		}
+		w.observe(s.eng.Now(), d)
+	})
+	return w
+}
+
+// observe feeds one delay sample through the threshold logic.
+func (w *Watcher) observe(now units.Time, d units.Duration) {
+	var jitter units.Duration
+	if w.prevSet {
+		jitter = d - w.prev
+		if jitter < 0 {
+			jitter = -jitter
+		}
+	}
+	w.prev = d
+	w.prevSet = true
+
+	ev := Event{At: now, Delay: d, Jitter: jitter}
+	if w.delayThresh > 0 && d > w.delayThresh && w.onDelay != nil {
+		w.fired++
+		w.onDelay(ev)
+	}
+	if w.jitterThresh > 0 && jitter > w.jitterThresh && w.onJitter != nil {
+		w.fired++
+		w.onJitter(ev)
+	}
+}
+
+// Fired reports how many notifications have been delivered.
+func (w *Watcher) Fired() int { return w.fired }

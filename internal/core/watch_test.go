@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"element/internal/cc"
+	"element/internal/units"
+)
+
+func TestWatcherDelayThreshold(t *testing.T) {
+	tb := newElementTestbed(21, 10*units.Mbps, 50*units.Millisecond, cc.KindCubic, false)
+	var events []Event
+	w := tb.snd.Watch(200*units.Millisecond, 0, func(e Event) { events = append(events, e) }, nil)
+	tb.eng.RunUntil(units.Time(30 * units.Second))
+	tb.eng.Shutdown()
+	if len(events) == 0 {
+		t.Fatal("no delay events despite bufferbloat")
+	}
+	for _, e := range events {
+		if e.Delay <= 200*units.Millisecond {
+			t.Fatalf("event below threshold: %v", e.Delay)
+		}
+	}
+	if w.Fired() != len(events) {
+		t.Fatalf("Fired = %d, events = %d", w.Fired(), len(events))
+	}
+}
+
+func TestWatcherJitterThreshold(t *testing.T) {
+	tb := newElementTestbed(22, 10*units.Mbps, 50*units.Millisecond, cc.KindCubic, false)
+	var jitters []Event
+	tb.snd.Watch(0, 100*units.Millisecond, nil, func(e Event) { jitters = append(jitters, e) })
+	tb.eng.RunUntil(units.Time(30 * units.Second))
+	tb.eng.Shutdown()
+	// Loss-driven sawtooth produces >100ms delay jumps at least sometimes.
+	if len(jitters) == 0 {
+		t.Fatal("no jitter events across the sawtooth")
+	}
+	for _, e := range jitters {
+		if e.Jitter <= 100*units.Millisecond {
+			t.Fatalf("jitter event below threshold: %v", e.Jitter)
+		}
+	}
+}
+
+func TestWatcherCoexistsWithMinimizer(t *testing.T) {
+	// Watch must chain, not replace, the minimizer's delay subscription.
+	tb := newElementTestbed(23, 10*units.Mbps, 50*units.Millisecond, cc.KindCubic, true)
+	tb.snd.Watch(units.Millisecond, 0, func(Event) {}, nil)
+	tb.eng.RunUntil(units.Time(20 * units.Second))
+	tb.eng.Shutdown()
+	if tb.snd.Min.AvgDelay() == 0 {
+		t.Fatal("minimizer stopped receiving delay samples after Watch")
+	}
+	if sleeps, _ := tb.snd.Min.Sleeps(); sleeps == 0 {
+		t.Fatal("minimizer stopped pacing after Watch")
+	}
+}

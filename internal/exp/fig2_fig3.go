@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"element/internal/aqm"
+	"element/internal/netem"
+	"element/internal/units"
+)
+
+// Fig2 reproduces Figure 2: the delay composition of one representative TCP
+// Cubic flow among three, over a 10 Mbps / 25 ms one-way-delay path with the
+// default pfifo_fast queue and send-buffer auto-tuning. The paper's
+// observation: the sender's system delay dominates a multi-second total.
+func Fig2(seed int64, duration units.Duration) *Result {
+	if duration == 0 {
+		duration = 60 * units.Second
+	}
+	s := RunScenario(ScenarioConfig{
+		Seed: seed,
+		Rate: 10 * units.Mbps,
+		RTT:  50 * units.Millisecond, // 25 ms one-way
+		Disc: aqm.KindFIFO,
+		// Deep default buffer (Linux txqueuelen 1000): §2's point is what
+		// stock, untuned components do to latency.
+		Duration: duration,
+		Flows:    []FlowSpec{{}, {}, {}}, // default CC is cubic
+	})
+	f := s.Flows[0]
+	snd := f.GT.SenderDelay().Mean().Seconds()
+	net := f.GT.NetworkDelay().Mean().Seconds()
+	rcv := f.GT.ReceiverDelay().Mean().Seconds()
+	res := &Result{
+		ID:     "fig2",
+		Title:  "Delay composition of a TCP Cubic flow (pfifo_fast, 10 Mbps, 25 ms OWD, 3 flows)",
+		Header: []string{"component", "mean delay (ms)"},
+		Rows: [][]string{
+			{"sender system delay", fmtMS(snd)},
+			{"network delay", fmtMS(net)},
+			{"receiver system delay", fmtMS(rcv)},
+			{"total", fmtMS(snd + net + rcv)},
+		},
+		Notes: []string{
+			"paper shape: sender ≫ network ≥ receiver; total O(seconds)",
+			fmt.Sprintf("BDP is only ≈44 packets; measured total corresponds to %.0f packets buffered",
+				(snd+net+rcv)*10e6/8/1500),
+		},
+	}
+	return res
+}
+
+// Fig3Networks are the five network columns of Figure 3.
+var Fig3Networks = []struct {
+	Name    string
+	Profile netem.Profile
+	ECN     bool
+}{
+	{"wired-low-bw", netem.WiredLowBW, false},
+	{"wired-low-bw+ecn", netem.WiredLowBW, true},
+	{"wired-high-bw", netem.WiredHighBW, false},
+	{"wifi", netem.WiFi, false},
+	{"lte", netem.LTE, false},
+}
+
+// Fig3 reproduces Figure 3: delay composition for each queueing discipline
+// (pfifo_fast, CoDel, FQ-CoDel, PIE) across the five networks, three Cubic
+// flows each. The paper's point: AQM cuts the network delay but the endhost
+// system delay remains.
+func Fig3(seed int64, duration units.Duration) *Result {
+	if duration == 0 {
+		duration = 40 * units.Second
+	}
+	res := &Result{
+		ID:     "fig3",
+		Title:  "Delay composition per qdisc and network (ms), 3 Cubic flows",
+		Header: []string{"network", "qdisc", "sender (ms)", "network (ms)", "receiver (ms)"},
+		Notes: []string{
+			"paper shape: CoDel/FQ-CoDel/PIE shrink the network column, the sender column stays large",
+		},
+	}
+	for _, nw := range Fig3Networks {
+		for _, disc := range aqm.AllKinds {
+			prof := nw.Profile
+			s := RunScenario(ScenarioConfig{
+				Seed:     seed,
+				Profile:  &prof,
+				Disc:     disc,
+				ECN:      nw.ECN,
+				Duration: duration,
+				Flows:    []FlowSpec{{}, {}, {}},
+			})
+			f := s.Flows[0]
+			res.Rows = append(res.Rows, []string{
+				nw.Name,
+				string(disc),
+				fmtMS(f.GT.SenderDelay().Mean().Seconds()),
+				fmtMS(f.GT.NetworkDelay().Mean().Seconds()),
+				fmtMS(f.GT.ReceiverDelay().Mean().Seconds()),
+			})
+		}
+	}
+	return res
+}

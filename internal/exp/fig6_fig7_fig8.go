@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+
+	"element/internal/aqm"
+	"element/internal/netem"
+	"element/internal/stats"
+	"element/internal/units"
+)
+
+// accuracyRun runs a single Cubic flow with ELEMENT and ground truth on the
+// given scenario and returns the estimation-error samples for the sender
+// and receiver sides, plus the raw series.
+type accuracyRun struct {
+	SndEst, SndTruth stats.Series
+	RcvEst, RcvTruth stats.Series
+}
+
+// errorCDF computes |estimate − interpolated truth| per estimate, the
+// quantity plotted in Figures 6c, 7 and 8.
+func (a *accuracyRun) errorCDF(est, truth stats.Series) stats.CDF {
+	var errs []units.Duration
+	for _, s := range est {
+		gt, ok := truth.At(s.At)
+		if !ok {
+			continue
+		}
+		d := s.Delay - gt
+		if d < 0 {
+			d = -d
+		}
+		errs = append(errs, d)
+	}
+	return stats.NewCDF(errs)
+}
+
+func runAccuracy(cfg ScenarioConfig) *accuracyRun {
+	cfg.Flows = []FlowSpec{{Element: true}}
+	s := RunScenario(cfg)
+	f := s.Flows[0]
+	return &accuracyRun{
+		SndEst:   f.Sender.Estimates().Series(),
+		SndTruth: f.GT.SenderDelay(),
+		RcvEst:   f.Receiver.Estimates().Series(),
+		RcvTruth: f.GT.ReceiverDelay(),
+	}
+}
+
+// Fig6 reproduces Figure 6: ELEMENT's sender and receiver delay estimates
+// over time against ground truth on a 10 Mbps / 50 ms RTT Cubic flow, plus
+// the error CDF.
+func Fig6(seed int64, duration units.Duration) *Result {
+	if duration == 0 {
+		duration = 40 * units.Second
+	}
+	a := runAccuracy(ScenarioConfig{
+		Seed: seed, Rate: 10 * units.Mbps, RTT: 50 * units.Millisecond,
+		Disc: aqm.KindFIFO, QueuePackets: wanQueuePackets, Duration: duration,
+	})
+	res := &Result{
+		ID:     "fig6",
+		Title:  "Ground truth vs ELEMENT delay estimates (10 Mbps, 50 ms RTT, Cubic)",
+		Header: []string{"series", "samples", "mean (ms)", "stdev (ms)"},
+		Rows: [][]string{
+			{"sender ELEMENT", fmt.Sprint(len(a.SndEst)), fmtMS(a.SndEst.Mean().Seconds()), fmtMS(a.SndEst.Stdev().Seconds())},
+			{"sender actual", fmt.Sprint(len(a.SndTruth)), fmtMS(a.SndTruth.Mean().Seconds()), fmtMS(a.SndTruth.Stdev().Seconds())},
+			{"receiver ELEMENT", fmt.Sprint(len(a.RcvEst)), fmtMS(a.RcvEst.Mean().Seconds()), fmtMS(a.RcvEst.Stdev().Seconds())},
+			{"receiver actual", fmt.Sprint(len(a.RcvTruth)), fmtMS(a.RcvTruth.Mean().Seconds()), fmtMS(a.RcvTruth.Stdev().Seconds())},
+		},
+	}
+	res.Series = append(res.Series,
+		timeSeries("sender ELEMENT (s)", a.SndEst),
+		timeSeries("sender actual (s)", a.SndTruth),
+		cdfSeries("sender error CDF", a.errorCDF(a.SndEst, a.SndTruth)),
+		cdfSeries("receiver error CDF", a.errorCDF(a.RcvEst, a.RcvTruth)),
+	)
+	sndCDF := a.errorCDF(a.SndEst, a.SndTruth)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("sender: %.0f%% of estimates within 100 ms of ground truth",
+			100*sndCDF.FractionBelow(100*units.Millisecond)),
+		"paper shape: estimates track the sawtooth; >90% accuracy",
+	)
+	return res
+}
+
+func timeSeries(name string, s stats.Series) Series {
+	pts := make([][2]float64, 0, len(s))
+	for _, x := range s {
+		pts = append(pts, [2]float64{x.At.Seconds(), x.Delay.Seconds()})
+	}
+	return Series{Name: name, XLabel: "time (s)", YLabel: "delay (s)", Points: pts}
+}
+
+func cdfSeries(name string, c stats.CDF) Series {
+	return Series{Name: name, XLabel: "error (s)", YLabel: "CDF", Points: c.Points(24)}
+}
+
+// Fig7 reproduces Figure 7: estimation-error CDFs across bandwidths
+// (a–d: 30/50/100/200 Mbps at 50 ms), RTTs (e–h: 10/100/150/200 ms at
+// 10 Mbps), and production networks (i–l: LAN, cable, WiFi, LTE).
+func Fig7(seed int64, duration units.Duration) *Result {
+	if duration == 0 {
+		duration = 30 * units.Second
+	}
+	res := &Result{
+		ID:     "fig7",
+		Title:  "ELEMENT estimation-error CDF summary across environments",
+		Header: []string{"environment", "snd p50 err (ms)", "snd p90 err (ms)", "rcv p50 err (ms)", "rcv p90 err (ms)", "snd ≤100ms (%)"},
+		Notes: []string{
+			"paper shape: ≥90% sender accuracy everywhere, better at higher bandwidth; receiver ≈95%",
+		},
+	}
+	addRow := func(name string, a *accuracyRun) {
+		sc := a.errorCDF(a.SndEst, a.SndTruth)
+		rc := a.errorCDF(a.RcvEst, a.RcvTruth)
+		res.Rows = append(res.Rows, []string{
+			name,
+			fmtMS(sc.Percentile(50).Seconds()),
+			fmtMS(sc.Percentile(90).Seconds()),
+			fmtMS(rc.Percentile(50).Seconds()),
+			fmtMS(rc.Percentile(90).Seconds()),
+			fmt.Sprintf("%.0f", 100*sc.FractionBelow(100*units.Millisecond)),
+		})
+	}
+	// (a–d) bandwidth sweep at 50 ms RTT.
+	for _, bw := range []units.Rate{30 * units.Mbps, 50 * units.Mbps, 100 * units.Mbps, 200 * units.Mbps} {
+		a := runAccuracy(ScenarioConfig{
+			Seed: seed, Rate: bw, RTT: 50 * units.Millisecond, Disc: aqm.KindFIFO, QueuePackets: wanQueueFor(bw), Duration: duration,
+		})
+		addRow(fmt.Sprintf("%v @ 50ms", bw), a)
+	}
+	// (e–h) RTT sweep at 10 Mbps.
+	for _, rtt := range []units.Duration{10 * units.Millisecond, 100 * units.Millisecond, 150 * units.Millisecond, 200 * units.Millisecond} {
+		a := runAccuracy(ScenarioConfig{
+			Seed: seed + 1, Rate: 10 * units.Mbps, RTT: rtt, Disc: aqm.KindFIFO, QueuePackets: wanQueuePackets, Duration: duration,
+		})
+		addRow(fmt.Sprintf("10Mbps @ %v", rtt), a)
+	}
+	// (i–l) production networks.
+	for _, prof := range []netem.Profile{netem.LAN, netem.Cable, netem.WiFi, netem.LTE} {
+		p := prof
+		a := runAccuracy(ScenarioConfig{
+			Seed: seed + 2, Profile: &p, Disc: aqm.KindFIFO, Duration: duration,
+		})
+		addRow(p.Name, a)
+	}
+	return res
+}
+
+// Fig8 reproduces Figure 8: estimation accuracy under (a) bandwidth
+// oscillating 10↔50 Mbps every 20 s and (b) three background flows joining
+// every 20 s.
+func Fig8(seed int64, duration units.Duration) *Result {
+	if duration == 0 {
+		duration = 80 * units.Second
+	}
+	res := &Result{
+		ID:     "fig8",
+		Title:  "ELEMENT estimation error under network dynamics",
+		Header: []string{"scenario", "snd p50 err (ms)", "snd p90 err (ms)", "rcv p90 err (ms)", "snd ≤100ms (%)"},
+		Notes:  []string{"paper shape: accuracy holds under dynamics; slightly better with background traffic"},
+	}
+	addRow := func(name string, a *accuracyRun) {
+		sc := a.errorCDF(a.SndEst, a.SndTruth)
+		rc := a.errorCDF(a.RcvEst, a.RcvTruth)
+		res.Rows = append(res.Rows, []string{
+			name,
+			fmtMS(sc.Percentile(50).Seconds()),
+			fmtMS(sc.Percentile(90).Seconds()),
+			fmtMS(rc.Percentile(90).Seconds()),
+			fmt.Sprintf("%.0f", 100*sc.FractionBelow(100*units.Millisecond)),
+		})
+	}
+	// (a) dynamic bandwidth.
+	a := runAccuracy(ScenarioConfig{
+		Seed: seed, Rate: 10 * units.Mbps, RTT: 50 * units.Millisecond,
+		Disc: aqm.KindFIFO, QueuePackets: wanQueuePackets, Duration: duration,
+		DynamicBW: &DynamicBW{Low: 10 * units.Mbps, High: 50 * units.Mbps, Period: 20 * units.Second},
+	})
+	addRow("dynamic bandwidth 10↔50Mbps/20s", a)
+
+	// (b) background traffic: three extra flows starting at 20 s intervals.
+	cfg := ScenarioConfig{
+		Seed: seed + 1, Rate: 50 * units.Mbps, RTT: 50 * units.Millisecond,
+		Disc: aqm.KindFIFO, QueuePackets: wanQueueFor(50 * units.Mbps), Duration: duration,
+		Flows: []FlowSpec{
+			{Element: true},
+			{StartAt: 20 * units.Second},
+			{StartAt: 40 * units.Second},
+			{StartAt: 60 * units.Second},
+		},
+	}
+	s := RunScenario(cfg)
+	f := s.Flows[0]
+	b := &accuracyRun{
+		SndEst: f.Sender.Estimates().Series(), SndTruth: f.GT.SenderDelay(),
+		RcvEst: f.Receiver.Estimates().Series(), RcvTruth: f.GT.ReceiverDelay(),
+	}
+	addRow("background flows every 20s", b)
+	return res
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+
+	"element/internal/aqm"
+	"element/internal/units"
+)
+
+// Fig9 reproduces Figure 9: average throughput and relative delay for
+// fixed send-buffer sizes (0.25/0.5/1/2 MB), Linux auto-tuning, and
+// ELEMENT's algorithm, on a WAN-like path. "Relative delay" is the
+// end-to-end delay above the propagation floor, the quantity the paper
+// plots.
+//
+// Paper shape: no static size gets both high throughput and low delay;
+// ELEMENT gets both.
+func Fig9(seed int64, duration units.Duration) *Result {
+	if duration == 0 {
+		duration = 40 * units.Second
+	}
+	const rtt = 50 * units.Millisecond
+	run := func(spec FlowSpec) (tputBps float64, relDelay float64) {
+		s := RunScenario(ScenarioConfig{
+			Seed: seed, Rate: 100 * units.Mbps, RTT: rtt,
+			Disc: aqm.KindFIFO, QueuePackets: 200, Duration: duration,
+			Flows: []FlowSpec{spec},
+		})
+		f := s.Flows[0]
+		total := f.TotalDelay().Seconds()
+		return f.GoodputBps, total - (rtt / 2).Seconds()
+	}
+
+	res := &Result{
+		ID:     "fig9",
+		Title:  "Static buffer sizes vs auto-tuning vs ELEMENT (100 Mbps, 50 ms RTT)",
+		Header: []string{"configuration", "throughput (Mbps)", "relative delay (ms)"},
+		Notes: []string{
+			"paper shape: static sizes trade throughput for delay; ELEMENT achieves both",
+		},
+	}
+	for _, c := range []struct {
+		name string
+		spec FlowSpec
+	}{
+		{"0.25MB", FlowSpec{SndBuf: 256 << 10}},
+		{"0.5MB", FlowSpec{SndBuf: 512 << 10}},
+		{"1MB", FlowSpec{SndBuf: 1 << 20}},
+		{"2MB", FlowSpec{SndBuf: 2 << 20}},
+		{"auto-tuning", FlowSpec{}},
+		{"ELEMENT", FlowSpec{Minimize: true}},
+	} {
+		tput, rel := run(c.spec)
+		res.Rows = append(res.Rows, []string{c.name, fmtMbps(tput), fmtMS(rel)})
+	}
+	return res
+}
+
+// Fig10 reproduces Figure 10: the estimated amount of buffered data over
+// time for a Cubic flow with and without ELEMENT. The estimate is the one
+// ELEMENT itself computes (written − B_est); for the plain Cubic flow the
+// tracker runs in observation-only mode.
+func Fig10(seed int64, duration units.Duration) *Result {
+	if duration == 0 {
+		duration = 30 * units.Second
+	}
+	sample := func(minimize bool) [][2]float64 {
+		s := Build(ScenarioConfig{
+			Seed: seed, Rate: 100 * units.Mbps, RTT: 50 * units.Millisecond,
+			Disc: aqm.KindFIFO, QueuePackets: wanQueueFor(100 * units.Mbps), Duration: duration,
+			Flows: []FlowSpec{{Element: true, Minimize: minimize}},
+		})
+		var pts [][2]float64
+		var probe func()
+		probe = func() {
+			f := s.Flows[0]
+			pts = append(pts, [2]float64{
+				s.Eng.Now().Seconds(),
+				float64(f.Sender.BufferedEstimate()) / 1024, // KB
+			})
+			if s.Eng.Now() < units.Time(duration) {
+				s.Eng.Schedule(200*units.Millisecond, probe)
+			}
+		}
+		s.Eng.Schedule(0, probe)
+		s.Run()
+		return pts
+	}
+
+	alone := sample(false)
+	withEM := sample(true)
+	maxOf := func(pts [][2]float64) float64 {
+		m := 0.0
+		for _, p := range pts {
+			if p[1] > m {
+				m = p[1]
+			}
+		}
+		return m
+	}
+	res := &Result{
+		ID:     "fig10",
+		Title:  "Estimated buffered amount (KB) over time: Cubic vs Cubic+ELEMENT",
+		Header: []string{"flow", "max buffered (KB)", "final buffered (KB)"},
+		Rows: [][]string{
+			{"cubic alone", fmt.Sprintf("%.0f", maxOf(alone)), fmt.Sprintf("%.0f", alone[len(alone)-1][1])},
+			{"cubic+ELEMENT", fmt.Sprintf("%.0f", maxOf(withEM)), fmt.Sprintf("%.0f", withEM[len(withEM)-1][1])},
+		},
+		Series: []Series{
+			{Name: "cubic alone (KB)", XLabel: "time (s)", YLabel: "buffered (KB)", Points: alone},
+			{Name: "cubic+ELEMENT (KB)", XLabel: "time (s)", YLabel: "buffered (KB)", Points: withEM},
+		},
+		Notes: []string{
+			"paper shape: Cubic alone keeps MBs buffered; ELEMENT keeps the amount near the knee without emptying it",
+		},
+	}
+	return res
+}

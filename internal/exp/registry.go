@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"element/internal/units"
+)
+
+// Experiment is a runnable reproduction of one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment. duration 0 selects the default.
+	Run func(seed int64, duration units.Duration) *Result
+}
+
+// Registry maps experiment IDs to reproducers, in paper order.
+var Registry = []Experiment{
+	{"fig2", "Delay composition of a Cubic flow (pfifo_fast)", Fig2},
+	{"fig3", "Delay composition per qdisc × network", Fig3},
+	{"tab1", "ELEMENT vs TCP-based measurement tools", func(s int64, d units.Duration) *Result { return Table1(s, 0, d) }},
+	{"fig6", "Ground truth vs ELEMENT over time + error CDF", Fig6},
+	{"fig7", "Estimation-error CDFs across environments", Fig7},
+	{"fig8", "Estimation error under network dynamics", Fig8},
+	{"fig9", "Buffer sizing vs auto-tuning vs ELEMENT", Fig9},
+	{"fig10", "Estimated buffered amount over time", Fig10},
+	{"fig13", "Legacy iperf ± ELEMENT across bw × RTT", Fig13},
+	{"fig14", "Production networks ± ELEMENT", Fig14},
+	{"fig15", "Cubic/Vegas/BBR ± ELEMENT", Fig15},
+	{"fig16", "Sprout/Verus/ELEMENT delay & fairness", Fig16},
+	{"fig18", "VR streaming ± ELEMENT, ± CoDel", Fig18},
+	{"tab_cpu", "ELEMENT overhead", Overhead},
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+}
+
+// IDs lists the registered experiment IDs.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for _, e := range Registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

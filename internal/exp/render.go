@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one reproduced table or figure: tabular rows plus free-form
+// notes (shape expectations, caveats).
+type Result struct {
+	ID    string
+	Title string
+	// Header and Rows form the table body.
+	Header []string
+	Rows   [][]string
+	// Series are named (x, y) line series for figure-style results.
+	Series []Series
+	Notes  []string
+}
+
+// Series is one plotted line rendered as text.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points [][2]float64
+}
+
+// Render formats the result as aligned ASCII.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		renderTable(&b, r.Header, r.Rows)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\n-- series %q (%s vs %s), %d points --\n", s.Name, s.YLabel, s.XLabel, len(s.Points))
+		renderSparkTable(&b, s)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func renderTable(b *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// renderSparkTable prints a decimated series: at most 12 sample points.
+func renderSparkTable(b *strings.Builder, s Series) {
+	n := len(s.Points)
+	if n == 0 {
+		return
+	}
+	step := n / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(b, "  %10.3f  %10.4f\n", s.Points[i][0], s.Points[i][1])
+	}
+	if (n-1)%step != 0 {
+		fmt.Fprintf(b, "  %10.3f  %10.4f\n", s.Points[n-1][0], s.Points[n-1][1])
+	}
+}
+
+// Markdown renders the result as a GitHub-flavoured markdown section, used
+// to regenerate EXPERIMENTS.md.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### `%s` — %s\n\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat(" --- |", len(r.Header)) + "\n")
+		for _, row := range r.Rows {
+			cells := make([]string, len(r.Header))
+			for i := range cells {
+				if i < len(row) {
+					cells[i] = row[i]
+				}
+			}
+			b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// fmtMS formats seconds as a millisecond string.
+func fmtMS(sec float64) string { return fmt.Sprintf("%.1f", sec*1000) }
+
+// fmtSec formats seconds with millisecond precision.
+func fmtSec(sec float64) string { return fmt.Sprintf("%.3f", sec) }
+
+// fmtMbps formats bits/s as Mbps.
+func fmtMbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e6) }

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+
+	"element/internal/aqm"
+	"element/internal/cc"
+	"element/internal/core"
+	"element/internal/netem"
+	"element/internal/probes"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/stats"
+	"element/internal/trace"
+	"element/internal/units"
+)
+
+// Table1 reproduces Table 1: ELEMENT versus the existing TCP-based delay
+// measurement tools on a saturated 10 Mbps / 50 ms path, against kernel
+// ground truth, averaged over `runs` repetitions (the paper uses 15).
+//
+// The structural claims being reproduced:
+//   - tcpping/paping/hping3 report only the path RTT (x for both endhost
+//     columns);
+//   - echoping reports a single end-to-end transfer time;
+//   - ELEMENT decomposes sender/network/receiver and matches ground truth.
+func Table1(seed int64, runs int, duration units.Duration) *Result {
+	if runs == 0 {
+		runs = 15
+	}
+	if duration == 0 {
+		duration = 30 * units.Second
+	}
+
+	type agg struct{ snd, net, rcv, rtt, echo []float64 }
+	var gt, el agg
+	var toolRTTs = map[string][]float64{}
+	var echoTimes []float64
+
+	for r := 0; r < runs; r++ {
+		eng := sim.New(seed + int64(r))
+		disc := aqm.MustNew(aqm.KindFIFO, aqm.Config{LimitPackets: 100}, eng.Rand())
+		path := netem.NewPath(eng, netem.PathConfig{
+			Forward: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond, Discipline: disc},
+			Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+		})
+		net := stack.NewNet(eng, path)
+
+		col := trace.New(eng)
+		conn := stack.Dial(net, stack.ConnConfig{
+			CC:            cc.KindCubic,
+			SenderHooks:   col.SenderHooks(),
+			ReceiverHooks: col.ReceiverHooks(),
+		})
+		snd := core.AttachSender(eng, conn.Sender, core.Options{})
+		rcv := core.AttachReceiver(eng, conn.Receiver, core.Options{})
+		eng.Spawn("writer", func(p *sim.Proc) {
+			for snd.Send(p, 16<<10).Size > 0 {
+			}
+		})
+		eng.Spawn("reader", func(p *sim.Proc) {
+			for rcv.Read(p, 1<<20).Size > 0 {
+			}
+		})
+
+		tping := probes.NewTCPPing(net)
+		paping := probes.NewPaping(net)
+		hping := probes.NewHping3(net)
+		echo := probes.NewEchoPing(net, 256<<10, 0)
+
+		eng.RunUntil(units.Time(duration))
+		eng.Shutdown()
+
+		gt.snd = append(gt.snd, col.SenderDelay().Mean().Seconds())
+		gt.net = append(gt.net, col.NetworkDelay().Mean().Seconds())
+		gt.rcv = append(gt.rcv, col.ReceiverDelay().Mean().Seconds())
+
+		el.snd = append(el.snd, snd.Estimates().Series().Mean().Seconds())
+		el.net = append(el.net, conn.Sender.SRTT().Seconds())
+		el.rcv = append(el.rcv, receiverMeanOrZero(rcv))
+
+		toolRTTs["tcpping"] = append(toolRTTs["tcpping"], tping.RTTs().Mean().Seconds())
+		toolRTTs["paping"] = append(toolRTTs["paping"], paping.RTTs().Mean().Seconds())
+		toolRTTs["hping3"] = append(toolRTTs["hping3"], hping.RTTs().Mean().Seconds())
+		echoTimes = append(echoTimes, echo.Transfers().Mean().Seconds())
+	}
+
+	cell := func(xs []float64) string {
+		m, sd := stats.MeanStdev(xs)
+		return fmt.Sprintf("%.3f (%.3f)", m, sd)
+	}
+	res := &Result{
+		ID:     "tab1",
+		Title:  "ELEMENT vs TCP-based delay measurement tools (seconds)",
+		Header: []string{"tool", "sender sys delay (stdev)", "avg network delay (stdev)", "receiver sys delay (stdev)"},
+		Rows: [][]string{
+			{"ground truth", cell(gt.snd), cell(gt.net), cell(gt.rcv)},
+			{"ELEMENT", cell(el.snd), cell(el.net), cell(el.rcv)},
+			{"tcpping", "x", cell(toolRTTs["tcpping"]), "x"},
+			{"paping", "x", cell(toolRTTs["paping"]), "x"},
+			{"hping3", "x", cell(toolRTTs["hping3"]), "x"},
+			{"echoping", cell(echoTimes) + " (total end-to-end only)", "", ""},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d runs of %v each; ELEMENT network column is its RTT view (tcp_info srtt)", runs, duration),
+			"paper shape: RTT probes see only path delay; ELEMENT matches ground truth on all three components",
+			"the controlled testbed is deterministic (no loss/jitter processes), so repeated runs coincide and stdev is 0",
+			"ELEMENT's receiver column only samples while reads lag the TCP layer (loss episodes), so it sits above the all-bytes ground-truth mean; see EXPERIMENTS.md",
+		},
+	}
+	return res
+}
+
+// receiverMeanOrZero handles flows whose receiver tracker produced no
+// samples (no out-of-order waits).
+func receiverMeanOrZero(r *core.Receiver) float64 {
+	s := r.Estimates().Series()
+	if len(s) == 0 {
+		return 0
+	}
+	return s.Mean().Seconds()
+}

@@ -1,0 +1,153 @@
+// Package netem emulates network paths: rate-limited links with queueing
+// disciplines, propagation delay, jitter, random loss, and time-varying
+// bandwidth. It is the WAN-emulator ("tc" box) of the paper's testbed plus
+// the production-network models (LAN, cable, WiFi, LTE).
+package netem
+
+import (
+	"element/internal/aqm"
+	"element/internal/pkt"
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// Sink consumes packets delivered by a link.
+type Sink func(p *pkt.Packet)
+
+// LinkStats are cumulative counters for one link direction.
+type LinkStats struct {
+	Sent      int // packets handed to Send
+	Delivered int // packets delivered to the sink
+	Lost      int // packets dropped by random loss
+	Bytes     int // payload+header bytes delivered
+}
+
+// Link is a unidirectional rate-limited link: an AQM-managed queue feeding
+// a serializing transmitter, followed by propagation delay, optional jitter,
+// and i.i.d. random loss. Rate changes (SetRate) take effect at the next
+// packet serialization, which matches how token-bucket emulators behave.
+type Link struct {
+	eng   *sim.Engine
+	rate  units.Rate
+	delay units.Duration
+	// jitter adds uniform [0, jitter) extra propagation per packet while
+	// preserving packet order (delivery times are made monotonic).
+	jitter   units.Duration
+	lossRate float64
+	disc     aqm.Discipline
+	sink     Sink
+
+	busy         bool
+	lastDelivery units.Time
+	stats        LinkStats
+}
+
+// LinkConfig configures a Link.
+type LinkConfig struct {
+	Rate     units.Rate     // serialization rate (required)
+	Delay    units.Duration // one-way propagation delay
+	Jitter   units.Duration // max extra per-packet delay (0 = none)
+	LossRate float64        // i.i.d. drop probability in [0, 1)
+	// Discipline is the queue in front of the transmitter. Nil gets a
+	// default pfifo_fast-like FIFO.
+	Discipline aqm.Discipline
+}
+
+// NewLink creates a link on eng delivering packets to sink.
+func NewLink(eng *sim.Engine, cfg LinkConfig, sink Sink) *Link {
+	d := cfg.Discipline
+	if d == nil {
+		d = aqm.NewFIFO(aqm.Config{})
+	}
+	return &Link{
+		eng:      eng,
+		rate:     cfg.Rate,
+		delay:    cfg.Delay,
+		jitter:   cfg.Jitter,
+		lossRate: cfg.LossRate,
+		disc:     d,
+		sink:     sink,
+	}
+}
+
+// Send offers a packet to the link. Packets rejected by the queue are
+// dropped silently (the queue's stats record the drop).
+func (l *Link) Send(p *pkt.Packet) {
+	l.stats.Sent++
+	if !l.disc.Enqueue(p, l.eng.Now()) {
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// transmitNext pulls the next packet from the queue and serializes it.
+func (l *Link) transmitNext() {
+	p := l.disc.Dequeue(l.eng.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	tx := l.rate.TransmissionTime(p.Size())
+	l.eng.Schedule(tx, func() {
+		l.deliver(p)
+		l.transmitNext()
+	})
+}
+
+// deliver applies loss, propagation and jitter to a serialized packet.
+func (l *Link) deliver(p *pkt.Packet) {
+	if l.lossRate > 0 && l.eng.Rand().Float64() < l.lossRate {
+		l.stats.Lost++
+		return
+	}
+	d := l.delay
+	if l.jitter > 0 {
+		d += units.Duration(l.eng.Rand().Int63n(int64(l.jitter)))
+	}
+	at := l.eng.Now().Add(d)
+	// Preserve FIFO delivery order under jitter.
+	if at < l.lastDelivery {
+		at = l.lastDelivery
+	}
+	l.lastDelivery = at
+	size := p.Size()
+	l.eng.At(at, func() {
+		l.stats.Delivered++
+		l.stats.Bytes += size
+		l.sink(p)
+	})
+}
+
+// SetRate changes the link rate; it takes effect for the next serialized
+// packet.
+func (l *Link) SetRate(r units.Rate) { l.rate = r }
+
+// Rate reports the current link rate.
+func (l *Link) Rate() units.Rate { return l.rate }
+
+// SetLossRate changes the i.i.d. loss probability.
+func (l *Link) SetLossRate(p float64) { l.lossRate = p }
+
+// SetDelay changes the propagation delay for subsequently delivered packets.
+func (l *Link) SetDelay(d units.Duration) { l.delay = d }
+
+// Delay reports the configured propagation delay.
+func (l *Link) Delay() units.Duration { return l.delay }
+
+// QueueLen reports the number of packets waiting in the queue.
+func (l *Link) QueueLen() int { return l.disc.Len() }
+
+// QueueBytes reports the bytes waiting in the queue.
+func (l *Link) QueueBytes() int { return l.disc.Bytes() }
+
+// Stats reports the link's cumulative counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueStats reports the queue discipline's counters.
+func (l *Link) QueueStats() aqm.Stats { return l.disc.Stats() }
+
+// Discipline exposes the queue for inspection.
+func (l *Link) Discipline() aqm.Discipline { return l.disc }

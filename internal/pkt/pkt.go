@@ -1,0 +1,89 @@
+// Package pkt defines the Packet type exchanged between protocol endpoints
+// and network elements. It is shared by the TCP stack, the UDP-based
+// low-latency protocols, the probing tools, and the queueing disciplines.
+package pkt
+
+import (
+	"fmt"
+
+	"element/internal/units"
+)
+
+// Flags is a bit set of TCP-style control flags.
+type Flags uint8
+
+// Flag bits.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// Has reports whether all bits in f are set.
+func (fl Flags) Has(f Flags) bool { return fl&f == f }
+
+// DefaultHeaderLen is the assumed IP+TCP header overhead in bytes.
+const DefaultHeaderLen = 40
+
+// Range is a half-open byte range [Start, End) used for SACK blocks.
+type Range struct{ Start, End uint64 }
+
+// Packet is a network packet in flight or in a queue. Fields beyond the
+// universal ones (sizes, flow identity, ECN bits) are interpreted by the
+// protocol that created the packet: TCP uses Seq/Ack/Flags, UDP-based
+// protocols and probes carry their state in Payload.
+type Packet struct {
+	// FlowID identifies the flow for fair-queueing and per-flow stats.
+	FlowID int
+
+	// PayloadLen is the number of application/transport payload bytes.
+	PayloadLen int
+	// HeaderLen is the header overhead included in the wire size.
+	HeaderLen int
+
+	// TCP fields. Seq is the sequence number of the first payload byte;
+	// Ack is the cumulative acknowledgment (valid when FlagACK is set).
+	Seq   uint64
+	Ack   uint64
+	Flags Flags
+	// Wnd is the advertised receive window in bytes (on ACKs).
+	Wnd int
+	// Sack carries up to a few selective-acknowledgment blocks (received
+	// byte ranges above Ack), like the TCP SACK option.
+	Sack []Range
+
+	// ECN bits. ECT marks an ECN-capable transport; CE is set by an AQM in
+	// place of dropping when ECN is negotiated. ECE is echoed by the
+	// receiver back to the sender.
+	ECT bool
+	CE  bool
+	ECE bool
+
+	// SentAt is the time the packet left the sender's TCP layer (set by the
+	// transport; used for ground-truth tracing and RTT sampling).
+	SentAt units.Time
+	// EnqueuedAt is stamped by a queueing discipline on enqueue and is the
+	// basis for sojourn-time AQMs (CoDel, PIE).
+	EnqueuedAt units.Time
+
+	// Payload carries protocol-private data for non-TCP protocols
+	// (probe IDs, UDP protocol headers, VR frame metadata).
+	Payload any
+}
+
+// Size reports the wire size of the packet in bytes.
+func (p *Packet) Size() int {
+	h := p.HeaderLen
+	if h == 0 {
+		h = DefaultHeaderLen
+	}
+	return h + p.PayloadLen
+}
+
+// End reports the sequence number just past the packet's payload.
+func (p *Packet) End() uint64 { return p.Seq + uint64(p.PayloadLen) }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{flow=%d seq=%d len=%d flags=%04b}", p.FlowID, p.Seq, p.PayloadLen, p.Flags)
+}

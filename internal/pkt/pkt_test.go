@@ -1,0 +1,38 @@
+package pkt
+
+import "testing"
+
+func TestFlags(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if !f.Has(FlagSYN) || !f.Has(FlagACK) || !f.Has(FlagSYN|FlagACK) {
+		t.Fatal("Has misses set flags")
+	}
+	if f.Has(FlagFIN) {
+		t.Fatal("Has reports unset flag")
+	}
+}
+
+func TestSizeDefaultsHeader(t *testing.T) {
+	p := &Packet{PayloadLen: 1460}
+	if p.Size() != 1500 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	p.HeaderLen = 60
+	if p.Size() != 1520 {
+		t.Fatalf("Size with header = %d", p.Size())
+	}
+}
+
+func TestEnd(t *testing.T) {
+	p := &Packet{Seq: 1000, PayloadLen: 500}
+	if p.End() != 1500 {
+		t.Fatalf("End = %d", p.End())
+	}
+}
+
+func TestString(t *testing.T) {
+	p := &Packet{FlowID: 3, Seq: 7, PayloadLen: 11, Flags: FlagACK}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,97 @@
+package probes
+
+import (
+	"testing"
+
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/units"
+)
+
+func newNet(seed int64) (*sim.Engine, *stack.Net) {
+	eng := sim.New(seed)
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+		Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+	})
+	return eng, stack.NewNet(eng, path)
+}
+
+func TestRTTProberMeasuresPathRTT(t *testing.T) {
+	eng, net := newNet(1)
+	p := NewTCPPing(net)
+	eng.RunUntil(units.Time(15 * units.Second))
+	p.Stop()
+	eng.Shutdown()
+	rtts := p.RTTs()
+	if len(rtts) < 10 {
+		t.Fatalf("only %d probes", len(rtts))
+	}
+	// Unloaded path: RTT ≈ 50 ms + serialization.
+	m := rtts.Mean()
+	if m < 50*units.Millisecond || m > 60*units.Millisecond {
+		t.Fatalf("probe RTT %v, want ≈ 50ms", m)
+	}
+}
+
+func TestRTTProberSeesQueueButNotEndhost(t *testing.T) {
+	// With a bulk Cubic flow loading the path, the prober's RTT includes
+	// network queueing but can never exceed network-level delays — it has
+	// no visibility into the sender's socket buffer (Table 1's point).
+	eng, net := newNet(2)
+	conn := stack.Dial(net, stack.ConnConfig{})
+	eng.Spawn("writer", func(p *sim.Proc) {
+		for conn.Sender.Write(p, 16<<10) > 0 {
+		}
+	})
+	eng.Spawn("reader", func(p *sim.Proc) {
+		for conn.Receiver.Read(p, 1<<20) > 0 {
+		}
+	})
+	pr := NewPaping(net)
+	eng.RunUntil(units.Time(30 * units.Second))
+	pr.Stop()
+	eng.Shutdown()
+	rtts := pr.RTTs()
+	if len(rtts) < 5 {
+		t.Fatalf("only %d probes completed", len(rtts))
+	}
+	if rtts.Mean() < 100*units.Millisecond {
+		t.Fatalf("probe RTT %v does not reflect the loaded queue", rtts.Mean())
+	}
+	// The socket-buffer delay under auto-tuning is multi-second; the probe
+	// must not see anything like it.
+	if rtts.Mean() > 1500*units.Millisecond {
+		t.Fatalf("probe RTT %v exceeds any network-level delay", rtts.Mean())
+	}
+}
+
+func TestAllProberNames(t *testing.T) {
+	eng, net := newNet(3)
+	if got := NewTCPPing(net).Name(); got != "tcpping" {
+		t.Fatal(got)
+	}
+	if got := NewPaping(net).Name(); got != "paping" {
+		t.Fatal(got)
+	}
+	if got := NewHping3(net).Name(); got != "hping3" {
+		t.Fatal(got)
+	}
+	_ = eng
+}
+
+func TestEchoPingMeasuresTransferTime(t *testing.T) {
+	eng, net := newNet(4)
+	e := NewEchoPing(net, 100<<10, 5)
+	eng.RunUntil(units.Time(30 * units.Second))
+	eng.Shutdown()
+	tr := e.Transfers()
+	if len(tr) != 5 {
+		t.Fatalf("transfers = %d, want 5", len(tr))
+	}
+	// 100 KiB at 10 Mbps ≈ 82 ms serialization + 50 ms RTT floor.
+	if tr.Mean() < 80*units.Millisecond {
+		t.Fatalf("transfer time %v implausibly low", tr.Mean())
+	}
+}

@@ -1,0 +1,212 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that underpins the whole repository.
+//
+// The engine advances a virtual clock by executing events in (time, sequence)
+// order. On top of the raw event loop it offers a coroutine-style process
+// abstraction (Proc) so that application code — traffic generators, the
+// ELEMENT trackers, the VR streamer — can be written in ordinary blocking
+// style (Write, Read, Sleep) while still running in virtual time. Exactly one
+// goroutine executes at any instant, so simulations are fully deterministic
+// and race-free by construction.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"element/internal/units"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at       units.Time
+	seq      uint64 // tie-breaker: FIFO among same-time events
+	fn       func()
+	canceled bool
+	index    int // heap index, maintained by eventHeap
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event; it allows cancellation.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer, and reports whether the call prevented the event
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Engine is a discrete-event simulator instance. It is not safe for
+// concurrent use; all interaction must happen from the goroutine that calls
+// Run (which includes all Proc goroutines, since only one runs at a time).
+type Engine struct {
+	now    units.Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	// parked is the rendezvous channel processes use to hand control back
+	// to the event loop. Exactly one process (or the loop itself) runs at a
+	// time, so one shared channel suffices.
+	parked chan struct{}
+	procs  map[*Proc]struct{}
+
+	running bool
+	stopped bool
+}
+
+// New returns an engine whose random source is seeded with seed, making
+// every run reproducible.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule arranges for fn to run after delay d. Negative delays are treated
+// as zero (run "immediately", after currently queued same-time events).
+func (e *Engine) Schedule(d units.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. Times in the past
+// are clamped to now.
+func (e *Engine) At(t units.Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. Parked processes that are
+// never woken again do not keep Run alive.
+func (e *Engine) Run() {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+		if e.stopped {
+			return
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t units.Time) {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for duration d of virtual time from now.
+func (e *Engine) RunFor(d units.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop makes Run/RunUntil return after the current event completes. It is
+// typically called from within an event or process.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown terminates all parked processes so their goroutines exit. It must
+// be called after Run/RunUntil have returned, from the driving goroutine.
+// Experiments call this once measurements are collected.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		if p.state == procParked {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-e.parked
+		}
+		delete(e.procs, p)
+	}
+}
+
+// Pending reports the number of scheduled (non-canceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v, pending=%d}", e.now, len(e.events))
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"element/internal/units"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*units.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*units.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*units.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != units.Time(30*units.Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(units.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.Schedule(units.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(0, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.Schedule(10*units.Millisecond, tick)
+	}
+	e.Schedule(10*units.Millisecond, tick)
+	e.RunUntil(units.Time(105 * units.Millisecond))
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != units.Time(105*units.Millisecond) {
+		t.Fatalf("clock = %v, want 105ms", e.Now())
+	}
+	e.RunFor(100 * units.Millisecond)
+	if count != 20 {
+		t.Fatalf("count after RunFor = %d, want 20", count)
+	}
+	e.Shutdown()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Schedule(0, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() { order = append(order, "c") })
+		order = append(order, "b")
+	})
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	e := New(1)
+	e.Schedule(units.Second, func() {
+		e.At(0, func() {
+			if e.Now() != units.Time(units.Second) {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(units.Duration(i)*units.Millisecond, func() {
+			count++
+			if count == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock matches each event's scheduled time.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		e := New(42)
+		var fireTimes []units.Time
+		want := make([]units.Time, 0, len(delaysMS))
+		for _, d := range delaysMS {
+			at := units.Time(units.Duration(d) * units.Millisecond)
+			want = append(want, at)
+			e.At(at, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(fireTimes) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fireTimes[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pending decreases to zero over a run and Step returns false on
+// an empty queue.
+func TestPropertyPendingDrains(t *testing.T) {
+	f := func(n uint8) bool {
+		e := New(7)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < int(n); i++ {
+			e.Schedule(units.Duration(rng.Intn(1000))*units.Microsecond, func() {})
+		}
+		if e.Pending() != int(n) {
+			return false
+		}
+		e.Run()
+		return e.Pending() == 0 && !e.Step()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := New(99)
+		var samples []int64
+		var tick func()
+		tick = func() {
+			samples = append(samples, int64(e.Rand().Intn(1000)))
+			if len(samples) < 50 {
+				e.Schedule(units.Duration(e.Rand().Intn(100))*units.Microsecond+1, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+		return samples
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// Example demonstrates the engine's two programming models: raw events and
+// blocking processes.
+func Example() {
+	eng := sim.New(1)
+
+	// Event style: a callback at t = 5ms.
+	eng.Schedule(5*units.Millisecond, func() {
+		fmt.Printf("event at %v\n", eng.Now())
+	})
+
+	// Process style: a goroutine that sleeps in virtual time.
+	eng.Spawn("worker", func(p *sim.Proc) {
+		p.Sleep(2 * units.Millisecond)
+		fmt.Printf("worker woke at %v\n", p.Now())
+		p.Sleep(10 * units.Millisecond)
+		fmt.Printf("worker done at %v\n", p.Now())
+	})
+
+	eng.Run()
+	// Output:
+	// worker woke at 0.002000s
+	// event at 0.005000s
+	// worker done at 0.012000s
+}

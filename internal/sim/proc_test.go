@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+
+	"element/internal/units"
+)
+
+func TestProcSleep(t *testing.T) {
+	e := New(1)
+	var wakeups []units.Time
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * units.Millisecond)
+			wakeups = append(wakeups, p.Now())
+		}
+	})
+	e.Run()
+	want := []units.Time{
+		units.Time(10 * units.Millisecond),
+		units.Time(20 * units.Millisecond),
+		units.Time(30 * units.Millisecond),
+	}
+	if len(wakeups) != 3 {
+		t.Fatalf("wakeups = %v", wakeups)
+	}
+	for i := range want {
+		if wakeups[i] != want[i] {
+			t.Fatalf("wakeups = %v, want %v", wakeups, want)
+		}
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.Sleep(5 * units.Millisecond)
+		order = append(order, "a1")
+		p.Sleep(10 * units.Millisecond)
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b0")
+		p.Sleep(10 * units.Millisecond)
+		order = append(order, "b1")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "a1", "b1", "a2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCondSignal(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	var got []string
+	e.Spawn("waiter", func(p *Proc) {
+		c.Wait(p)
+		got = append(got, "woken")
+	})
+	e.Schedule(50*units.Millisecond, func() { c.Signal() })
+	e.Run()
+	if len(got) != 1 || got[0] != "woken" {
+		t.Fatalf("got = %v", got)
+	}
+	if e.Now() != units.Time(50*units.Millisecond) {
+		t.Fatalf("woke at %v", e.Now())
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.Schedule(units.Millisecond, func() {
+		if c.NumWaiters() != 5 {
+			t.Errorf("NumWaiters = %d, want 5", c.NumWaiters())
+		}
+		c.Broadcast()
+	})
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	var signaled, timedOut bool
+	e.Spawn("timeout", func(p *Proc) {
+		ok := c.WaitTimeout(p, 10*units.Millisecond)
+		timedOut = !ok
+		if p.Now() != units.Time(10*units.Millisecond) {
+			t.Errorf("timeout at %v, want 10ms", p.Now())
+		}
+	})
+	e.Spawn("signaled", func(p *Proc) {
+		p.Sleep(units.Millisecond) // let the first waiter enqueue first
+		ok := c.WaitTimeout(p, units.Minute)
+		signaled = ok
+	})
+	// After the first waiter times out, only the second remains.
+	e.Schedule(20*units.Millisecond, func() { c.Signal() })
+	e.Run()
+	if !timedOut {
+		t.Fatal("first waiter should have timed out")
+	}
+	if !signaled {
+		t.Fatal("second waiter should have been signaled")
+	}
+	e.Shutdown()
+}
+
+// A waiter that is signaled and then sleeps must not be woken by its stale
+// timeout timer.
+func TestCondTimeoutNoStaleWake(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	var wake units.Time
+	e.Spawn("w", func(p *Proc) {
+		if !c.WaitTimeout(p, 100*units.Millisecond) {
+			t.Error("unexpected timeout")
+		}
+		p.Sleep(units.Second)
+		wake = p.Now()
+	})
+	e.Schedule(units.Millisecond, func() { c.Signal() })
+	e.Run()
+	want := units.Time(units.Millisecond + units.Second)
+	if wake != want {
+		t.Fatalf("woke at %v, want %v", wake, want)
+	}
+}
+
+func TestShutdownKillsParked(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	reached := false
+	e.Spawn("stuck", func(p *Proc) {
+		c.Wait(p) // never signaled
+		reached = true
+	})
+	e.RunFor(units.Second)
+	e.Shutdown()
+	if reached {
+		t.Fatal("killed process continued past Wait")
+	}
+	if len(e.procs) != 0 {
+		t.Fatalf("procs remaining: %d", len(e.procs))
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Spawn("parent", func(p *Proc) {
+		order = append(order, "parent")
+		e.Spawn("child", func(q *Proc) {
+			order = append(order, "child")
+		})
+		p.Sleep(units.Millisecond)
+		order = append(order, "parent-after")
+	})
+	e.Run()
+	want := []string{"parent", "child", "parent-after"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcSignalWhileRunnable(t *testing.T) {
+	// Signal scheduling a wake for a process that re-waits quickly must not
+	// double-wake it.
+	e := New(1)
+	c := NewCond(e)
+	count := 0
+	e.Spawn("w", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			c.Wait(p)
+			count++
+		}
+	})
+	for i := 1; i <= 3; i++ {
+		e.Schedule(units.Duration(i)*units.Millisecond, func() { c.Signal() })
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}

@@ -1,0 +1,149 @@
+// Package sockbuf models the socket send/receive buffers and Linux's
+// buffer auto-tuning. The interaction between loss-based congestion control
+// and the send-buffer auto-tuner — which grows the buffer to roughly twice
+// the congestion window and never shrinks it — is the mechanism behind the
+// multi-second sender-side delays the paper diagnoses (§2.1), so this
+// package is deliberately faithful to that behaviour.
+//
+// Buffers carry byte *counts*, not payloads: the simulator never moves real
+// data, only accounting.
+package sockbuf
+
+// Linux-like defaults (net.ipv4.tcp_wmem / tcp_rmem).
+const (
+	// DefaultSndBufMin is the floor of the send buffer.
+	DefaultSndBufMin = 4 << 10
+	// DefaultSndBufInitial matches tcp_wmem[1] (16 KB rounded up).
+	DefaultSndBufInitial = 16 << 10
+	// DefaultSndBufMax matches tcp_wmem[2] (4 MB).
+	DefaultSndBufMax = 4 << 20
+	// DefaultRcvBufMax matches tcp_rmem[2] (6 MB).
+	DefaultRcvBufMax = 6 << 20
+	// AutotuneFactor is the sndbuf-to-cwnd ratio the tuner maintains: the
+	// kernel sizes the buffer at about two congestion windows so that a
+	// full window can be in flight while another is queued.
+	AutotuneFactor = 2
+)
+
+// SendBuffer tracks the sender-side socket buffer occupancy: bytes the
+// application has written that the peer has not yet acknowledged. The
+// capacity bounds how far the writer may run ahead of acknowledgments,
+// which is exactly the data that "waits" in the paper's title.
+type SendBuffer struct {
+	cap      int
+	max      int
+	autotune bool
+
+	written uint64 // cumulative bytes accepted from the application
+	acked   uint64 // cumulative bytes acknowledged by the peer
+}
+
+// NewSendBuffer returns a send buffer. If fixedCap is zero the buffer
+// starts at the Linux initial size and auto-tunes (grow-only) toward
+// AutotuneFactor×cwnd, capped at max (0 = DefaultSndBufMax); a nonzero
+// fixedCap disables auto-tuning, like setting SO_SNDBUF.
+func NewSendBuffer(fixedCap, max int) *SendBuffer {
+	if max == 0 {
+		max = DefaultSndBufMax
+	}
+	if fixedCap > 0 {
+		return &SendBuffer{cap: fixedCap, max: max}
+	}
+	return &SendBuffer{cap: DefaultSndBufInitial, max: max, autotune: true}
+}
+
+// Free reports how many more bytes the application may write.
+func (b *SendBuffer) Free() int {
+	used := int(b.written - b.acked)
+	if used >= b.cap {
+		return 0
+	}
+	return b.cap - used
+}
+
+// Used reports the occupancy in bytes (written but unacknowledged).
+func (b *SendBuffer) Used() int { return int(b.written - b.acked) }
+
+// Cap reports the current capacity.
+func (b *SendBuffer) Cap() int { return b.cap }
+
+// Autotune reports whether auto-tuning is active.
+func (b *SendBuffer) Autotune() bool { return b.autotune }
+
+// SetCap pins the capacity (SO_SNDBUF) and disables auto-tuning.
+func (b *SendBuffer) SetCap(n int) {
+	if n < DefaultSndBufMin {
+		n = DefaultSndBufMin
+	}
+	b.cap = n
+	b.autotune = false
+}
+
+// Write accepts up to n bytes and returns how many fit.
+func (b *SendBuffer) Write(n int) int {
+	free := b.Free()
+	if n > free {
+		n = free
+	}
+	if n > 0 {
+		b.written += uint64(n)
+	}
+	return n
+}
+
+// Written reports the cumulative bytes accepted from the application.
+func (b *SendBuffer) Written() uint64 { return b.written }
+
+// Ack records that the peer has acknowledged through cumAcked stream bytes,
+// freeing buffer space.
+func (b *SendBuffer) Ack(cumAcked uint64) {
+	if cumAcked > b.acked {
+		b.acked = cumAcked
+	}
+}
+
+// Tune applies the Linux send-buffer auto-tuning rule for the given
+// congestion window (bytes): grow the capacity to AutotuneFactor×cwnd,
+// never shrinking, up to the configured maximum. No-op when pinned.
+func (b *SendBuffer) Tune(cwndBytes int) {
+	if !b.autotune {
+		return
+	}
+	want := AutotuneFactor * cwndBytes
+	if want > b.max {
+		want = b.max
+	}
+	if want > b.cap {
+		b.cap = want
+	}
+}
+
+// ReceiveBuffer tracks the receiver-side buffer: bytes the TCP layer holds
+// (in-order unread plus out-of-order) against a capacity that determines
+// the advertised window.
+type ReceiveBuffer struct {
+	cap int
+}
+
+// NewReceiveBuffer returns a receive buffer with the given capacity
+// (0 = DefaultRcvBufMax). Receive auto-tuning is approximated by starting
+// at the maximum: the paper's receiver-side delays come from out-of-order
+// waiting and slow readers, not from rwnd clamping.
+func NewReceiveBuffer(capacity int) *ReceiveBuffer {
+	if capacity == 0 {
+		capacity = DefaultRcvBufMax
+	}
+	return &ReceiveBuffer{cap: capacity}
+}
+
+// Cap reports the capacity.
+func (b *ReceiveBuffer) Cap() int { return b.cap }
+
+// AdvertisedWindow reports the window to advertise given the bytes
+// currently held by the TCP layer (unread in-order + out-of-order).
+func (b *ReceiveBuffer) AdvertisedWindow(held int) int {
+	if held >= b.cap {
+		return 0
+	}
+	return b.cap - held
+}

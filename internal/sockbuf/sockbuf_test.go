@@ -1,0 +1,117 @@
+package sockbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSendBufferFixedCap(t *testing.T) {
+	b := NewSendBuffer(64<<10, 0)
+	if b.Autotune() {
+		t.Fatal("fixed buffer reports autotune")
+	}
+	if b.Cap() != 64<<10 {
+		t.Fatalf("Cap = %d", b.Cap())
+	}
+	if got := b.Write(100 << 10); got != 64<<10 {
+		t.Fatalf("Write accepted %d", got)
+	}
+	if b.Free() != 0 || b.Used() != 64<<10 {
+		t.Fatalf("Free=%d Used=%d", b.Free(), b.Used())
+	}
+	b.Ack(10 << 10)
+	if b.Free() != 10<<10 {
+		t.Fatalf("Free after ack = %d", b.Free())
+	}
+	// Tune must be a no-op on pinned buffers.
+	b.Tune(1 << 20)
+	if b.Cap() != 64<<10 {
+		t.Fatalf("pinned cap changed to %d", b.Cap())
+	}
+}
+
+func TestSendBufferAutotuneGrowOnly(t *testing.T) {
+	b := NewSendBuffer(0, 0)
+	if !b.Autotune() {
+		t.Fatal("autotune off by default")
+	}
+	start := b.Cap()
+	b.Tune(100 << 10)
+	if b.Cap() != AutotuneFactor*100<<10 {
+		t.Fatalf("Cap after tune = %d", b.Cap())
+	}
+	// Shrinking cwnd must not shrink the buffer (grow-only, like Linux).
+	b.Tune(10 << 10)
+	if b.Cap() != AutotuneFactor*100<<10 {
+		t.Fatalf("cap shrank to %d", b.Cap())
+	}
+	if start >= b.Cap() {
+		t.Fatal("no growth")
+	}
+	// And it must respect the maximum.
+	b.Tune(1 << 30)
+	if b.Cap() != DefaultSndBufMax {
+		t.Fatalf("cap above max: %d", b.Cap())
+	}
+}
+
+func TestSendBufferSetCapFloor(t *testing.T) {
+	b := NewSendBuffer(0, 0)
+	b.SetCap(1)
+	if b.Cap() != DefaultSndBufMin {
+		t.Fatalf("Cap = %d, want floor %d", b.Cap(), DefaultSndBufMin)
+	}
+	if b.Autotune() {
+		t.Fatal("SetCap did not disable autotune")
+	}
+}
+
+func TestReceiveBufferWindow(t *testing.T) {
+	rb := NewReceiveBuffer(1000)
+	if rb.AdvertisedWindow(0) != 1000 {
+		t.Fatalf("empty window = %d", rb.AdvertisedWindow(0))
+	}
+	if rb.AdvertisedWindow(400) != 600 {
+		t.Fatalf("window = %d", rb.AdvertisedWindow(400))
+	}
+	if rb.AdvertisedWindow(2000) != 0 {
+		t.Fatalf("overfull window = %d", rb.AdvertisedWindow(2000))
+	}
+	if NewReceiveBuffer(0).Cap() != DefaultRcvBufMax {
+		t.Fatal("default capacity wrong")
+	}
+}
+
+// Property: Used + Free == Cap at all times, and Write never accepts more
+// than Free.
+func TestPropertySendBufferInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := NewSendBuffer(32<<10, 0)
+		var written, acked uint64
+		for i, op := range ops {
+			if i%2 == 0 {
+				n := b.Write(int(op))
+				if n > int(op) {
+					return false
+				}
+				written += uint64(n)
+			} else {
+				acked += uint64(op)
+				if acked > written {
+					acked = written
+				}
+				b.Ack(acked)
+			}
+			if b.Used()+b.Free() != b.Cap() {
+				return false
+			}
+			if b.Used() < 0 || b.Free() < 0 {
+				return false
+			}
+		}
+		return b.Written() == written
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

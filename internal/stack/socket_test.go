@@ -1,0 +1,84 @@
+package stack
+
+import (
+	"testing"
+
+	"element/internal/cc"
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+func TestWriteOnReceiveOnlySocketPanics(t *testing.T) {
+	_, net := testbed(41, 10*units.Mbps, 50*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	// The misuse check fires before any blocking, so no process is needed.
+	c.Receiver.Write(nil, 100)
+}
+
+func TestReadCumAndAckedCum(t *testing.T) {
+	eng, net := testbed(42, 10*units.Mbps, 50*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic})
+	eng.Spawn("w", func(p *sim.Proc) { c.Sender.WriteFull(p, 100<<10) })
+	eng.Spawn("r", func(p *sim.Proc) {
+		for c.Receiver.Read(p, 1<<20) > 0 {
+		}
+	})
+	eng.RunUntil(units.Time(5 * units.Second))
+	eng.Shutdown()
+	if c.Sender.WrittenCum() != 100<<10 {
+		t.Fatalf("WrittenCum = %d", c.Sender.WrittenCum())
+	}
+	if c.Receiver.ReadCum() != 100<<10 {
+		t.Fatalf("ReadCum = %d", c.Receiver.ReadCum())
+	}
+	if c.Sender.AckedCum() != 100<<10 {
+		t.Fatalf("AckedCum = %d", c.Sender.AckedCum())
+	}
+	// Receive-only introspection on the sender-side getters.
+	if c.Receiver.WrittenCum() != 0 || c.Receiver.SndBufCap() != 0 || c.Receiver.SndBufUsed() != 0 {
+		t.Fatal("receiver socket reports sender-side state")
+	}
+}
+
+func TestSetSndBufUnblocksWaiters(t *testing.T) {
+	eng, net := testbed(43, units.Mbps, 200*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic, SndBuf: 8 << 10})
+	progressed := uint64(0)
+	eng.Spawn("w", func(p *sim.Proc) {
+		for {
+			if c.Sender.Write(p, 64<<10) == 0 {
+				return
+			}
+			progressed = c.Sender.WrittenCum()
+		}
+	})
+	eng.RunUntil(units.Time(500 * units.Millisecond))
+	before := progressed
+	c.Sender.SetSndBuf(1 << 20) // enlarge: blocked writer must resume now
+	eng.RunUntil(units.Time(600 * units.Millisecond))
+	eng.Shutdown()
+	if progressed <= before {
+		t.Fatalf("writer did not resume after SetSndBuf (%d -> %d)", before, progressed)
+	}
+	if c.Sender.SndBufCap() != 1<<20 {
+		t.Fatalf("cap = %d", c.Sender.SndBufCap())
+	}
+}
+
+func TestFlowIDsDistinct(t *testing.T) {
+	eng, net := testbed(44, 10*units.Mbps, 50*units.Millisecond, nil)
+	a := Dial(net, ConnConfig{})
+	b := Dial(net, ConnConfig{})
+	if a.FlowID == b.FlowID {
+		t.Fatal("flow ids collide")
+	}
+	if a.Sender.FlowID() != a.FlowID || a.Receiver.FlowID() != a.FlowID {
+		t.Fatal("socket flow ids inconsistent")
+	}
+	_ = eng
+}

@@ -1,0 +1,65 @@
+// Package stack ties the TCP machine to application code: blocking
+// Write/Read socket calls running in virtual time, Linux-style send-buffer
+// auto-tuning, the getsockopt(TCP_INFO) surface ELEMENT consumes, and a
+// flow demultiplexer so many connections can share one emulated path.
+package stack
+
+import (
+	"element/internal/netem"
+	"element/internal/pkt"
+	"element/internal/sim"
+)
+
+// Net multiplexes any number of connections over one duplex path,
+// dispatching delivered packets to per-flow endpoints by FlowID — the
+// simulator's equivalent of the host's IP layer.
+type Net struct {
+	eng    *sim.Engine
+	path   *netem.Path
+	atA    map[int]func(*pkt.Packet)
+	atB    map[int]func(*pkt.Packet)
+	nextID int
+}
+
+// NewNet wraps path with a flow demultiplexer.
+func NewNet(eng *sim.Engine, path *netem.Path) *Net {
+	n := &Net{
+		eng:  eng,
+		path: path,
+		atA:  make(map[int]func(*pkt.Packet)),
+		atB:  make(map[int]func(*pkt.Packet)),
+	}
+	path.AttachA(func(p *pkt.Packet) {
+		if h, ok := n.atA[p.FlowID]; ok {
+			h(p)
+		}
+	})
+	path.AttachB(func(p *pkt.Packet) {
+		if h, ok := n.atB[p.FlowID]; ok {
+			h(p)
+		}
+	})
+	return n
+}
+
+// Engine returns the engine the network runs on.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// Path returns the underlying duplex path.
+func (n *Net) Path() *netem.Path { return n.path }
+
+// allocFlowID hands out unique flow IDs.
+func (n *Net) allocFlowID() int {
+	n.nextID++
+	return n.nextID
+}
+
+// AllocProbeFlowID reserves a flow ID for a non-TCP user of the path (a
+// probing tool or a UDP-based protocol).
+func (n *Net) AllocProbeFlowID() int { return n.allocFlowID() }
+
+// RegisterA installs a raw packet handler for a flow at the A side.
+func (n *Net) RegisterA(flowID int, h func(*pkt.Packet)) { n.atA[flowID] = h }
+
+// RegisterB installs a raw packet handler for a flow at the B side.
+func (n *Net) RegisterB(flowID int, h func(*pkt.Packet)) { n.atB[flowID] = h }

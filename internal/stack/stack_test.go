@@ -1,0 +1,298 @@
+package stack
+
+import (
+	"testing"
+
+	"element/internal/aqm"
+	"element/internal/cc"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// testbed builds a 10 Mbps / 50 ms RTT path with a FIFO bottleneck.
+func testbed(seed int64, rate units.Rate, rtt units.Duration, disc aqm.Discipline) (*sim.Engine, *Net) {
+	eng := sim.New(seed)
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: rate, Delay: rtt / 2, Discipline: disc},
+		Reverse: netem.LinkConfig{Rate: rate, Delay: rtt / 2},
+	})
+	return eng, NewNet(eng, path)
+}
+
+// bulkSender writes continuously for the whole run.
+func bulkSender(eng *sim.Engine, c *Conn, chunk int) {
+	eng.Spawn("writer", func(p *sim.Proc) {
+		for {
+			if c.Sender.Write(p, chunk) == 0 {
+				return
+			}
+		}
+	})
+}
+
+// promptReader reads as fast as data arrives.
+func promptReader(eng *sim.Engine, c *Conn) {
+	eng.Spawn("reader", func(p *sim.Proc) {
+		for {
+			if c.Receiver.Read(p, 1<<20) == 0 {
+				return
+			}
+		}
+	})
+}
+
+func TestBulkTransferSaturatesLink(t *testing.T) {
+	eng, net := testbed(1, 10*units.Mbps, 50*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic})
+	bulkSender(eng, c, 16<<10)
+	promptReader(eng, c)
+	const dur = 30 * units.Second
+	eng.RunUntil(units.Time(dur))
+	got := float64(c.Receiver.ReadCum()) * 8 / dur.Seconds() // bits/s
+	// Goodput should be 85–100% of the 10 Mbps bottleneck.
+	if got < 8.5e6 || got > 10.1e6 {
+		t.Fatalf("goodput = %.2f Mbps, want ≈ 10", got/1e6)
+	}
+	eng.Shutdown()
+}
+
+func TestBulkTransferAllCCKinds(t *testing.T) {
+	for _, kind := range []cc.Kind{cc.KindReno, cc.KindCubic, cc.KindVegas, cc.KindBBR} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			eng, net := testbed(2, 20*units.Mbps, 40*units.Millisecond, nil)
+			c := Dial(net, ConnConfig{CC: kind})
+			bulkSender(eng, c, 16<<10)
+			promptReader(eng, c)
+			const dur = 20 * units.Second
+			eng.RunUntil(units.Time(dur))
+			got := float64(c.Receiver.ReadCum()) * 8 / dur.Seconds()
+			if got < 12e6 {
+				t.Fatalf("%s goodput = %.2f Mbps, want > 12", kind, got/1e6)
+			}
+			eng.Shutdown()
+		})
+	}
+}
+
+func TestStreamIntegrity(t *testing.T) {
+	// With 1% random loss, every written byte must still arrive in order
+	// exactly once (reliability under retransmission).
+	eng := sim.New(3)
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{
+			Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond, LossRate: 0.01,
+		},
+		Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+	})
+	net := NewNet(eng, path)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic})
+
+	const total = 2 << 20 // 2 MB
+	eng.Spawn("writer", func(p *sim.Proc) { c.Sender.WriteFull(p, total) })
+	var read int
+	eng.Spawn("reader", func(p *sim.Proc) {
+		for read < total {
+			n := c.Receiver.Read(p, 64<<10)
+			if n == 0 {
+				return
+			}
+			read += n
+		}
+	})
+	eng.RunUntil(units.Time(60 * units.Second))
+	if read != total {
+		t.Fatalf("read %d of %d bytes", read, total)
+	}
+	if c.Receiver.Endpoint().RcvNxt() != uint64(total) {
+		t.Fatalf("RcvNxt = %d", c.Receiver.Endpoint().RcvNxt())
+	}
+	if c.Sender.GetsockoptTCPInfo().TotalRetrans == 0 {
+		t.Fatal("no retransmissions despite 1% loss — loss path untested")
+	}
+	eng.Shutdown()
+}
+
+func TestBlockingWriteRespectsBuffer(t *testing.T) {
+	eng, net := testbed(4, 10*units.Mbps, 50*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic, SndBuf: 64 << 10})
+	bulkSender(eng, c, 32<<10)
+	promptReader(eng, c)
+	// Sample occupancy during the run.
+	maxUsed := 0
+	var probe func()
+	probe = func() {
+		if u := c.Sender.SndBufUsed(); u > maxUsed {
+			maxUsed = u
+		}
+		eng.Schedule(10*units.Millisecond, probe)
+	}
+	eng.Schedule(0, probe)
+	eng.RunUntil(units.Time(10 * units.Second))
+	if maxUsed > 64<<10 {
+		t.Fatalf("send buffer occupancy %d exceeded SO_SNDBUF 64KiB", maxUsed)
+	}
+	if maxUsed < 32<<10 {
+		t.Fatalf("send buffer never filled (%d); writer not blocking-limited", maxUsed)
+	}
+	if c.Sender.SndBufCap() != 64<<10 {
+		t.Fatalf("cap = %d", c.Sender.SndBufCap())
+	}
+	eng.Shutdown()
+}
+
+func TestAutotuneGrowsBufferWithCwnd(t *testing.T) {
+	eng, net := testbed(5, 10*units.Mbps, 50*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic}) // autotuned
+	bulkSender(eng, c, 16<<10)
+	promptReader(eng, c)
+	eng.RunUntil(units.Time(20 * units.Second))
+	info := c.Sender.GetsockoptTCPInfo()
+	cwndBytes := info.SndCwnd * info.SndMSS
+	if c.Sender.SndBufCap() < cwndBytes {
+		t.Fatalf("autotuned sndbuf %d < cwnd %d", c.Sender.SndBufCap(), cwndBytes)
+	}
+	// The paper's premise: the tuner holds ≈2 cwnd of buffer, so the
+	// occupancy (and hence sender-side delay) is large.
+	if c.Sender.SndBufUsed() < cwndBytes {
+		t.Fatalf("occupancy %d below one cwnd %d — no bufferbloat", c.Sender.SndBufUsed(), cwndBytes)
+	}
+	eng.Shutdown()
+}
+
+func TestTCPInfoFields(t *testing.T) {
+	eng, net := testbed(6, 10*units.Mbps, 50*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic})
+	bulkSender(eng, c, 16<<10)
+	promptReader(eng, c)
+	eng.RunUntil(units.Time(5 * units.Second))
+	si := c.Sender.GetsockoptTCPInfo()
+	ri := c.Receiver.GetsockoptTCPInfo()
+	if si.BytesAcked == 0 || si.SndCwnd == 0 || si.SndMSS == 0 || si.SndBuf == 0 {
+		t.Fatalf("sender info incomplete: %+v", si)
+	}
+	if si.RTT < 50*units.Millisecond {
+		t.Fatalf("SRTT %v below base RTT", si.RTT)
+	}
+	if ri.SegsIn == 0 || ri.RcvMSS == 0 {
+		t.Fatalf("receiver info incomplete: %+v", ri)
+	}
+	// segs_in × rcv_mss should approximate the delivered byte count —
+	// the very estimate Algorithm 2 relies on.
+	est := uint64(ri.SegsIn * ri.RcvMSS)
+	actual := c.Receiver.Endpoint().RcvNxt()
+	if est < actual || est > actual*110/100+uint64(10*ri.RcvMSS) {
+		t.Fatalf("segs_in*mss = %d vs received %d — estimate out of band", est, actual)
+	}
+	eng.Shutdown()
+}
+
+func TestTraceHooksFire(t *testing.T) {
+	eng, net := testbed(7, 10*units.Mbps, 50*units.Millisecond, nil)
+	var wrote, txed, rxed, read int
+	c := Dial(net, ConnConfig{
+		CC: cc.KindCubic,
+		SenderHooks: TraceHooks{
+			AppWrite:    func(end uint64, n int) { wrote += n },
+			TCPTransmit: func(seq uint64, n int, retx bool) { txed += n },
+		},
+		ReceiverHooks: TraceHooks{
+			TCPReceive: func(seq uint64, n int) { rxed += n },
+			AppRead:    func(end uint64, n int) { read += n },
+		},
+	})
+	bulkSender(eng, c, 16<<10)
+	promptReader(eng, c)
+	eng.RunUntil(units.Time(5 * units.Second))
+	if wrote == 0 || txed == 0 || rxed == 0 || read == 0 {
+		t.Fatalf("hooks: wrote=%d txed=%d rxed=%d read=%d", wrote, txed, rxed, read)
+	}
+	if read != rxed && read > rxed {
+		t.Fatalf("read %d > received %d", read, rxed)
+	}
+	if txed < rxed {
+		t.Fatalf("transmitted %d < received %d", txed, rxed)
+	}
+	eng.Shutdown()
+}
+
+func TestMultipleFlowsShareFairly(t *testing.T) {
+	eng, net := testbed(8, 30*units.Mbps, 50*units.Millisecond, nil)
+	var conns []*Conn
+	for i := 0; i < 3; i++ {
+		c := Dial(net, ConnConfig{CC: cc.KindCubic})
+		bulkSender(eng, c, 16<<10)
+		promptReader(eng, c)
+		conns = append(conns, c)
+	}
+	const dur = 60 * units.Second
+	eng.RunUntil(units.Time(dur))
+	var rates []float64
+	var sum float64
+	for _, c := range conns {
+		r := float64(c.Receiver.ReadCum()) * 8 / dur.Seconds()
+		rates = append(rates, r)
+		sum += r
+	}
+	if sum < 25e6 {
+		t.Fatalf("aggregate %.1f Mbps under 30 Mbps link", sum/1e6)
+	}
+	// Jain's fairness index over the three Cubic flows.
+	var sq float64
+	for _, r := range rates {
+		sq += r * r
+	}
+	jain := sum * sum / (3 * sq)
+	if jain < 0.85 {
+		t.Fatalf("fairness index %.3f (rates %v)", jain, rates)
+	}
+	eng.Shutdown()
+}
+
+func TestVegasKeepsQueueSmall(t *testing.T) {
+	// Vegas (delay-based) should hold a far smaller bottleneck queue than
+	// Cubic on the same path.
+	queue := func(kind cc.Kind) int {
+		eng, net := testbed(9, 10*units.Mbps, 50*units.Millisecond, nil)
+		c := Dial(net, ConnConfig{CC: kind})
+		bulkSender(eng, c, 16<<10)
+		promptReader(eng, c)
+		maxQ := 0
+		var probe func()
+		probe = func() {
+			if q := net.Path().Forward.QueueLen(); q > maxQ {
+				maxQ = q
+			}
+			eng.Schedule(50*units.Millisecond, probe)
+		}
+		eng.Schedule(5*units.Second, probe) // after slow start
+		eng.RunUntil(units.Time(30 * units.Second))
+		eng.Shutdown()
+		return maxQ
+	}
+	cubicQ := queue(cc.KindCubic)
+	vegasQ := queue(cc.KindVegas)
+	if vegasQ*5 > cubicQ {
+		t.Fatalf("Vegas queue %d not ≪ Cubic queue %d", vegasQ, cubicQ)
+	}
+	eng := sim.New(0)
+	_ = eng
+}
+
+func TestCloseUnblocksAndStops(t *testing.T) {
+	eng, net := testbed(10, units.Mbps, 100*units.Millisecond, nil)
+	c := Dial(net, ConnConfig{CC: cc.KindCubic, SndBuf: 8 << 10})
+	done := false
+	eng.Spawn("writer", func(p *sim.Proc) {
+		for c.Sender.Write(p, 64<<10) > 0 {
+		}
+		done = true
+	})
+	eng.Schedule(2*units.Second, func() { c.Close() })
+	eng.RunUntil(units.Time(5 * units.Second))
+	if !done {
+		t.Fatal("Close did not unblock the writer")
+	}
+	eng.Shutdown()
+}

@@ -1,0 +1,112 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"element/internal/cc"
+	"element/internal/pkt"
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// TestPropertySenderSurvivesArbitraryAcks throws randomized (possibly
+// nonsensical) ACK/SACK sequences at a sender and checks the structural
+// invariants: snd_una never regresses or passes snd_nxt, packets_out is
+// never negative, the pipe estimate never exceeds outstanding bytes, and
+// nothing panics.
+func TestPropertySenderSurvivesArbitraryAcks(t *testing.T) {
+	f := func(seed int64, script []uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.New(seed)
+		sent := 0
+		ep := New(eng, Config{
+			FlowID: 1,
+			CC:     cc.MustNew(cc.KindCubic, DefaultMSS, rng),
+			Out:    func(p *pkt.Packet) { sent++ },
+		})
+		ep.SetAvailable(1 << 30)
+		prevUna := uint64(0)
+		for _, op := range script {
+			eng.RunFor(units.Duration(op%20) * units.Millisecond)
+			ackBase := uint64(op) * 37 % (ep.SndNxt() + 3*DefaultMSS + 1)
+			p := &pkt.Packet{Flags: pkt.FlagACK, Ack: ackBase, Wnd: int(op%1000)*1000 + 1}
+			if op%3 == 0 {
+				start := uint64(op) * 91 % (ep.SndNxt() + 1)
+				end := start + uint64(op%7)*DefaultMSS
+				p.Sack = append(p.Sack, pkt.Range{Start: start, End: end})
+			}
+			if op%17 == 0 {
+				p.ECE = true
+			}
+			ep.HandleAck(p)
+
+			if ep.SndUna() < prevUna {
+				return false // cumulative ack regressed
+			}
+			prevUna = ep.SndUna()
+			if ep.SndUna() > ep.SndNxt() {
+				return false
+			}
+			if ep.packetsOut() < 0 {
+				return false
+			}
+			// A mid-segment (unaligned) ACK leaves the partially-acked head
+			// segment counted whole, so allow one MSS of slack.
+			if ep.pipe() < 0 || ep.pipe() > int(ep.SndNxt()-ep.SndUna())+DefaultMSS {
+				return false
+			}
+		}
+		ep.Close()
+		eng.Shutdown()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyReceiverSurvivesArbitrarySegments injects random (overlapping,
+// duplicate, out-of-range) data segments and checks reassembly invariants.
+func TestPropertyReceiverSurvivesArbitrarySegments(t *testing.T) {
+	f := func(seed int64, script []uint32) bool {
+		eng := sim.New(seed)
+		var reported uint64
+		ep := New(eng, Config{
+			FlowID:       1,
+			Out:          func(p *pkt.Packet) {},
+			OnReceiveNew: func(seq uint64, n int) { reported += uint64(n) },
+		})
+		for _, op := range script {
+			eng.RunFor(units.Duration(op%10) * units.Millisecond)
+			seq := uint64(op) * 53 % (64 * DefaultMSS)
+			n := int(op%3)*700 + 100
+			ep.HandleData(&pkt.Packet{FlowID: 1, Seq: seq, PayloadLen: n})
+
+			// Invariants: readable ≤ rcvNxt; ooo intervals sorted, disjoint,
+			// strictly above rcvNxt; reported bytes ≥ rcvNxt (every
+			// contiguous byte was reported exactly once — uniqueness is
+			// checked elsewhere; here we check coverage).
+			if uint64(ep.ReadableBytes()) > ep.RcvNxt() {
+				return false
+			}
+			prevEnd := ep.RcvNxt()
+			for _, iv := range ep.ooo {
+				if iv.start < prevEnd || iv.end <= iv.start {
+					return false
+				}
+				prevEnd = iv.end
+			}
+			if reported < ep.RcvNxt() {
+				return false
+			}
+		}
+		ep.Close()
+		eng.Shutdown()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package tcp
+
+import (
+	"testing"
+
+	"element/internal/pkt"
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// pacedCC is a fixed-rate, fixed-window fake for pacing tests.
+type pacedCC struct {
+	cwnd int
+	rate units.Rate
+}
+
+func (c *pacedCC) Name() string { return "paced-fake" }
+func (c *pacedCC) OnAck(units.Time, int, units.Duration, int, bool) {
+}
+func (c *pacedCC) OnLoss(units.Time)      {}
+func (c *pacedCC) OnECN(units.Time)       {}
+func (c *pacedCC) OnRTO(units.Time)       {}
+func (c *pacedCC) CwndBytes() int         { return c.cwnd }
+func (c *pacedCC) SsthreshSegs() int      { return 1 << 20 }
+func (c *pacedCC) PacingRate() units.Rate { return c.rate }
+
+func TestPacingSpacesTransmissions(t *testing.T) {
+	eng := sim.New(1)
+	var times []units.Time
+	ep := New(eng, Config{
+		FlowID: 1,
+		CC:     &pacedCC{cwnd: 1 << 20, rate: 12 * units.Mbps},
+		Out:    func(p *pkt.Packet) { times = append(times, eng.Now()) },
+	})
+	ep.SetAvailable(20 * DefaultMSS)
+	eng.RunFor(500 * units.Millisecond) // below the initial RTO
+	if len(times) != 20 {
+		t.Fatalf("sent %d segments, want 20", len(times))
+	}
+	// 1500 wire bytes at 12 Mbps = 1 ms spacing.
+	want := units.Duration(1000 * units.Microsecond)
+	for i := 1; i < len(times); i++ {
+		gap := times[i].Sub(times[i-1])
+		if gap < want-10*units.Microsecond || gap > want+10*units.Microsecond {
+			t.Fatalf("gap %d = %v, want ≈ %v", i, gap, want)
+		}
+	}
+	ep.Close()
+	eng.Shutdown()
+}
+
+func TestPacingStillWindowLimited(t *testing.T) {
+	eng := sim.New(1)
+	sent := 0
+	ep := New(eng, Config{
+		FlowID: 1,
+		CC:     &pacedCC{cwnd: 3 * DefaultMSS, rate: 100 * units.Mbps},
+		Out:    func(p *pkt.Packet) { sent++ },
+	})
+	ep.SetAvailable(100 * DefaultMSS)
+	eng.RunFor(500 * units.Millisecond) // below the initial RTO
+	if sent != 3 {
+		t.Fatalf("sent %d, want 3 (window-limited despite pacing)", sent)
+	}
+	ep.Close()
+	eng.Shutdown()
+}
+
+func TestCloseStopsActivity(t *testing.T) {
+	eng := sim.New(1)
+	sent := 0
+	ep := New(eng, Config{
+		FlowID: 1,
+		CC:     &pacedCC{cwnd: 1 << 20, rate: units.Mbps},
+		Out:    func(p *pkt.Packet) { sent++ },
+	})
+	ep.SetAvailable(100 * DefaultMSS)
+	eng.RunFor(20 * units.Millisecond)
+	before := sent
+	ep.Close()
+	eng.RunFor(units.Second)
+	if sent != before {
+		t.Fatalf("endpoint kept transmitting after Close: %d -> %d", before, sent)
+	}
+	// Further input must be ignored.
+	ep.HandleAck(&pkt.Packet{Flags: pkt.FlagACK, Ack: DefaultMSS})
+	ep.HandleData(&pkt.Packet{Seq: 0, PayloadLen: 100})
+	if ep.ReadableBytes() != 0 {
+		t.Fatal("closed endpoint accepted data")
+	}
+	eng.Shutdown()
+}

@@ -1,0 +1,58 @@
+package tcp
+
+import "element/internal/units"
+
+// RTO bounds. Linux uses a 200 ms minimum RTO (not RFC 6298's 1 s), which
+// matters for the latency experiments, so we follow Linux.
+const (
+	minRTO = 200 * units.Millisecond
+	maxRTO = 60 * units.Second
+)
+
+// rttEstimator implements RFC 6298 smoothed RTT / RTO computation.
+type rttEstimator struct {
+	srtt   units.Duration
+	rttvar units.Duration
+	rto    units.Duration
+	init   bool
+}
+
+func newRTTEstimator() rttEstimator {
+	return rttEstimator{rto: units.Second} // initial RTO before any sample
+}
+
+// sample feeds one RTT measurement.
+func (r *rttEstimator) sample(m units.Duration) {
+	if m <= 0 {
+		return
+	}
+	if !r.init {
+		r.init = true
+		r.srtt = m
+		r.rttvar = m / 2
+	} else {
+		d := r.srtt - m
+		if d < 0 {
+			d = -d
+		}
+		r.rttvar = (3*r.rttvar + d) / 4
+		r.srtt = (7*r.srtt + m) / 8
+	}
+	r.rto = r.srtt + 4*r.rttvar
+	r.clamp()
+}
+
+// backoff doubles the RTO (exponential backoff on RTO expiry).
+func (r *rttEstimator) backoff() {
+	r.rto *= 2
+	r.clamp()
+}
+
+func (r *rttEstimator) clamp() {
+	if r.rto < minRTO {
+		r.rto = minRTO
+	}
+	if r.rto > maxRTO {
+		r.rto = maxRTO
+	}
+}

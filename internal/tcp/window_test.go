@@ -1,0 +1,59 @@
+package tcp
+
+import (
+	"testing"
+
+	"element/internal/pkt"
+	"element/internal/sim"
+	"element/internal/sockbuf"
+	"element/internal/units"
+)
+
+func TestWindowUpdateAfterZeroWindow(t *testing.T) {
+	eng := sim.New(1)
+	var acks []*pkt.Packet
+	rb := sockbuf.NewReceiveBuffer(4 * DefaultMSS)
+	ep := New(eng, Config{
+		FlowID: 1,
+		RcvBuf: rb,
+		Out:    func(p *pkt.Packet) { acks = append(acks, p) },
+	})
+	// Fill the receive buffer completely: the last ACK advertises 0.
+	for i := 0; i < 4; i++ {
+		ep.HandleData(&pkt.Packet{FlowID: 1, Seq: uint64(i * DefaultMSS), PayloadLen: DefaultMSS})
+	}
+	eng.RunFor(100 * units.Millisecond) // flush delayed acks
+	if last := acks[len(acks)-1]; last.Wnd != 0 {
+		t.Fatalf("full buffer advertised window %d, want 0", last.Wnd)
+	}
+	before := len(acks)
+	// App reads everything: a window-update ACK must go out immediately.
+	ep.Consume(4 * DefaultMSS)
+	if len(acks) != before+1 {
+		t.Fatalf("no window update after read (acks %d -> %d)", before, len(acks))
+	}
+	if upd := acks[len(acks)-1]; upd.Wnd < 2*DefaultMSS {
+		t.Fatalf("window update advertises %d", upd.Wnd)
+	}
+	ep.Close()
+	eng.Shutdown()
+}
+
+func TestNoSpuriousWindowUpdates(t *testing.T) {
+	eng := sim.New(1)
+	var acks []*pkt.Packet
+	ep := New(eng, Config{
+		FlowID: 1,
+		Out:    func(p *pkt.Packet) { acks = append(acks, p) },
+	})
+	// Plenty of buffer: reads must not generate extra ACKs.
+	ep.HandleData(&pkt.Packet{FlowID: 1, Seq: 0, PayloadLen: DefaultMSS})
+	eng.RunFor(100 * units.Millisecond)
+	before := len(acks)
+	ep.Consume(DefaultMSS)
+	if len(acks) != before {
+		t.Fatalf("spurious window update: %d -> %d", before, len(acks))
+	}
+	ep.Close()
+	eng.Shutdown()
+}

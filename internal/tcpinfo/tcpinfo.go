@@ -1,0 +1,45 @@
+// Package tcpinfo defines the TCP_INFO snapshot the simulated stack exposes
+// to user-level code, mirroring the Linux tcp_info fields the paper's
+// algorithms consume (tcpi_bytes_acked, tcpi_unacked, tcpi_snd_mss,
+// tcpi_segs_in, tcpi_rcv_mss, tcpi_snd_cwnd, tcpi_snd_ssthresh, tcpi_rtt).
+//
+// ELEMENT (internal/core) reads ONLY this struct plus application-layer
+// byte counts, exactly as the real system reads only
+// getsockopt(TCP_INFO) — the stack's internals are invisible to it.
+package tcpinfo
+
+import "element/internal/units"
+
+// TCPInfo is a point-in-time snapshot of per-connection TCP statistics.
+type TCPInfo struct {
+	// BytesAcked is the cumulative number of stream bytes acknowledged by
+	// the peer (tcpi_bytes_acked).
+	BytesAcked uint64
+	// Unacked is the number of segments sent but not yet acknowledged
+	// (tcpi_unacked, i.e. packets_out).
+	Unacked int
+	// SndMSS is the sender maximum segment size (tcpi_snd_mss).
+	SndMSS int
+	// RcvMSS is the receiver-side MSS estimate (tcpi_rcv_mss).
+	RcvMSS int
+	// SegsIn is the total number of segments received (tcpi_segs_in).
+	SegsIn int
+	// SegsOut is the total number of segments sent (tcpi_segs_out).
+	SegsOut int
+	// SndCwnd is the congestion window in segments (tcpi_snd_cwnd).
+	SndCwnd int
+	// SndSsthresh is the slow-start threshold in segments.
+	SndSsthresh int
+	// RTT is the smoothed round-trip time (tcpi_rtt).
+	RTT units.Duration
+	// RTTVar is the RTT variance estimate (tcpi_rttvar).
+	RTTVar units.Duration
+	// TotalRetrans counts retransmitted segments (tcpi_total_retrans).
+	TotalRetrans int
+	// PacingRate is the current pacing rate, zero when unpaced
+	// (tcpi_pacing_rate).
+	PacingRate units.Rate
+	// SndBuf is the current send-buffer capacity in bytes, as returned by
+	// getsockopt(SO_SNDBUF); Algorithm 3 reads it to seed its target.
+	SndBuf int
+}

@@ -1,0 +1,177 @@
+// Package trace is the simulator's analogue of the paper's instrumented
+// perf kernel profiler (§4.3): it observes the four decomposition points of
+// Figure 1/5 — application write, TCP transmit (tcp_transmit_skb), TCP
+// receive (tcp_v4_do_rcv), application read — with exact per-byte
+// timestamps, and derives the ground-truth sender-side, network, and
+// receiver-side delays that ELEMENT's user-level estimates are judged
+// against.
+package trace
+
+import (
+	"sort"
+
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/stats"
+	"element/internal/units"
+)
+
+// Sample and Series alias the shared statistics types so ground truth and
+// ELEMENT's estimates compare directly.
+type Sample = stats.Sample
+
+// Series is an ordered collection of samples.
+type Series = stats.Series
+
+// rangeStamp is a byte range with the time it passed an observation point.
+type rangeStamp struct {
+	start, end uint64
+	at         units.Time
+}
+
+// Collector accumulates ground truth for one connection. Create it with
+// New and pass Hooks() into the connection's ConnConfig.
+type Collector struct {
+	eng *sim.Engine
+
+	// Sender side: cumulative write records and transmission stamps.
+	writes    []rangeStamp // app writes, contiguous, FIFO
+	writeHead int
+	transmits []rangeStamp // first + re-transmissions, by start seq (sorted)
+
+	// Receiver side: receive stamps awaiting app reads.
+	receives []rangeStamp // sorted by start, disjoint
+	readCum  uint64
+
+	senderDelay   Series
+	networkDelay  Series
+	receiverDelay Series
+}
+
+// New returns an empty collector bound to eng.
+func New(eng *sim.Engine) *Collector { return &Collector{eng: eng} }
+
+// SenderHooks returns the trace hooks for the sending socket.
+func (c *Collector) SenderHooks() stack.TraceHooks {
+	return stack.TraceHooks{
+		AppWrite:    c.onAppWrite,
+		TCPTransmit: c.onTCPTransmit,
+	}
+}
+
+// ReceiverHooks returns the trace hooks for the receiving socket.
+func (c *Collector) ReceiverHooks() stack.TraceHooks {
+	return stack.TraceHooks{
+		TCPReceive: c.onTCPReceive,
+		AppRead:    c.onAppRead,
+	}
+}
+
+// onAppWrite records that the app stream now extends to endSeq.
+func (c *Collector) onAppWrite(endSeq uint64, n int) {
+	c.writes = append(c.writes, rangeStamp{end: endSeq, at: c.eng.Now()})
+}
+
+// onTCPTransmit matches a first transmission against the write records.
+// Retransmissions update the network-delay bookkeeping but do not produce
+// sender-delay samples (the bytes left the socket buffer at first
+// transmission, like tcp_transmit_skb tracing does).
+func (c *Collector) onTCPTransmit(seq uint64, n int, retx bool) {
+	now := c.eng.Now()
+	end := seq + uint64(n)
+	c.recordTransmit(rangeStamp{start: seq, end: end, at: now})
+	if retx {
+		return
+	}
+	// Sender delay: time since the write call that produced the segment's
+	// last byte (the paper matches the closest record not exceeding the
+	// TCP-layer byte count; at ground-truth precision the covering write is
+	// exact).
+	for c.writeHead < len(c.writes) {
+		w := c.writes[c.writeHead]
+		if w.end >= end {
+			c.senderDelay = append(c.senderDelay, Sample{At: now, Delay: now.Sub(w.at), Bytes: n})
+			break
+		}
+		c.writeHead++
+	}
+	if c.writeHead > 256 && c.writeHead*2 >= len(c.writes) {
+		m := copy(c.writes, c.writes[c.writeHead:])
+		c.writes = c.writes[:m]
+		c.writeHead = 0
+	}
+}
+
+// recordTransmit keeps the latest transmission time per byte range, so the
+// receive path can attribute network delay to the transmission that
+// actually delivered the bytes.
+func (c *Collector) recordTransmit(r rangeStamp) {
+	i := sort.Search(len(c.transmits), func(i int) bool { return c.transmits[i].start >= r.start })
+	if i < len(c.transmits) && c.transmits[i].start == r.start {
+		c.transmits[i] = r // retransmission supersedes
+		return
+	}
+	c.transmits = append(c.transmits, rangeStamp{})
+	copy(c.transmits[i+1:], c.transmits[i:])
+	c.transmits[i] = r
+}
+
+// onTCPReceive records arrival of new bytes and emits the network-delay
+// sample for the transmission that delivered them.
+func (c *Collector) onTCPReceive(seq uint64, n int) {
+	now := c.eng.Now()
+	end := seq + uint64(n)
+	// Find the covering transmission: greatest start <= seq.
+	i := sort.Search(len(c.transmits), func(i int) bool { return c.transmits[i].start > seq })
+	if i > 0 {
+		tx := c.transmits[i-1]
+		c.networkDelay = append(c.networkDelay, Sample{At: now, Delay: now.Sub(tx.at), Bytes: n})
+	}
+	// Stash for the receiver-delay match at app-read time.
+	c.receives = append(c.receives, rangeStamp{start: seq, end: end, at: now})
+	sort.Slice(c.receives, func(a, b int) bool { return c.receives[a].start < c.receives[b].start })
+	// Trim transmission records below the fully received prefix lazily.
+	c.trimTransmits()
+}
+
+func (c *Collector) trimTransmits() {
+	if len(c.receives) == 0 || len(c.transmits) < 4096 {
+		return
+	}
+	low := c.receives[0].start
+	i := sort.Search(len(c.transmits), func(i int) bool { return c.transmits[i].end > low })
+	if i > 0 {
+		c.transmits = append(c.transmits[:0], c.transmits[i:]...)
+	}
+}
+
+// onAppRead matches consumed bytes against receive stamps.
+func (c *Collector) onAppRead(endSeq uint64, n int) {
+	now := c.eng.Now()
+	c.readCum = endSeq
+	for len(c.receives) > 0 && c.receives[0].start < endSeq {
+		r := c.receives[0]
+		if r.end <= endSeq {
+			c.receiverDelay = append(c.receiverDelay, Sample{
+				At: now, Delay: now.Sub(r.at), Bytes: int(r.end - r.start),
+			})
+			c.receives = c.receives[1:]
+			continue
+		}
+		// Partially read range: split it.
+		c.receiverDelay = append(c.receiverDelay, Sample{
+			At: now, Delay: now.Sub(r.at), Bytes: int(endSeq - r.start),
+		})
+		c.receives[0].start = endSeq
+		break
+	}
+}
+
+// SenderDelay reports the ground-truth sender-side (socket buffer) delays.
+func (c *Collector) SenderDelay() Series { return c.senderDelay }
+
+// NetworkDelay reports the ground-truth one-way network delays.
+func (c *Collector) NetworkDelay() Series { return c.networkDelay }
+
+// ReceiverDelay reports the ground-truth receiver-side delays.
+func (c *Collector) ReceiverDelay() Series { return c.receiverDelay }
