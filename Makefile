@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+## check: the full local gate — format, vet, build, race-enabled tests.
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# The exp package replays every table/figure scenario; under the race
+# detector that runs well past go test's default 10 m per-package timeout
+# (~35 min on a loaded box).
+test:
+	$(GO) test -race -timeout 60m ./...
+
+## bench: every table/figure benchmark plus the overhead ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...

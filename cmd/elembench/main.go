@@ -2,29 +2,34 @@
 //
 // Usage:
 //
-//	elembench                 # run every experiment
-//	elembench -run fig13      # run one experiment
-//	elembench -list           # list experiment IDs
-//	elembench -seed 7 -dur 60 # override seed and per-run duration (seconds)
+//	elembench                    # run every experiment
+//	elembench -run fig13         # run one experiment
+//	elembench -run fig2,fig6     # run a comma-separated subset
+//	elembench -list              # list experiment IDs
+//	elembench -seed 7 -dur 60    # override seed and per-run duration (seconds)
+//	elembench -metrics-summary   # print telemetry counters after each run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"element/internal/exp"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment id to run (empty = all)")
+		runID    = flag.String("run", "", "comma-separated experiment ids to run (empty = all)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		dur      = flag.Float64("dur", 0, "per-run simulated duration in seconds (0 = experiment default)")
 		markdown = flag.Bool("md", false, "emit GitHub-flavoured markdown (for EXPERIMENTS.md)")
+		metrics  = flag.Bool("metrics-summary", false, "print a telemetry metrics snapshot after each experiment")
 	)
 	flag.Parse()
 
@@ -37,6 +42,12 @@ func main() {
 
 	duration := units.DurationFromSeconds(*dur)
 	run := func(e exp.Experiment) {
+		// Experiments build their own ScenarioConfigs, so metrics are
+		// injected via the package-level fallback: a fresh Telemetry per
+		// experiment keeps the snapshots from bleeding into each other.
+		if *metrics {
+			exp.DefaultTelemetry = telemetry.New()
+		}
 		start := time.Now()
 		res := e.Run(*seed, duration)
 		if *markdown {
@@ -45,15 +56,30 @@ func main() {
 			fmt.Print(res.Render())
 			fmt.Printf("(%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
 		}
+		if *metrics {
+			fmt.Printf("--- metrics (%s) ---\n", e.ID)
+			exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText)
+			fmt.Println()
+			exp.DefaultTelemetry = nil
+		}
 	}
 
 	if *runID != "" {
-		e, err := exp.Lookup(*runID)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var selected []exp.Experiment
+		for _, id := range strings.Split(*runID, ",") {
+			e, err := exp.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "elembench: unknown experiment %q\n\nregistered experiments:\n", strings.TrimSpace(id))
+				for _, e := range exp.Registry {
+					fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+				}
+				os.Exit(1)
+			}
+			selected = append(selected, e)
 		}
-		run(e)
+		for _, e := range selected {
+			run(e)
+		}
 		return
 	}
 	for _, e := range exp.Registry {

@@ -18,6 +18,7 @@ import (
 	"element/internal/cc"
 	"element/internal/exp"
 	"element/internal/netem"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
@@ -38,8 +39,26 @@ func main() {
 		wireless = flag.Bool("wireless", false, "tell the minimizer the sender is on LTE/WiFi")
 		dur      = flag.Float64("dur", 30, "simulated duration (seconds)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		telPath  = flag.String("telemetry", "", "write a telemetry export to this file (implies -element)")
+		telFmt   = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
 	)
 	flag.Parse()
+
+	var (
+		telem  *telemetry.Telemetry
+		format telemetry.Format
+	)
+	if *telPath != "" {
+		var err error
+		if format, err = telemetry.ParseFormat(*telFmt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telem = telemetry.New()
+		// Attach the trackers so the export carries core-component events;
+		// attaching is passive and does not change flow behaviour.
+		*element = true
+	}
 
 	cfg := exp.ScenarioConfig{
 		Seed:         *seed,
@@ -50,6 +69,7 @@ func main() {
 		ECN:          *ecn,
 		LossRate:     *loss,
 		Duration:     units.DurationFromSeconds(*dur),
+		Telemetry:    telem,
 	}
 	if *profile != "" {
 		p, err := netem.ProfileByName(*profile)
@@ -94,4 +114,25 @@ func main() {
 				f.Sender.Min.Target(), sleeps, total)
 		}
 	}
+	if telem != nil {
+		if err := writeTelemetry(telem, *telPath, format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntelemetry: %d events (%d evicted) written to %s (%s)\n",
+			telem.Tracer().Len(), telem.Tracer().Evicted(), *telPath, format)
+	}
+}
+
+// writeTelemetry exports telem to path in the requested format.
+func writeTelemetry(t *telemetry.Telemetry, path string, f telemetry.Format) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Export(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

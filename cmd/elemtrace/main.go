@@ -17,29 +17,63 @@ import (
 	"element/internal/aqm"
 	"element/internal/cc"
 	"element/internal/exp"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
 func main() {
 	var (
-		bw    = flag.Float64("bw", 10, "bottleneck bandwidth (Mbps)")
-		rtt   = flag.Float64("rtt", 50, "base RTT (ms)")
-		qdisc = flag.String("qdisc", "pfifo_fast", "bottleneck qdisc")
-		algo  = flag.String("cc", "cubic", "congestion control")
-		dur   = flag.Float64("dur", 40, "simulated duration (seconds)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		bw      = flag.Float64("bw", 10, "bottleneck bandwidth (Mbps)")
+		rtt     = flag.Float64("rtt", 50, "base RTT (ms)")
+		qdisc   = flag.String("qdisc", "pfifo_fast", "bottleneck qdisc")
+		algo    = flag.String("cc", "cubic", "congestion control")
+		dur     = flag.Float64("dur", 40, "simulated duration (seconds)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		telPath = flag.String("telemetry", "", "also write a telemetry export to this file")
+		telFmt  = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
 	)
 	flag.Parse()
 
+	var (
+		telem  *telemetry.Telemetry
+		format telemetry.Format
+	)
+	if *telPath != "" {
+		var err error
+		if format, err = telemetry.ParseFormat(*telFmt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telem = telemetry.New()
+	}
+
 	s := exp.RunScenario(exp.ScenarioConfig{
-		Seed:     *seed,
-		Rate:     units.Rate(*bw) * units.Mbps,
-		RTT:      units.DurationFromSeconds(*rtt / 1000),
-		Disc:     aqm.Kind(*qdisc),
-		Duration: units.DurationFromSeconds(*dur),
-		Flows:    []exp.FlowSpec{{CC: cc.Kind(*algo), Element: true}},
+		Seed:      *seed,
+		Rate:      units.Rate(*bw) * units.Mbps,
+		RTT:       units.DurationFromSeconds(*rtt / 1000),
+		Disc:      aqm.Kind(*qdisc),
+		Duration:  units.DurationFromSeconds(*dur),
+		Flows:     []exp.FlowSpec{{CC: cc.Kind(*algo), Element: true}},
+		Telemetry: telem,
 	})
 	f := s.Flows[0]
+
+	if telem != nil {
+		out, err := os.Create(*telPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := telem.Export(out, format); err == nil {
+			err = out.Close()
+		} else {
+			out.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

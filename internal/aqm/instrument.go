@@ -1,0 +1,117 @@
+package aqm
+
+import (
+	"element/internal/pkt"
+	"element/internal/telemetry"
+	"element/internal/units"
+)
+
+// instrumented wraps a Discipline with telemetry: per-packet enqueue/drop/
+// ECN-mark counters and events, queue-depth samples, and a sojourn-time
+// histogram. Wrapping keeps the disciplines themselves observation-free, so
+// every AQM implementation is covered uniformly and uninstrumented runs pay
+// nothing.
+type instrumented struct {
+	d  Discipline
+	sc *telemetry.Scope
+
+	enqueued  *telemetry.Counter
+	dequeued  *telemetry.Counter
+	tailDrops *telemetry.Counter
+	aqmDrops  *telemetry.Counter
+	ecnMarks  *telemetry.Counter
+	sojourn   *telemetry.Histogram
+	depth     *telemetry.Gauge
+	queueS    *telemetry.Sampler
+
+	last Stats // previous snapshot, diffed to attribute internal drops
+}
+
+// Instrument wraps d so that its activity is recorded under sc. A nil
+// scope returns d unchanged.
+func Instrument(d Discipline, sc *telemetry.Scope) Discipline {
+	if sc == nil {
+		return d
+	}
+	return &instrumented{
+		d:         d,
+		sc:        sc,
+		enqueued:  sc.Counter("enqueued_packets"),
+		dequeued:  sc.Counter("dequeued_packets"),
+		tailDrops: sc.Counter("tail_drops"),
+		aqmDrops:  sc.Counter("aqm_drops"),
+		ecnMarks:  sc.Counter("ecn_marks"),
+		sojourn:   sc.Histogram("sojourn_seconds"),
+		depth:     sc.Gauge("queue_packets"),
+		queueS:    sc.Sampler("queue", telemetry.DefaultSampleGap, "packets", "bytes"),
+	}
+}
+
+// sync diffs the wrapped discipline's cumulative stats against the last
+// snapshot, attributing drops/marks that happened inside the call. It runs
+// on the sampler's cadence — Stats() through the interface twice per packet
+// is measurable, and the diff only coalesces better when taken less often —
+// plus immediately after a rejected enqueue, so tail drops are never late.
+func (i *instrumented) sync(now units.Time) {
+	st := i.d.Stats()
+	if n := st.TailDrops - i.last.TailDrops; n > 0 {
+		i.tailDrops.Add(float64(n))
+		i.sc.Event(telemetry.SevWarn, "tail_drop",
+			telemetry.F("packets", float64(n)),
+			telemetry.F("queue_packets", float64(i.d.Len())))
+	}
+	if n := st.AQMDrops - i.last.AQMDrops; n > 0 {
+		i.aqmDrops.Add(float64(n))
+		i.sc.Event(telemetry.SevInfo, "aqm_drop",
+			telemetry.F("packets", float64(n)),
+			telemetry.F("queue_packets", float64(i.d.Len())))
+	}
+	if n := st.ECNMarks - i.last.ECNMarks; n > 0 {
+		i.ecnMarks.Add(float64(n))
+		i.sc.Event(telemetry.SevInfo, "ecn_mark", telemetry.F("packets", float64(n)))
+	}
+	i.last = st
+}
+
+// Enqueue implements Discipline.
+func (i *instrumented) Enqueue(p *pkt.Packet, now units.Time) bool {
+	ok := i.d.Enqueue(p, now)
+	if ok {
+		i.enqueued.Inc()
+	} else {
+		i.sync(now) // a rejected enqueue is a drop — attribute it now
+	}
+	if i.queueS.DueAt(now) {
+		i.sync(now)
+		i.depth.Set(float64(i.d.Len()))
+		i.queueS.SampleValsAt(now, float64(i.d.Len()), float64(i.d.Bytes()))
+	}
+	return ok
+}
+
+// Dequeue implements Discipline.
+func (i *instrumented) Dequeue(now units.Time) *pkt.Packet {
+	p := i.d.Dequeue(now)
+	if p != nil {
+		i.dequeued.Inc()
+		i.sojourn.Observe(now.Sub(p.EnqueuedAt).Seconds())
+	}
+	if i.queueS.DueAt(now) {
+		i.sync(now)
+		i.depth.Set(float64(i.d.Len()))
+		i.queueS.SampleValsAt(now, float64(i.d.Len()), float64(i.d.Bytes()))
+	}
+	return p
+}
+
+// Len implements Discipline.
+func (i *instrumented) Len() int { return i.d.Len() }
+
+// Bytes implements Discipline.
+func (i *instrumented) Bytes() int { return i.d.Bytes() }
+
+// Stats implements Discipline.
+func (i *instrumented) Stats() Stats { return i.d.Stats() }
+
+// Name implements Discipline.
+func (i *instrumented) Name() string { return i.d.Name() }

@@ -3,6 +3,7 @@ package core
 import (
 	"element/internal/sim"
 	"element/internal/stack"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
@@ -50,6 +51,9 @@ type Options struct {
 	// Controller replaces Algorithm 3 with a custom strategy. Mutually
 	// exclusive with Minimize.
 	Controller Controller
+	// Telem records tracker and minimizer activity under the "core"
+	// component, scoped to the socket's flow. Nil disables instrumentation.
+	Telem *telemetry.Telemetry
 }
 
 // Sender is ELEMENT attached to the sending side of a connection: the
@@ -73,11 +77,14 @@ func AttachSender(eng *sim.Engine, sock *stack.Socket, opts Options) *Sender {
 	}
 	s := &Sender{eng: eng, sock: sock}
 	s.Tracker = NewSenderTracker(eng, sock, opts.Interval)
+	sc := opts.Telem.Scope("core").WithFlow(sock.FlowID())
+	s.Tracker.Instrument(sc)
 	switch {
 	case opts.Minimize:
 		cfg := opts.Minimizer
 		cfg.Wireless = cfg.Wireless || opts.Wireless
 		s.Min = NewMinimizer(eng, sock, s.Tracker, cfg)
+		s.Min.Instrument(sc)
 	case opts.Controller != nil:
 		s.ctrl = opts.Controller
 		s.Tracker.subscribe(s.ctrl.OnDelay)
@@ -184,11 +191,13 @@ type Receiver struct {
 
 // AttachReceiver wires ELEMENT onto a receiving socket.
 func AttachReceiver(eng *sim.Engine, sock *stack.Socket, opts Options) *Receiver {
-	return &Receiver{
+	r := &Receiver{
 		eng:     eng,
 		sock:    sock,
 		Tracker: NewReceiverTracker(eng, sock, opts.Interval),
 	}
+	r.Tracker.Instrument(opts.Telem.Scope("core").WithFlow(sock.FlowID()))
+	return r
 }
 
 // Read is em_read: the wrapped socket read plus Algorithm 2 matching.

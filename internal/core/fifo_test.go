@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"element/internal/units"
+)
+
+// TestFIFOCompaction drives push/pop interleavings across the head > 128
+// compaction threshold and checks that no record is lost or reordered and
+// that the backing slice stays bounded.
+func TestFIFOCompaction(t *testing.T) {
+	var f fifo
+	next := uint64(1) // next value to push
+	want := uint64(1) // next value expected from pop
+
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			f.push(record{bytes: next, at: units.Time(next)})
+			next++
+		}
+	}
+	pop := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if f.empty() {
+				t.Fatalf("fifo empty, want record %d", want)
+			}
+			if got := f.front(); got.bytes != want {
+				t.Fatalf("front = %d, want %d", got.bytes, want)
+			}
+			r := f.pop()
+			if r.bytes != want || r.at != units.Time(want) {
+				t.Fatalf("pop = {%d %d}, want {%d %d}", r.bytes, r.at, want, want)
+			}
+			want++
+		}
+	}
+
+	// Sit just below the threshold: head = 128 must not compact.
+	push(200)
+	pop(128)
+	if f.head != 128 {
+		t.Fatalf("head = %d after 128 pops, want 128 (no compaction yet)", f.head)
+	}
+
+	// One more pop crosses head > 128 with head*2 >= len: compaction fires.
+	pop(1)
+	if f.head != 0 {
+		t.Fatalf("head = %d after compaction, want 0", f.head)
+	}
+	if f.len() != 71 {
+		t.Fatalf("len = %d after compaction, want 71", f.len())
+	}
+
+	// Drain, interleaving pushes, and verify order survives compactions.
+	for round := 0; round < 50; round++ {
+		push(37)
+		pop(29)
+	}
+	pop(f.len())
+	if !f.empty() {
+		t.Fatalf("fifo not empty after full drain, len = %d", f.len())
+	}
+	if want != next {
+		t.Fatalf("popped through %d, pushed through %d", want-1, next-1)
+	}
+
+	// Memory stays bounded: a steady-state workload that pops as much as it
+	// pushes must not grow the backing array with the total records seen.
+	f = fifo{}
+	next, want = 1, 1
+	push(100)
+	for i := 0; i < 100_000; i++ {
+		push(1)
+		pop(1)
+	}
+	if c := cap(f.items); c > 4096 {
+		t.Fatalf("backing array grew to %d entries under steady state; compaction is not reclaiming", c)
+	}
+	pop(f.len())
+	if !f.empty() {
+		t.Fatal("fifo not empty after final drain")
+	}
+}
+
+// TestFIFOPopClearsSlots verifies pop zeroes the vacated slot so popped
+// records do not linger in the backing array (they would otherwise keep
+// stale data live until the next compaction).
+func TestFIFOPopClearsSlots(t *testing.T) {
+	var f fifo
+	for i := 1; i <= 8; i++ {
+		f.push(record{bytes: uint64(i), at: units.Time(i)})
+	}
+	for i := 1; i <= 4; i++ {
+		f.pop()
+	}
+	for i := 0; i < 4; i++ {
+		if f.items[i] != (record{}) {
+			t.Fatalf("slot %d not cleared after pop: %+v", i, f.items[i])
+		}
+	}
+}

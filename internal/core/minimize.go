@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"element/internal/sim"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
@@ -84,6 +85,23 @@ type Minimizer struct {
 	sleeps     int
 	sleepTotal units.Duration
 	updates    int
+
+	// Telemetry handles (nil when uninstrumented).
+	telem      *telemetry.Scope
+	sleepsC    *telemetry.Counter
+	sleepSecsC *telemetry.Counter
+	updatesC   *telemetry.Counter
+	stargetG   *telemetry.Gauge
+}
+
+// Instrument records Algorithm 3's decisions under sc: S_target/D_avg
+// samples on every per-SRTT update and pacing-sleep counters.
+func (m *Minimizer) Instrument(sc *telemetry.Scope) {
+	m.telem = sc
+	m.sleepsC = sc.Counter("pacing_sleeps")
+	m.sleepSecsC = sc.Counter("pacing_sleep_seconds")
+	m.updatesC = sc.Counter("starget_updates")
+	m.stargetG = sc.Gauge("starget_bytes")
 }
 
 // NewMinimizer attaches Algorithm 3 to a sender tracker. It subscribes to
@@ -148,6 +166,17 @@ func (m *Minimizer) check() {
 	}
 	m.tlast = m.eng.Now()
 	m.updates++
+	if m.telem != nil {
+		m.updatesC.Inc()
+		m.stargetG.Set(m.starget)
+		m.telem.Sample("minimizer",
+			telemetry.F("starget_bytes", m.starget),
+			telemetry.F("davg_ms", m.davg.Milliseconds()))
+		m.telem.Event(telemetry.SevDebug, "starget_update",
+			telemetry.F("starget_bytes", m.starget),
+			telemetry.F("davg_ms", m.davg.Milliseconds()),
+			telemetry.F("ratio", ratio))
+	}
 	if m.cfg.Wireless {
 		m.src.SetSndBuf(int(m.starget * m.cfg.Gamma))
 	}
@@ -184,6 +213,13 @@ func (m *Minimizer) AfterSend(p *sim.Proc, cumWritten uint64) {
 		d := units.DurationFromSeconds(math.Pow(float64(cnt), m.cfg.Lambda) / 1000)
 		m.sleeps++
 		m.sleepTotal += d
+		if m.telem != nil {
+			m.sleepsC.Inc()
+			m.sleepSecsC.Add(d.Seconds())
+			m.telem.Event(telemetry.SevDebug, "pacing_sleep",
+				telemetry.F("seconds", d.Seconds()),
+				telemetry.F("buffered_bytes", buffered))
+		}
 		p.Sleep(d)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"element/internal/sim"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
@@ -21,6 +22,26 @@ type SenderTracker struct {
 	onDelay   func(d units.Duration) // minimizer subscription
 	bestCache uint64                 // latest B_est, exposed for Algorithm 3
 	polls     int
+
+	// Telemetry handles (nil when uninstrumented).
+	telem    *telemetry.Scope
+	matchH   *telemetry.Histogram
+	pollsC   *telemetry.Counter
+	matchesC *telemetry.Counter
+	delayS   *telemetry.Sampler
+	fifoS    *telemetry.Sampler
+}
+
+// Instrument records the tracker's activity under sc: a histogram and time
+// series of the matched send-buffer delays (the paper's Algorithm 1
+// output) plus FIFO-depth samples per poll.
+func (t *SenderTracker) Instrument(sc *telemetry.Scope) {
+	t.telem = sc
+	t.matchH = sc.Histogram("snd_match_delay_seconds")
+	t.pollsC = sc.Counter("snd_polls")
+	t.matchesC = sc.Counter("snd_matches")
+	t.delayS = sc.Sampler("snd_buffer_delay", telemetry.DefaultSampleGap, "seconds")
+	t.fifoS = sc.Sampler("snd_fifo", telemetry.DefaultSampleGap, "depth")
 }
 
 // NewSenderTracker starts Algorithm 1's tcp_info tracking thread on eng.
@@ -68,9 +89,18 @@ func (t *SenderTracker) poll() {
 			At: now, Delay: d, Cwnd: ti.SndCwnd, Ssthresh: ti.SndSsthresh, RTT: ti.RTT,
 		}, int(r.bytes-t.lastBest))
 		t.lastBest = r.bytes
+		if t.telem != nil {
+			t.matchesC.Inc()
+			t.matchH.Observe(d.Seconds())
+			t.delayS.SampleValsAt(now, d.Seconds())
+		}
 		if t.onDelay != nil {
 			t.onDelay(d)
 		}
+	}
+	if t.telem != nil {
+		t.pollsC.Inc()
+		t.fifoS.SampleValsAt(now, float64(t.list.len()))
 	}
 }
 
@@ -115,6 +145,20 @@ type ReceiverTracker struct {
 	ticker  *sim.Timer
 	stopped bool
 	polls   int
+
+	// Telemetry handles (nil when uninstrumented).
+	telem    *telemetry.Scope
+	matchH   *telemetry.Histogram
+	matchesC *telemetry.Counter
+	delayS   *telemetry.Sampler
+}
+
+// Instrument records the tracker's matched receive-side delays under sc.
+func (t *ReceiverTracker) Instrument(sc *telemetry.Scope) {
+	t.telem = sc
+	t.matchH = sc.Histogram("rcv_match_delay_seconds")
+	t.matchesC = sc.Counter("rcv_matches")
+	t.delayS = sc.Sampler("rcv_buffer_delay", telemetry.DefaultSampleGap, "seconds")
 }
 
 // NewReceiverTracker starts Algorithm 2's tcp_info tracking thread.
@@ -163,9 +207,15 @@ func (t *ReceiverTracker) OnRead(cumBytes uint64, readBytes int) {
 		}
 		r := t.list.front()
 		ti := t.src.GetsockoptTCPInfo()
+		d := now.Sub(r.at)
 		t.est.add(Measurement{
-			At: now, Delay: now.Sub(r.at), Cwnd: ti.SndCwnd, Ssthresh: ti.SndSsthresh, RTT: ti.RTT,
+			At: now, Delay: d, Cwnd: ti.SndCwnd, Ssthresh: ti.SndSsthresh, RTT: ti.RTT,
 		}, readBytes)
+		if t.telem != nil {
+			t.matchesC.Inc()
+			t.matchH.Observe(d.Seconds())
+			t.delayS.SampleValsAt(now, d.Seconds())
+		}
 		break
 	}
 }

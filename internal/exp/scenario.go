@@ -11,9 +11,17 @@ import (
 	"element/internal/netem"
 	"element/internal/sim"
 	"element/internal/stack"
+	"element/internal/telemetry"
 	"element/internal/trace"
 	"element/internal/units"
 )
+
+// DefaultTelemetry, when non-nil, instruments every scenario whose config
+// does not carry its own Telemetry. It exists for callers that run
+// pre-registered experiments (whose Run functions build their own
+// ScenarioConfigs) and still want metrics out — cmd/elembench sets it
+// around each experiment.
+var DefaultTelemetry *telemetry.Telemetry
 
 // FlowSpec describes one flow in a scenario.
 type FlowSpec struct {
@@ -52,6 +60,10 @@ type ScenarioConfig struct {
 	DynamicBW *DynamicBW
 	Duration  units.Duration
 	Flows     []FlowSpec
+	// Telemetry instruments every layer of the scenario (sockbuf, tcp, aqm,
+	// netem, core). Nil falls back to DefaultTelemetry; nil both disables
+	// instrumentation entirely.
+	Telemetry *telemetry.Telemetry
 }
 
 // wanQueuePackets is the bottleneck buffer used by the controlled-testbed
@@ -109,6 +121,11 @@ type Scenario struct {
 // Build constructs the engine, path and flows for cfg without running it.
 func Build(cfg ScenarioConfig) *Scenario {
 	eng := sim.New(cfg.Seed)
+	telem := cfg.Telemetry
+	if telem == nil {
+		telem = DefaultTelemetry
+	}
+	telem.SetClock(eng.Now)
 	var path *netem.Path
 	if cfg.Profile != nil {
 		path = cfg.Profile.Build(eng, netem.BuildOptions{
@@ -125,6 +142,10 @@ func Build(cfg ScenarioConfig) *Scenario {
 			Reverse: netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2},
 		})
 	}
+	if telem != nil {
+		path.Forward.Instrument(telem.Scope("netem"), telem.Scope("aqm"))
+		path.Reverse.Instrument(telem.Scope("netem.rev"), telem.Scope("aqm.rev"))
+	}
 	if cfg.DynamicBW != nil {
 		netem.StartDynamicBandwidth(eng, path.Forward, cfg.DynamicBW.Low, cfg.DynamicBW.High, cfg.DynamicBW.Period)
 	}
@@ -140,14 +161,16 @@ func Build(cfg ScenarioConfig) *Scenario {
 			ECN:           cfg.ECN,
 			SenderHooks:   col.SenderHooks(),
 			ReceiverHooks: col.ReceiverHooks(),
+			Telem:         telem,
 		})
 		fr := &FlowResult{Spec: spec, Conn: conn, GT: col}
 		if spec.Element || spec.Minimize {
 			fr.Sender = core.AttachSender(eng, conn.Sender, core.Options{
 				Minimize: spec.Minimize,
 				Wireless: spec.Wireless,
+				Telem:    telem,
 			})
-			fr.Receiver = core.AttachReceiver(eng, conn.Receiver, core.Options{})
+			fr.Receiver = core.AttachReceiver(eng, conn.Receiver, core.Options{Telem: telem})
 		}
 		s.Flows = append(s.Flows, fr)
 

@@ -8,6 +8,7 @@ import (
 	"element/internal/aqm"
 	"element/internal/pkt"
 	"element/internal/sim"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
@@ -40,6 +41,29 @@ type Link struct {
 	busy         bool
 	lastDelivery units.Time
 	stats        LinkStats
+
+	// Telemetry handles (nil when uninstrumented).
+	telem       *telemetry.Scope
+	deliveredC  *telemetry.Counter
+	deliveredBC *telemetry.Counter
+	lostC       *telemetry.Counter
+	busySecsC   *telemetry.Counter
+	rateG       *telemetry.Gauge
+}
+
+// Instrument records the link's activity under linkSc (delivery/loss
+// counters, serialization busy time for utilization, rate changes) and
+// wraps its queueing discipline so enqueue/drop/mark/sojourn are recorded
+// under queueSc. Nil scopes disable the respective half.
+func (l *Link) Instrument(linkSc, queueSc *telemetry.Scope) {
+	l.telem = linkSc
+	l.deliveredC = linkSc.Counter("delivered_packets")
+	l.deliveredBC = linkSc.Counter("delivered_bytes")
+	l.lostC = linkSc.Counter("lost_packets")
+	l.busySecsC = linkSc.Counter("busy_seconds")
+	l.rateG = linkSc.Gauge("rate_bps")
+	l.rateG.Set(float64(l.rate))
+	l.disc = aqm.Instrument(l.disc, queueSc)
 }
 
 // LinkConfig configures a Link.
@@ -91,6 +115,7 @@ func (l *Link) transmitNext() {
 	}
 	l.busy = true
 	tx := l.rate.TransmissionTime(p.Size())
+	l.busySecsC.Add(tx.Seconds())
 	l.eng.Schedule(tx, func() {
 		l.deliver(p)
 		l.transmitNext()
@@ -101,6 +126,11 @@ func (l *Link) transmitNext() {
 func (l *Link) deliver(p *pkt.Packet) {
 	if l.lossRate > 0 && l.eng.Rand().Float64() < l.lossRate {
 		l.stats.Lost++
+		if l.telem != nil {
+			l.lostC.Inc()
+			l.telem.Event(telemetry.SevInfo, "random_loss",
+				telemetry.F("seq", float64(p.Seq)), telemetry.F("bytes", float64(p.Size())))
+		}
 		return
 	}
 	d := l.delay
@@ -117,13 +147,25 @@ func (l *Link) deliver(p *pkt.Packet) {
 	l.eng.At(at, func() {
 		l.stats.Delivered++
 		l.stats.Bytes += size
+		if l.telem != nil {
+			l.deliveredC.Inc()
+			l.deliveredBC.Add(float64(size))
+		}
 		l.sink(p)
 	})
 }
 
 // SetRate changes the link rate; it takes effect for the next serialized
 // packet.
-func (l *Link) SetRate(r units.Rate) { l.rate = r }
+func (l *Link) SetRate(r units.Rate) {
+	if l.telem != nil && r != l.rate {
+		l.rateG.Set(float64(r))
+		l.telem.Event(telemetry.SevInfo, "rate_change",
+			telemetry.F("from_bps", float64(l.rate)), telemetry.F("to_bps", float64(r)))
+		l.telem.Sample("rate", telemetry.F("bps", float64(r)))
+	}
+	l.rate = r
+}
 
 // Rate reports the current link rate.
 func (l *Link) Rate() units.Rate { return l.rate }

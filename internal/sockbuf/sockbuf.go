@@ -9,6 +9,8 @@
 // data, only accounting.
 package sockbuf
 
+import "element/internal/telemetry"
+
 // Linux-like defaults (net.ipv4.tcp_wmem / tcp_rmem).
 const (
 	// DefaultSndBufMin is the floor of the send buffer.
@@ -36,6 +38,32 @@ type SendBuffer struct {
 
 	written uint64 // cumulative bytes accepted from the application
 	acked   uint64 // cumulative bytes acknowledged by the peer
+
+	// Telemetry handles (nil-safe no-ops when uninstrumented).
+	telem         *telemetry.Scope
+	writtenBytesC *telemetry.Counter
+	resizesC      *telemetry.Counter
+	capG          *telemetry.Gauge
+	occupancyS    *telemetry.Sampler
+}
+
+// Instrument records the buffer's activity under sc: occupancy samples on
+// write/ack, auto-tune resize events, and cumulative write counters.
+func (b *SendBuffer) Instrument(sc *telemetry.Scope) {
+	b.telem = sc
+	b.writtenBytesC = sc.Counter("written_bytes")
+	b.resizesC = sc.Counter("autotune_resizes")
+	b.capG = sc.Gauge("sndbuf_cap_bytes")
+	b.capG.Set(float64(b.cap))
+	b.occupancyS = sc.Sampler("sndbuf", telemetry.DefaultSampleGap, "used_bytes", "cap_bytes")
+}
+
+// sampleOccupancy emits the occupancy time series point.
+func (b *SendBuffer) sampleOccupancy() {
+	if !b.occupancyS.Due() {
+		return
+	}
+	b.occupancyS.SampleVals(float64(b.Used()), float64(b.cap))
 }
 
 // NewSendBuffer returns a send buffer. If fixedCap is zero the buffer
@@ -77,6 +105,10 @@ func (b *SendBuffer) SetCap(n int) {
 	}
 	b.cap = n
 	b.autotune = false
+	if b.telem != nil {
+		b.capG.Set(float64(b.cap))
+		b.telem.Event(telemetry.SevInfo, "set_sndbuf", telemetry.F("cap_bytes", float64(b.cap)))
+	}
 }
 
 // Write accepts up to n bytes and returns how many fit.
@@ -87,6 +119,10 @@ func (b *SendBuffer) Write(n int) int {
 	}
 	if n > 0 {
 		b.written += uint64(n)
+		if b.telem != nil {
+			b.writtenBytesC.Add(float64(n))
+			b.sampleOccupancy()
+		}
 	}
 	return n
 }
@@ -99,6 +135,9 @@ func (b *SendBuffer) Written() uint64 { return b.written }
 func (b *SendBuffer) Ack(cumAcked uint64) {
 	if cumAcked > b.acked {
 		b.acked = cumAcked
+		if b.telem != nil {
+			b.sampleOccupancy()
+		}
 	}
 }
 
@@ -114,7 +153,15 @@ func (b *SendBuffer) Tune(cwndBytes int) {
 		want = b.max
 	}
 	if want > b.cap {
+		old := b.cap
 		b.cap = want
+		if b.telem != nil {
+			b.resizesC.Inc()
+			b.capG.Set(float64(b.cap))
+			b.telem.Event(telemetry.SevInfo, "autotune_resize",
+				telemetry.F("from_bytes", float64(old)),
+				telemetry.F("to_bytes", float64(b.cap)))
+		}
 	}
 }
 

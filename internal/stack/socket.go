@@ -7,6 +7,7 @@ import (
 	"element/internal/sockbuf"
 	"element/internal/tcp"
 	"element/internal/tcpinfo"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
@@ -41,6 +42,10 @@ type ConnConfig struct {
 	// SenderHooks/ReceiverHooks attach ground-truth tracing to each side.
 	SenderHooks   TraceHooks
 	ReceiverHooks TraceHooks
+	// Telem records the connection's activity (send-buffer occupancy and
+	// writer blocking under "sockbuf", transport events under "tcp"), scoped
+	// to the connection's flow ID. Nil disables instrumentation.
+	Telem *telemetry.Telemetry
 }
 
 // Conn is one established TCP connection across a Net: a sending Socket at
@@ -84,6 +89,16 @@ func dial(n *Net, cfg ConnConfig, reverse bool) *Conn {
 	sndSock.snd = sockbuf.NewSendBuffer(cfg.SndBuf, cfg.SndBufMax)
 	rcvBuf := sockbuf.NewReceiveBuffer(cfg.RcvBuf)
 
+	var tcpSc *telemetry.Scope
+	if cfg.Telem != nil {
+		sbSc := cfg.Telem.Scope("sockbuf").WithFlow(id)
+		sndSock.snd.Instrument(sbSc)
+		sndSock.telem = sbSc
+		sndSock.blocksC = sbSc.Counter("writer_blocks")
+		sndSock.blocksS = sbSc.Sampler("writer_blocked", telemetry.DefaultSampleGap, "want_bytes")
+		tcpSc = cfg.Telem.Scope("tcp").WithFlow(id)
+	}
+
 	sndSock.writable = sim.NewCond(eng)
 	rcvSock.readable = sim.NewCond(eng)
 
@@ -98,6 +113,7 @@ func dial(n *Net, cfg ConnConfig, reverse bool) *Conn {
 		MSS:    mss,
 		CC:     alg,
 		ECN:    cfg.ECN,
+		Telem:  tcpSc,
 		Out: func(p *pkt.Packet) {
 			if sndSock.hooks.PacketSent != nil {
 				sndSock.hooks.PacketSent(p)
@@ -116,6 +132,7 @@ func dial(n *Net, cfg ConnConfig, reverse bool) *Conn {
 		FlowID: id,
 		MSS:    mss,
 		ECN:    cfg.ECN,
+		Telem:  tcpSc,
 		RcvBuf: rcvBuf,
 		Out: func(p *pkt.Packet) {
 			if rcvSock.hooks.AckSent != nil {
@@ -165,6 +182,11 @@ type Socket struct {
 	readCum  uint64
 
 	hooks TraceHooks
+
+	// Telemetry handles (nil when uninstrumented).
+	telem   *telemetry.Scope
+	blocksC *telemetry.Counter
+	blocksS *telemetry.Sampler
 }
 
 // FlowID reports the connection's flow identifier.
@@ -187,6 +209,12 @@ func (s *Socket) Write(p *sim.Proc, n int) int {
 			}
 			s.ep.SetAvailable(end)
 			return got
+		}
+		if s.telem != nil {
+			s.blocksC.Inc()
+			if now := s.eng.Now(); s.blocksS.DueAt(now) {
+				s.blocksS.SampleValsAt(now, float64(n))
+			}
 		}
 		s.writable.Wait(p)
 	}

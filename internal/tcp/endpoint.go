@@ -15,6 +15,7 @@ import (
 	"element/internal/sim"
 	"element/internal/sockbuf"
 	"element/internal/tcpinfo"
+	"element/internal/telemetry"
 	"element/internal/units"
 )
 
@@ -53,6 +54,23 @@ type Config struct {
 	// point; it reports byte ranges never seen before (duplicates from
 	// spurious retransmissions are filtered out).
 	OnReceiveNew func(seq uint64, n int)
+	// Telem records this endpoint's transport events (retransmissions, RTO
+	// fires, duplicate ACKs, out-of-order queue depth, delayed ACKs, SRTT
+	// samples). Nil disables instrumentation at zero cost.
+	Telem *telemetry.Scope
+}
+
+// telem bundles the endpoint's metric handles, resolved once at New.
+type telem struct {
+	sc          *telemetry.Scope
+	retransC    *telemetry.Counter
+	rtoC        *telemetry.Counter
+	dupAckC     *telemetry.Counter
+	delayedAckC *telemetry.Counter
+	oooBytesG   *telemetry.Gauge
+	srttH       *telemetry.Histogram
+	srttS       *telemetry.Sampler
+	oooS        *telemetry.Sampler
 }
 
 // sentSeg records one transmitted, not-yet-acknowledged segment and its
@@ -109,6 +127,8 @@ type Endpoint struct {
 	segsOut      int
 	totalRetrans int
 	closed       bool
+
+	tm *telem // nil unless Config.Telem was set
 }
 
 // New creates an endpoint on eng.
@@ -120,7 +140,7 @@ func New(eng *sim.Engine, cfg Config) *Endpoint {
 	if rb == nil {
 		rb = sockbuf.NewReceiveBuffer(0)
 	}
-	return &Endpoint{
+	e := &Endpoint{
 		eng:        eng,
 		cfg:        cfg,
 		mss:        cfg.MSS,
@@ -129,6 +149,20 @@ func New(eng *sim.Engine, cfg Config) *Endpoint {
 		lastAdvWnd: rb.Cap(),
 		rtt:        newRTTEstimator(),
 	}
+	if cfg.Telem != nil {
+		e.tm = &telem{
+			sc:          cfg.Telem,
+			retransC:    cfg.Telem.Counter("retransmits"),
+			rtoC:        cfg.Telem.Counter("rto_fires"),
+			dupAckC:     cfg.Telem.Counter("dup_acks"),
+			delayedAckC: cfg.Telem.Counter("delayed_acks"),
+			oooBytesG:   cfg.Telem.Gauge("ooo_bytes"),
+			srttH:       cfg.Telem.Histogram("srtt_seconds"),
+			srttS:       cfg.Telem.Sampler("srtt", telemetry.DefaultSampleGap, "seconds"),
+			oooS:        cfg.Telem.Sampler("ooo_queue", telemetry.DefaultSampleGap, "bytes", "ranges"),
+		}
+	}
+	return e
 }
 
 // MSS reports the segment size.
@@ -260,6 +294,11 @@ func (e *Endpoint) transmit(seq uint64, n int, retx bool) {
 	e.segsOut++
 	if retx {
 		e.totalRetrans++
+		if e.tm != nil {
+			e.tm.retransC.Inc()
+			e.tm.sc.Event(telemetry.SevInfo, "retransmit",
+				telemetry.F("seq", float64(seq)), telemetry.F("bytes", float64(n)))
+		}
 		// Update the existing record so a later ACK does not take an RTT
 		// sample from it (Karn's algorithm).
 		for i := e.sentHead; i < len(e.sent); i++ {
@@ -304,6 +343,12 @@ func (e *Endpoint) onRTO() {
 	e.rtoTimer = nil
 	if e.closed || e.packetsOut() == 0 {
 		return
+	}
+	if e.tm != nil {
+		e.tm.rtoC.Inc()
+		e.tm.sc.Event(telemetry.SevWarn, "rto_fire",
+			telemetry.F("rto_seconds", e.rtt.rto.Seconds()),
+			telemetry.F("packets_out", float64(e.packetsOut())))
 	}
 	e.cfg.CC.OnRTO(e.eng.Now())
 	e.rtt.backoff()
@@ -350,6 +395,9 @@ func (e *Endpoint) HandleAck(p *pkt.Packet) {
 	case ack == e.sndUna && len(p.Sack) == 0 && e.packetsOut() > 0:
 		// Legacy duplicate-ACK counting for SACK-less peers.
 		e.dupAcks++
+		if e.tm != nil {
+			e.tm.dupAckC.Inc()
+		}
 		if e.dupAcks >= dupThresh && e.sentHead < len(e.sent) {
 			s := &e.sent[e.sentHead]
 			if !s.sacked && !s.lost {
@@ -469,6 +517,12 @@ func (e *Endpoint) handleNewAck(now units.Time, ack uint64, ece bool) {
 	}
 	if rttSample > 0 {
 		e.rtt.sample(rttSample)
+		if e.tm != nil {
+			e.tm.srttH.Observe(e.rtt.srtt.Seconds())
+			if e.tm.srttS.DueAt(now) {
+				e.tm.srttS.SampleValsAt(now, e.rtt.srtt.Seconds())
+			}
+		}
 	}
 
 	if e.inRecov && ack >= e.recover {
@@ -533,6 +587,9 @@ func (e *Endpoint) HandleData(p *pkt.Packet) {
 		e.ackTimer = e.eng.Schedule(delayedAckTimeout, func() {
 			e.ackTimer = nil
 			if e.unackedSegs > 0 {
+				if e.tm != nil {
+					e.tm.delayedAckC.Inc()
+				}
 				e.sendAck()
 			}
 		})
@@ -577,6 +634,18 @@ func (e *Endpoint) insertOOO(seq, end uint64) {
 	// Insert and coalesce.
 	e.ooo = append(e.ooo, interval{seq, end})
 	e.normalizeOOO()
+	e.sampleOOO()
+}
+
+// sampleOOO records the out-of-order queue depth after it changed.
+func (e *Endpoint) sampleOOO() {
+	if e.tm == nil {
+		return
+	}
+	e.tm.oooBytesG.Set(float64(e.oooBytes))
+	if e.tm.oooS.Due() {
+		e.tm.oooS.SampleVals(float64(e.oooBytes), float64(len(e.ooo)))
+	}
 }
 
 // normalizeOOO sorts and merges the out-of-order intervals.
@@ -603,6 +672,7 @@ func (e *Endpoint) normalizeOOO() {
 // mergeOOO pulls now-in-order intervals out of the queue after rcvNxt
 // advanced.
 func (e *Endpoint) mergeOOO() {
+	merged := false
 	for len(e.ooo) > 0 && e.ooo[0].start <= e.rcvNxt {
 		iv := e.ooo[0]
 		if iv.end > e.rcvNxt {
@@ -612,6 +682,10 @@ func (e *Endpoint) mergeOOO() {
 			e.oooBytes -= int(iv.end - iv.start)
 		}
 		e.ooo = e.ooo[1:]
+		merged = true
+	}
+	if merged {
+		e.sampleOOO()
 	}
 }
 

@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Format names an exporter for CLI flags.
+type Format string
+
+// Supported export formats.
+const (
+	FormatChrome Format = "chrome"
+	FormatJSONL  Format = "jsonl"
+	FormatText   Format = "text"
+)
+
+// ParseFormat validates a -trace-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatChrome, FormatJSONL, FormatText:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("telemetry: unknown format %q (have chrome, jsonl, text)", s)
+}
+
+// Export writes the run's telemetry to w in the given format.
+func (t *Telemetry) Export(w io.Writer, f Format) error {
+	switch f {
+	case FormatChrome:
+		return t.WriteChromeTrace(w)
+	case FormatJSONL:
+		return t.WriteJSONL(w)
+	case FormatText:
+		return t.WriteText(w)
+	}
+	return fmt.Errorf("telemetry: unknown format %q", f)
+}
+
+// chromeEvent is one entry of the Chrome trace_event "JSON Array Format"
+// (also understood by Perfetto). Instants use ph "i", counter tracks "C",
+// metadata "M".
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func fieldArgs(fields []Field) map[string]any {
+	if len(fields) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(fields))
+	for _, f := range fields {
+		if f.Str != "" {
+			args[f.Key] = f.Str
+		} else {
+			args[f.Key] = f.Val
+		}
+	}
+	return args
+}
+
+// numericArgs keeps only numeric fields (Chrome counter tracks reject
+// string series).
+func numericArgs(fields []Field) map[string]any {
+	args := make(map[string]any, len(fields))
+	for _, f := range fields {
+		if f.Str == "" {
+			args[f.Key] = f.Val
+		}
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// WriteChromeTrace writes the event ring as Chrome trace_event JSON loadable
+// in chrome://tracing or https://ui.perfetto.dev. Components become
+// categories and name thread tracks; flows become thread IDs; Sample events
+// become counter tracks ("C"), point events become thread instants ("i").
+func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	events := t.Tracer().Events()
+
+	// Name the (pid, tid) tracks after component/flow so the UI is legible.
+	type track struct {
+		comp string
+		flow int
+	}
+	seen := map[track]bool{}
+	pids := map[string]int{}
+	pidOf := func(comp string) int {
+		if id, ok := pids[comp]; ok {
+			return id
+		}
+		id := len(pids) + 1
+		pids[comp] = id
+		return id
+	}
+	first := true
+	write := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder appends a newline after each value; harmless inside the
+		// array and keeps the file diffable.
+		return enc.Encode(ev)
+	}
+
+	for _, ev := range events {
+		pid := pidOf(ev.Component)
+		tr := track{ev.Component, ev.Flow}
+		if !seen[tr] {
+			seen[tr] = true
+			meta := chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": ev.Component},
+			}
+			if err := write(meta); err != nil {
+				return err
+			}
+			meta = chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: ev.Flow,
+				Args: map[string]any{"name": fmt.Sprintf("%s/flow%d", ev.Component, ev.Flow)},
+			}
+			if err := write(meta); err != nil {
+				return err
+			}
+		}
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Component,
+			TsUs: float64(ev.At) / 1e3, // ns → µs
+			Pid:  pid,
+			Tid:  ev.Flow,
+		}
+		if ev.Sample {
+			ce.Ph = "C"
+			ce.Args = numericArgs(ev.Fields)
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Args = fieldArgs(ev.Fields)
+		}
+		if err := write(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// jsonlEvent is the JSONL export schema: one event object per line.
+type jsonlEvent struct {
+	T         float64        `json:"t"` // virtual seconds
+	Component string         `json:"component"`
+	Flow      int            `json:"flow"`
+	Event     string         `json:"event"`
+	Sev       string         `json:"sev"`
+	Sample    bool           `json:"sample,omitempty"`
+	Fields    map[string]any `json:"fields,omitempty"`
+}
+
+// WriteJSONL writes the event ring as one JSON object per line, oldest
+// first — the format for ad-hoc jq/awk analysis.
+func (t *Telemetry) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for _, ev := range t.Tracer().Events() {
+		je := jsonlEvent{
+			T:         ev.At.Seconds(),
+			Component: ev.Component,
+			Flow:      ev.Flow,
+			Event:     ev.Name,
+			Sev:       ev.Sev.String(),
+			Sample:    ev.Sample,
+			Fields:    fieldArgs(ev.Fields),
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteText writes a Prometheus-style text snapshot of the metrics
+// registry: counters and gauges as single samples, histograms as summaries
+// (quantiles + _sum + _count). Metric names are `element_<name>` with the
+// component as a label, so parallel components aggregate naturally.
+func (t *Telemetry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	reg := t.Registry()
+
+	typed := map[string]bool{}
+	for _, c := range reg.Counters() {
+		if !typed[c.Name] {
+			typed[c.Name] = true
+			fmt.Fprintf(bw, "# TYPE element_%s counter\n", c.Name)
+		}
+		fmt.Fprintf(bw, "element_%s{component=%q} %g\n", c.Name, c.Component, c.Value())
+	}
+	typed = map[string]bool{}
+	for _, g := range reg.Gauges() {
+		v, ok := g.Value()
+		if !ok {
+			continue
+		}
+		if !typed[g.Name] {
+			typed[g.Name] = true
+			fmt.Fprintf(bw, "# TYPE element_%s gauge\n", g.Name)
+		}
+		fmt.Fprintf(bw, "element_%s{component=%q} %g\n", g.Name, g.Component, v)
+	}
+	typed = map[string]bool{}
+	for _, h := range reg.Histograms() {
+		if !typed[h.Name] {
+			typed[h.Name] = true
+			fmt.Fprintf(bw, "# TYPE element_%s summary\n", h.Name)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(bw, "element_%s{component=%q,quantile=%q} %g\n",
+				h.Name, h.Component, fmt.Sprintf("%g", q), h.Quantile(q))
+		}
+		fmt.Fprintf(bw, "element_%s_sum{component=%q} %g\n", h.Name, h.Component, h.Sum())
+		fmt.Fprintf(bw, "element_%s_count{component=%q} %d\n", h.Name, h.Component, h.Count())
+	}
+	if tr := t.Tracer(); tr != nil {
+		fmt.Fprintf(bw, "# TYPE element_trace_events gauge\n")
+		fmt.Fprintf(bw, "element_trace_events{component=\"telemetry\"} %d\n", tr.Len())
+		fmt.Fprintf(bw, "# TYPE element_trace_evicted counter\n")
+		fmt.Fprintf(bw, "element_trace_evicted{component=\"telemetry\"} %d\n", tr.Evicted())
+	}
+	return bw.Flush()
+}

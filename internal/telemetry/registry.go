@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// Registry holds the run's metrics, keyed by component/name. Handles are
+// resolved once at instrumentation time, so the per-update cost is a
+// nil-check plus a float add — no map lookups, no atomics (the simulation
+// is single-threaded per engine).
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func key(component, name string) string { return component + "/" + name }
+
+func (r *Registry) counter(component, name string) *Counter {
+	k := key(component, name)
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{Component: component, Name: name}
+		r.counters[k] = c
+	}
+	return c
+}
+
+func (r *Registry) gauge(component, name string) *Gauge {
+	k := key(component, name)
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{Component: component, Name: name}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+func (r *Registry) histogram(component, name string) *Histogram {
+	k := key(component, name)
+	h := r.histograms[k]
+	if h == nil {
+		h = &Histogram{Component: component, Name: name}
+		r.histograms[k] = h
+	}
+	return h
+}
+
+// Counters returns all counters sorted by component/name (nil-safe).
+func (r *Registry) Counters() []*Counter {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return key(out[i].Component, out[i].Name) < key(out[j].Component, out[j].Name)
+	})
+	return out
+}
+
+// Gauges returns all gauges sorted by component/name (nil-safe).
+func (r *Registry) Gauges() []*Gauge {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return key(out[i].Component, out[i].Name) < key(out[j].Component, out[j].Name)
+	})
+	return out
+}
+
+// Histograms returns all histograms sorted by component/name (nil-safe).
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return key(out[i].Component, out[i].Name) < key(out[j].Component, out[j].Name)
+	})
+	return out
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	Component, Name string
+	v               float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds d (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(d float64) {
+	if c != nil && d > 0 {
+		c.v += d
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value metric.
+type Gauge struct {
+	Component, Name string
+	v               float64
+	set             bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+		g.set = true
+	}
+}
+
+// Value reports the last value set and whether Set was ever called.
+func (g *Gauge) Value() (float64, bool) {
+	if g == nil {
+		return 0, false
+	}
+	return g.v, g.set
+}
+
+// Log-linear histogram layout: histOctaves powers of two, each split into
+// histSubBuckets linear sub-buckets, covering 2^histMinExp .. 2^histMaxExp.
+// Values outside the range clamp into the first/last bucket. With exponents
+// [-64, 64) this spans attoseconds to exabytes in 1024 fixed buckets
+// (≤ ~12.5% relative bucket width), so one layout serves delays in seconds
+// and sizes in bytes alike.
+const (
+	histSubBuckets = 8
+	histMinExp     = -64
+	histMaxExp     = 64
+	histOctaves    = histMaxExp - histMinExp
+	histBuckets    = histOctaves * histSubBuckets
+)
+
+// Histogram is a fixed-memory log-linear histogram of non-negative values.
+type Histogram struct {
+	Component, Name string
+
+	count   uint64
+	zeros   uint64 // observations of exactly zero
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]uint64
+}
+
+// bucketIndex maps a positive value to its bucket.
+func bucketIndex(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	octave := exp - 1 - histMinExp
+	if octave < 0 {
+		return 0
+	}
+	if octave >= histOctaves {
+		return histBuckets - 1
+	}
+	sub := int((frac - 0.5) * 2 * histSubBuckets)
+	if sub >= histSubBuckets {
+		sub = histSubBuckets - 1
+	}
+	return octave*histSubBuckets + sub
+}
+
+// bucketUpper is the inclusive upper edge of bucket i.
+func bucketUpper(i int) float64 {
+	octave := i / histSubBuckets
+	sub := i % histSubBuckets
+	lo := math.Ldexp(1, octave+histMinExp) // 2^(octave+minExp)
+	return lo + lo*float64(sub+1)/histSubBuckets
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if v == 0 {
+		h.zeros++
+		return
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min reports the smallest observation (0 if none).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation (0 if none).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean reports the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets: it
+// returns the upper edge of the bucket where the cumulative count crosses
+// q·count, clamped to the observed min/max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank <= h.zeros {
+		return 0
+	}
+	cum := h.zeros
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}

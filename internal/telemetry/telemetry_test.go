@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"element/internal/units"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tel *Telemetry
+	tel.SetClock(func() units.Time { return 0 })
+	sc := tel.Scope("tcp").WithFlow(3)
+	if sc != nil {
+		t.Fatalf("nil Telemetry must yield nil Scope")
+	}
+	sc.Counter("x").Inc()
+	sc.Counter("x").Add(5)
+	sc.Gauge("g").Set(1)
+	sc.Histogram("h").Observe(2)
+	sc.Event(SevWarn, "boom", F("a", 1))
+	sc.Sample("s", F("v", 2))
+	if got := sc.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %v", got)
+	}
+	if n := tel.Tracer().Len(); n != 0 {
+		t.Fatalf("nil tracer len = %d", n)
+	}
+	if err := tel.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+}
+
+func TestRegistryIdentityAndValues(t *testing.T) {
+	tel := New()
+	a := tel.Scope("tcp")
+	if a.Counter("retransmits") != a.Counter("retransmits") {
+		t.Fatalf("same component/name must return the same counter")
+	}
+	if a.Counter("retransmits") == tel.Scope("aqm").Counter("retransmits") {
+		t.Fatalf("different components must get distinct counters")
+	}
+	c := a.Counter("retransmits")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	g := a.Gauge("ooo_bytes")
+	if _, ok := g.Value(); ok {
+		t.Fatalf("unset gauge must report !ok")
+	}
+	g.Set(10)
+	g.Set(4)
+	if v, ok := g.Value(); !ok || v != 4 {
+		t.Fatalf("gauge = %v,%v want 4,true", v, ok)
+	}
+
+	cs := tel.Registry().Counters()
+	if len(cs) != 2 || cs[0].Component != "aqm" || cs[1].Component != "tcp" {
+		t.Fatalf("Counters() not sorted by component/name: %+v", cs)
+	}
+}
+
+func TestHistogramLogLinear(t *testing.T) {
+	tel := New()
+	h := tel.Scope("core").Histogram("delay_seconds")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000) // 1 ms .. 1 s uniform
+	}
+	h.Observe(0)
+	h.Observe(-1) // clamps to 0
+	if h.Count() != 1002 {
+		t.Fatalf("count = %d, want 1002", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1 {
+		t.Fatalf("min/max = %v/%v, want 0/1", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ≈0.5", mean)
+	}
+	// Log-linear buckets are ≤ ~12.5% wide, so quantiles land close.
+	if q := h.Quantile(0.5); q < 0.45 || q > 0.57 {
+		t.Fatalf("p50 = %v, want ≈0.5", q)
+	}
+	if q := h.Quantile(0.99); q < 0.9 || q > 1.0 {
+		t.Fatalf("p99 = %v, want ≈0.99", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %v, want 0 (zero observations present)", q)
+	}
+
+	// Extreme values clamp into the end buckets instead of panicking.
+	h2 := tel.Scope("core").Histogram("extremes")
+	h2.Observe(math.Ldexp(1, -100))
+	h2.Observe(math.Ldexp(1, 100))
+	if h2.Count() != 2 {
+		t.Fatalf("extreme count = %d", h2.Count())
+	}
+	// Out-of-range values land in the edge buckets, so the quantile
+	// reports the bucket edge (2^histMaxExp), not the true max.
+	if q := h2.Quantile(1); q < math.Ldexp(1, histMaxExp-1) || q > h2.Max() {
+		t.Fatalf("q1 = %v, want within [2^%d, max %v]", q, histMaxExp-1, h2.Max())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tel := NewWithRing(4)
+	var now units.Time
+	tel.SetClock(func() units.Time { return now })
+	sc := tel.Scope("tcp")
+	for i := 0; i < 10; i++ {
+		now = units.Time(i)
+		sc.Event(SevInfo, "ev", F("i", float64(i)))
+	}
+	tr := tel.Tracer()
+	if tr.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", tr.Len())
+	}
+	if tr.Evicted() != 6 {
+		t.Fatalf("evicted = %d, want 6", tr.Evicted())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		want := float64(6 + i) // oldest-first, newest window retained
+		if ev.Fields[0].Val != want {
+			t.Fatalf("event %d = %v, want %v", i, ev.Fields[0].Val, want)
+		}
+	}
+	if evs[0].At != 6 || evs[3].At != 9 {
+		t.Fatalf("timestamps wrong after wrap: %v .. %v", evs[0].At, evs[3].At)
+	}
+}
+
+func TestTracerSeverityAndComponentMask(t *testing.T) {
+	tel := New()
+	tel.Tracer().SetMinSeverity(SevInfo)
+	tel.Tracer().EnableOnly("tcp")
+	tel.Scope("tcp").Event(SevDebug, "dropped-by-severity")
+	tel.Scope("aqm").Event(SevWarn, "dropped-by-mask")
+	tel.Scope("tcp").Event(SevWarn, "kept")
+	evs := tel.Tracer().Events()
+	if len(evs) != 1 || evs[0].Name != "kept" {
+		t.Fatalf("mask/severity filtering wrong: %+v", evs)
+	}
+	tel.Tracer().EnableOnly() // reset to all
+	tel.Scope("aqm").Event(SevInfo, "kept2")
+	if n := tel.Tracer().Len(); n != 2 {
+		t.Fatalf("after mask reset len = %d, want 2", n)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tel := New()
+	var now units.Time = 1500 * units.Time(units.Microsecond)
+	tel.SetClock(func() units.Time { return now })
+	tel.Scope("sockbuf").WithFlow(1).Sample("occupancy", F("bytes", 4096), Str("ignored", "x"))
+	tel.Scope("tcp").WithFlow(1).Event(SevWarn, "rto", F("rto_s", 0.2))
+
+	var buf bytes.Buffer
+	if err := tel.Export(&buf, FormatChrome); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	var cats []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+		if c, ok := ev["cat"].(string); ok {
+			cats = append(cats, c)
+		}
+	}
+	joined := strings.Join(phases, "")
+	if !strings.Contains(joined, "C") || !strings.Contains(joined, "i") || !strings.Contains(joined, "M") {
+		t.Fatalf("want counter, instant and metadata events, got phases %v", phases)
+	}
+	if !strings.Contains(strings.Join(cats, ","), "sockbuf") {
+		t.Fatalf("missing sockbuf category: %v", cats)
+	}
+	// Counter tracks must not carry string args; 1.5 ms → 1500 µs.
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "C" {
+			args := ev["args"].(map[string]any)
+			if _, bad := args["ignored"]; bad {
+				t.Fatalf("counter track kept a string arg: %v", args)
+			}
+			if ev["ts"].(float64) != 1500 {
+				t.Fatalf("ts = %v µs, want 1500", ev["ts"])
+			}
+		}
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tel := New()
+	tel.Scope("core").WithFlow(2).Event(SevInfo, "match", F("delay_s", 0.01))
+	tel.Scope("aqm").Sample("queue", F("packets", 7))
+	var buf bytes.Buffer
+	if err := tel.Export(&buf, FormatJSONL); err != nil {
+		t.Fatalf("jsonl export: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), buf.String())
+	}
+	var rec struct {
+		T         float64        `json:"t"`
+		Component string         `json:"component"`
+		Flow      int            `json:"flow"`
+		Event     string         `json:"event"`
+		Sev       string         `json:"sev"`
+		Sample    bool           `json:"sample"`
+		Fields    map[string]any `json:"fields"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 invalid: %v", err)
+	}
+	if rec.Component != "core" || rec.Flow != 2 || rec.Event != "match" || rec.Sev != "info" {
+		t.Fatalf("line 0 = %+v", rec)
+	}
+	if rec.Fields["delay_s"] != 0.01 {
+		t.Fatalf("fields = %v", rec.Fields)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 invalid: %v", err)
+	}
+	if !rec.Sample || rec.Component != "aqm" {
+		t.Fatalf("line 1 = %+v", rec)
+	}
+}
+
+func TestTextExport(t *testing.T) {
+	tel := New()
+	tel.Scope("tcp").Counter("retransmits").Add(3)
+	tel.Scope("sockbuf").Gauge("cap_bytes").Set(65536)
+	h := tel.Scope("aqm").Histogram("sojourn_seconds")
+	h.Observe(0.01)
+	h.Observe(0.02)
+	var buf bytes.Buffer
+	if err := tel.Export(&buf, FormatText); err != nil {
+		t.Fatalf("text export: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE element_retransmits counter",
+		`element_retransmits{component="tcp"} 3`,
+		`element_cap_bytes{component="sockbuf"} 65536`,
+		"# TYPE element_sojourn_seconds summary",
+		`element_sojourn_seconds_count{component="aqm"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"chrome", "jsonl", "text"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Fatalf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatalf("ParseFormat must reject unknown formats")
+	}
+}
