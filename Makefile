@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench bench-smoke
 
 ## check: the full local gate — format, vet, build, race-enabled tests.
 check: fmt vet build test
@@ -26,3 +26,8 @@ test:
 ## bench: every table/figure benchmark plus the overhead ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+## bench-smoke: every benchmark once (-benchtime 1x); writes a
+## machine-readable BENCH_<date>.json snapshot for before/after diffs.
+bench-smoke:
+	$(GO) run ./cmd/benchsmoke

@@ -5,9 +5,10 @@
 //	elembench                    # run every experiment
 //	elembench -run fig13         # run one experiment
 //	elembench -run fig2,fig6     # run a comma-separated subset
-//	elembench -list              # list experiment IDs
+//	elembench -list              # list experiment IDs with descriptions
 //	elembench -seed 7 -dur 60    # override seed and per-run duration (seconds)
 //	elembench -metrics-summary   # print telemetry counters after each run
+//	elembench -waterfall         # print per-stage delay attribution after each run
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"element/internal/exp"
 	"element/internal/telemetry"
 	"element/internal/units"
+	"element/internal/waterfall"
 )
 
 func main() {
@@ -30,12 +32,16 @@ func main() {
 		dur      = flag.Float64("dur", 0, "per-run simulated duration in seconds (0 = experiment default)")
 		markdown = flag.Bool("md", false, "emit GitHub-flavoured markdown (for EXPERIMENTS.md)")
 		metrics  = flag.Bool("metrics-summary", false, "print a telemetry metrics snapshot after each experiment")
+		waterfal = flag.Bool("waterfall", false, "print the per-stage delay waterfall attribution after each experiment")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range exp.Registry {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			if e.Desc != "" {
+				fmt.Printf("         %s\n", e.Desc)
+			}
 		}
 		return
 	}
@@ -47,6 +53,9 @@ func main() {
 		// experiment keeps the snapshots from bleeding into each other.
 		if *metrics {
 			exp.DefaultTelemetry = telemetry.New()
+		}
+		if *waterfal {
+			exp.DefaultWaterfall = waterfall.New()
 		}
 		start := time.Now()
 		res := e.Run(*seed, duration)
@@ -62,6 +71,14 @@ func main() {
 			fmt.Println()
 			exp.DefaultTelemetry = nil
 		}
+		if *waterfal {
+			agg := exp.DefaultWaterfall.Aggregate()
+			fmt.Printf("--- waterfall (%s): %d flows, %d byte ranges ---\n",
+				e.ID, len(exp.DefaultWaterfall.Flows()), agg.Ranges)
+			agg.WriteTable(os.Stdout)
+			fmt.Println()
+			exp.DefaultWaterfall = nil
+		}
 	}
 
 	if *runID != "" {
@@ -71,7 +88,7 @@ func main() {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "elembench: unknown experiment %q\n\nregistered experiments:\n", strings.TrimSpace(id))
 				for _, e := range exp.Registry {
-					fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+					fmt.Fprintf(os.Stderr, "  %-8s %s — %s\n", e.ID, e.Title, e.Desc)
 				}
 				os.Exit(1)
 			}

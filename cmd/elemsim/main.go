@@ -7,6 +7,7 @@
 //
 //	elemsim -bw 10 -rtt 50 -qdisc codel -flows 3 -element -dur 30
 //	elemsim -profile lte -dir upload -flows 2 -element -minimize
+//	elemsim -flows 3 -waterfall wf.json   # per-byte-range delay waterfall (Chrome trace)
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"element/internal/netem"
 	"element/internal/telemetry"
 	"element/internal/units"
+	"element/internal/waterfall"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		telPath  = flag.String("telemetry", "", "write a telemetry export to this file (implies -element)")
 		telFmt   = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
+		wfPath   = flag.String("waterfall", "", "write the per-byte-range delay waterfall to this file")
+		wfFmt    = flag.String("waterfall-format", "chrome", "waterfall export format: chrome|jsonl|ascii")
 	)
 	flag.Parse()
 
@@ -60,6 +64,19 @@ func main() {
 		*element = true
 	}
 
+	var (
+		wf     *waterfall.Waterfall
+		wfForm waterfall.Format
+	)
+	if *wfPath != "" {
+		var err error
+		if wfForm, err = waterfall.ParseFormat(*wfFmt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wf = waterfall.New()
+	}
+
 	cfg := exp.ScenarioConfig{
 		Seed:         *seed,
 		Rate:         units.Rate(*bw) * units.Mbps,
@@ -70,6 +87,7 @@ func main() {
 		LossRate:     *loss,
 		Duration:     units.DurationFromSeconds(*dur),
 		Telemetry:    telem,
+		Waterfall:    wf,
 	}
 	if *profile != "" {
 		p, err := netem.ProfileByName(*profile)
@@ -121,6 +139,25 @@ func main() {
 		}
 		fmt.Printf("\ntelemetry: %d events (%d evicted) written to %s (%s)\n",
 			telem.Tracer().Len(), telem.Tracer().Evicted(), *telPath, format)
+	}
+	if wf != nil {
+		out, err := os.Create(*wfPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := wf.Export(out, wfForm); err == nil {
+			err = out.Close()
+		} else {
+			out.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		agg := wf.Aggregate()
+		fmt.Printf("\nwaterfall: %d byte ranges over %d flows written to %s (%s); stage-sum residual %.4f%%\n",
+			agg.Ranges, len(wf.Flows()), *wfPath, wfForm, agg.Residual*100)
 	}
 }
 

@@ -6,12 +6,15 @@
 // Example:
 //
 //	elemtrace -bw 10 -rtt 50 -dur 40 > trace.tsv
+//	elemtrace -waterfall wf.json                   # Chrome trace of the delay waterfall
+//	elemtrace -waterfall - -waterfall-format ascii # waterfall report on stdout
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"element/internal/aqm"
@@ -19,6 +22,7 @@ import (
 	"element/internal/exp"
 	"element/internal/telemetry"
 	"element/internal/units"
+	"element/internal/waterfall"
 )
 
 func main() {
@@ -31,6 +35,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		telPath = flag.String("telemetry", "", "also write a telemetry export to this file")
 		telFmt  = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
+		wfPath  = flag.String("waterfall", "", "write the per-byte-range delay waterfall to this file (\"-\" = stdout)")
+		wfFmt   = flag.String("waterfall-format", "chrome", "waterfall export format: chrome|jsonl|ascii")
 	)
 	flag.Parse()
 
@@ -46,6 +52,18 @@ func main() {
 		}
 		telem = telemetry.New()
 	}
+	var (
+		wf     *waterfall.Waterfall
+		wfForm waterfall.Format
+	)
+	if *wfPath != "" {
+		var err error
+		if wfForm, err = waterfall.ParseFormat(*wfFmt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wf = waterfall.New()
+	}
 
 	s := exp.RunScenario(exp.ScenarioConfig{
 		Seed:      *seed,
@@ -55,6 +73,7 @@ func main() {
 		Duration:  units.DurationFromSeconds(*dur),
 		Flows:     []exp.FlowSpec{{CC: cc.Kind(*algo), Element: true}},
 		Telemetry: telem,
+		Waterfall: wf,
 	})
 	f := s.Flows[0]
 
@@ -68,6 +87,26 @@ func main() {
 			err = out.Close()
 		} else {
 			out.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if wf != nil {
+		var out io.WriteCloser = os.Stdout
+		if *wfPath != "-" {
+			var err error
+			if out, err = os.Create(*wfPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		err := wf.Export(out, wfForm)
+		if out != os.Stdout {
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

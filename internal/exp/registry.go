@@ -11,26 +11,44 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
+	// Desc is a one-line description of what the experiment shows, printed
+	// by elembench -list.
+	Desc string
 	// Run executes the experiment. duration 0 selects the default.
 	Run func(seed int64, duration units.Duration) *Result
 }
 
 // Registry maps experiment IDs to reproducers, in paper order.
 var Registry = []Experiment{
-	{"fig2", "Delay composition of a Cubic flow (pfifo_fast)", Fig2},
-	{"fig3", "Delay composition per qdisc × network", Fig3},
-	{"tab1", "ELEMENT vs TCP-based measurement tools", func(s int64, d units.Duration) *Result { return Table1(s, 0, d) }},
-	{"fig6", "Ground truth vs ELEMENT over time + error CDF", Fig6},
-	{"fig7", "Estimation-error CDFs across environments", Fig7},
-	{"fig8", "Estimation error under network dynamics", Fig8},
-	{"fig9", "Buffer sizing vs auto-tuning vs ELEMENT", Fig9},
-	{"fig10", "Estimated buffered amount over time", Fig10},
-	{"fig13", "Legacy iperf ± ELEMENT across bw × RTT", Fig13},
-	{"fig14", "Production networks ± ELEMENT", Fig14},
-	{"fig15", "Cubic/Vegas/BBR ± ELEMENT", Fig15},
-	{"fig16", "Sprout/Verus/ELEMENT delay & fairness", Fig16},
-	{"fig18", "VR streaming ± ELEMENT, ± CoDel", Fig18},
-	{"tab_cpu", "ELEMENT overhead", Overhead},
+	{"fig2", "Delay composition of a Cubic flow (pfifo_fast)",
+		"three Cubic flows on 10 Mbps/25 ms OWD; sender-side buffering dominates a multi-second total", Fig2},
+	{"fig3", "Delay composition per qdisc × network",
+		"pfifo_fast/CoDel/FQ-CoDel/PIE across five networks; AQM shrinks network delay, endhost delay stays", Fig3},
+	{"tab1", "ELEMENT vs TCP-based measurement tools",
+		"ping/sockperf/iperf-style probes vs ELEMENT's estimates against ground truth on the loaded path",
+		func(s int64, d units.Duration) *Result { return Table1(s, 0, d) }},
+	{"fig6", "Ground truth vs ELEMENT over time + error CDF",
+		"per-sample tracking of sender/receiver delay estimates along one flow's lifetime", Fig6},
+	{"fig7", "Estimation-error CDFs across environments",
+		"estimation error distributions over the qdisc × network matrix", Fig7},
+	{"fig8", "Estimation error under network dynamics",
+		"error under dynamic bandwidth switching and random loss", Fig8},
+	{"fig9", "Buffer sizing vs auto-tuning vs ELEMENT",
+		"fixed SO_SNDBUF settings vs auto-tuning vs Algorithm 3's delay-minimizing sizing", Fig9},
+	{"fig10", "Estimated buffered amount over time",
+		"ELEMENT's buffered-bytes estimate tracking the true occupancy", Fig10},
+	{"fig13", "Legacy iperf ± ELEMENT across bw × RTT",
+		"goodput and delay with and without ELEMENT attached to an unmodified sender", Fig13},
+	{"fig14", "Production networks ± ELEMENT",
+		"LAN/cable/WiFi/LTE profiles with and without ELEMENT", Fig14},
+	{"fig15", "Cubic/Vegas/BBR ± ELEMENT",
+		"delay minimization interacting with loss-, delay-, and model-based congestion control", Fig15},
+	{"fig16", "Sprout/Verus/ELEMENT delay & fairness",
+		"self-inflicted delay and Jain fairness vs specialized low-latency protocols", Fig16},
+	{"fig18", "VR streaming ± ELEMENT, ± CoDel",
+		"motion-to-photon latency of a VR stream with a reverse viewpoint channel", Fig18},
+	{"tab_cpu", "ELEMENT overhead",
+		"tracker CPU/memory cost per connection", Overhead},
 }
 
 // Lookup finds an experiment by ID.

@@ -14,6 +14,7 @@ import (
 	"element/internal/telemetry"
 	"element/internal/trace"
 	"element/internal/units"
+	"element/internal/waterfall"
 )
 
 // DefaultTelemetry, when non-nil, instruments every scenario whose config
@@ -22,6 +23,11 @@ import (
 // ScenarioConfigs) and still want metrics out — cmd/elembench sets it
 // around each experiment.
 var DefaultTelemetry *telemetry.Telemetry
+
+// DefaultWaterfall plays the same role for the per-byte-range delay
+// waterfall: when non-nil, every scenario without its own Waterfall
+// attaches recorders to all flows and taps both path directions.
+var DefaultWaterfall *waterfall.Waterfall
 
 // FlowSpec describes one flow in a scenario.
 type FlowSpec struct {
@@ -64,6 +70,10 @@ type ScenarioConfig struct {
 	// netem, core). Nil falls back to DefaultTelemetry; nil both disables
 	// instrumentation entirely.
 	Telemetry *telemetry.Telemetry
+	// Waterfall attaches per-byte-range delay attribution to every flow
+	// (recorder hooks on both sockets, taps on both link directions). Nil
+	// falls back to DefaultWaterfall; nil both disables attribution.
+	Waterfall *waterfall.Waterfall
 }
 
 // wanQueuePackets is the bottleneck buffer used by the controlled-testbed
@@ -99,6 +109,8 @@ type FlowResult struct {
 	GT       *trace.Collector
 	Sender   *core.Sender   // nil unless Spec.Element
 	Receiver *core.Receiver // nil unless Spec.Element
+	// WF is the flow's waterfall recorder (nil when attribution is off).
+	WF *waterfall.Recorder
 	// GoodputBps is application goodput over the (active) run.
 	GoodputBps float64
 }
@@ -126,6 +138,11 @@ func Build(cfg ScenarioConfig) *Scenario {
 		telem = DefaultTelemetry
 	}
 	telem.SetClock(eng.Now)
+	wf := cfg.Waterfall
+	if wf == nil {
+		wf = DefaultWaterfall
+	}
+	wf.SetClock(eng.Now)
 	var path *netem.Path
 	if cfg.Profile != nil {
 		path = cfg.Profile.Build(eng, netem.BuildOptions{
@@ -146,6 +163,13 @@ func Build(cfg ScenarioConfig) *Scenario {
 		path.Forward.Instrument(telem.Scope("netem"), telem.Scope("aqm"))
 		path.Reverse.Instrument(telem.Scope("netem.rev"), telem.Scope("aqm.rev"))
 	}
+	// Tap both directions so reverse flows are attributed too; the taps
+	// dispatch per flow and ignore pure ACKs.
+	wf.TapLink(path.Forward)
+	wf.TapLink(path.Reverse)
+	if telem != nil {
+		wf.Instrument(telem.Scope("waterfall"))
+	}
 	if cfg.DynamicBW != nil {
 		netem.StartDynamicBandwidth(eng, path.Forward, cfg.DynamicBW.Low, cfg.DynamicBW.High, cfg.DynamicBW.Period)
 	}
@@ -155,15 +179,17 @@ func Build(cfg ScenarioConfig) *Scenario {
 	for _, spec := range cfg.Flows {
 		spec := spec
 		col := trace.New(eng)
+		rec := wf.NewFlow()
 		conn := stack.Dial(net, stack.ConnConfig{
 			CC:            spec.CC,
 			SndBuf:        spec.SndBuf,
 			ECN:           cfg.ECN,
-			SenderHooks:   col.SenderHooks(),
-			ReceiverHooks: col.ReceiverHooks(),
+			SenderHooks:   stack.MergeTraceHooks(col.SenderHooks(), rec.SenderHooks()),
+			ReceiverHooks: stack.MergeTraceHooks(col.ReceiverHooks(), rec.ReceiverHooks()),
 			Telem:         telem,
 		})
-		fr := &FlowResult{Spec: spec, Conn: conn, GT: col}
+		wf.Bind(conn.FlowID, rec)
+		fr := &FlowResult{Spec: spec, Conn: conn, GT: col, WF: rec}
 		if spec.Element || spec.Minimize {
 			fr.Sender = core.AttachSender(eng, conn.Sender, core.Options{
 				Minimize: spec.Minimize,

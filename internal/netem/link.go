@@ -49,6 +49,18 @@ type Link struct {
 	lostC       *telemetry.Counter
 	busySecsC   *telemetry.Counter
 	rateG       *telemetry.Gauge
+
+	onLost Sink // tap: packets dropped by random loss after serialization
+}
+
+// Tap attaches per-packet observers: queue wraps the discipline so every
+// enqueue/dequeue is seen (see aqm.AttachTap), and lost (optional) fires
+// for packets dropped by random loss after serialization. The waterfall
+// attribution uses the pair to time link-queue residency and to mark wire
+// drops. Call before traffic starts.
+func (l *Link) Tap(queue aqm.TapHooks, lost Sink) {
+	l.disc = aqm.AttachTap(l.disc, queue)
+	l.onLost = lost
 }
 
 // Instrument records the link's activity under linkSc (delivery/loss
@@ -130,6 +142,9 @@ func (l *Link) deliver(p *pkt.Packet) {
 			l.lostC.Inc()
 			l.telem.Event(telemetry.SevInfo, "random_loss",
 				telemetry.F("seq", float64(p.Seq)), telemetry.F("bytes", float64(p.Size())))
+		}
+		if l.onLost != nil {
+			l.onLost(p)
 		}
 		return
 	}

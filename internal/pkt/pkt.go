@@ -60,6 +60,12 @@ type Packet struct {
 	CE  bool
 	ECE bool
 
+	// Gen is the retransmission generation of a TCP data segment: 0 for the
+	// first transmission, incremented on every retransmission of the same
+	// sequence range. Attribution tools use it to tell copies of a segment
+	// apart inside queues.
+	Gen int
+
 	// SentAt is the time the packet left the sender's TCP layer (set by the
 	// transport; used for ground-truth tracing and RTT sampling).
 	SentAt units.Time

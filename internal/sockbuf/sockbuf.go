@@ -45,7 +45,14 @@ type SendBuffer struct {
 	resizesC      *telemetry.Counter
 	capG          *telemetry.Gauge
 	occupancyS    *telemetry.Sampler
+
+	onResize func(from, to int) // capacity-change observer (nil = none)
 }
+
+// SetOnResize registers an observer invoked whenever the buffer capacity
+// changes — auto-tune growth or an explicit SetCap. Attribution tools use it
+// to mark capacity steps on the sndbuf residency track; nil disables it.
+func (b *SendBuffer) SetOnResize(fn func(from, to int)) { b.onResize = fn }
 
 // Instrument records the buffer's activity under sc: occupancy samples on
 // write/ack, auto-tune resize events, and cumulative write counters.
@@ -103,8 +110,12 @@ func (b *SendBuffer) SetCap(n int) {
 	if n < DefaultSndBufMin {
 		n = DefaultSndBufMin
 	}
+	old := b.cap
 	b.cap = n
 	b.autotune = false
+	if b.onResize != nil && old != b.cap {
+		b.onResize(old, b.cap)
+	}
 	if b.telem != nil {
 		b.capG.Set(float64(b.cap))
 		b.telem.Event(telemetry.SevInfo, "set_sndbuf", telemetry.F("cap_bytes", float64(b.cap)))
@@ -155,6 +166,9 @@ func (b *SendBuffer) Tune(cwndBytes int) {
 	if want > b.cap {
 		old := b.cap
 		b.cap = want
+		if b.onResize != nil {
+			b.onResize(old, b.cap)
+		}
 		if b.telem != nil {
 			b.resizesC.Inc()
 			b.capG.Set(float64(b.cap))

@@ -13,15 +13,87 @@ import (
 
 // TraceHooks are the ground-truth observation points of the paper's
 // Figure 1/5: application write/read at the socket API, and TCP
-// transmit/receive in the transport layer. All hooks are optional.
+// transmit/receive in the transport layer — plus finer-grained points
+// (in-order advance, raw packet arrival, sndbuf resizes) used by the
+// waterfall attribution. All hooks are optional.
 type TraceHooks struct {
-	AppWrite    func(endSeq uint64, n int)         // socket write accepted n bytes up to endSeq
-	TCPTransmit func(seq uint64, n int, retx bool) // tcp_transmit_skb
-	TCPReceive  func(seq uint64, n int)            // tcp_v4_do_rcv (new bytes only)
-	AppRead     func(endSeq uint64, n int)         // socket read consumed n bytes up to endSeq
-	PacketSent  func(p *pkt.Packet)                // data packet handed to the NIC
-	AckSent     func(p *pkt.Packet)                // ACK handed to the NIC
-	_           struct{}                           // force keyed literals
+	AppWrite     func(endSeq uint64, n int)         // socket write accepted n bytes up to endSeq
+	TCPTransmit  func(seq uint64, n int, retx bool) // tcp_transmit_skb
+	TCPReceive   func(seq uint64, n int)            // tcp_v4_do_rcv (new bytes only)
+	TCPInOrder   func(cum uint64)                   // rcv_nxt advanced (reassembly released bytes)
+	AppRead      func(endSeq uint64, n int)         // socket read consumed n bytes up to endSeq
+	PacketSent   func(p *pkt.Packet)                // data packet handed to the NIC
+	AckSent      func(p *pkt.Packet)                // ACK handed to the NIC
+	PacketRecv   func(p *pkt.Packet)                // data packet arriving at the receiver's NIC
+	SndbufResize func(from, to int)                 // send-buffer capacity change (autotune/SO_SNDBUF)
+	_            struct{}                           // force keyed literals
+}
+
+// MergeTraceHooks composes two hook sets so several observers (the
+// ground-truth collector and a waterfall recorder, say) can watch the same
+// connection. For each observation point, a fires before b.
+func MergeTraceHooks(a, b TraceHooks) TraceHooks {
+	m := TraceHooks{}
+	m.AppWrite = merge2(a.AppWrite, b.AppWrite)
+	m.TCPTransmit = mergeTx(a.TCPTransmit, b.TCPTransmit)
+	m.TCPReceive = merge2(a.TCPReceive, b.TCPReceive)
+	m.TCPInOrder = merge1(a.TCPInOrder, b.TCPInOrder)
+	m.AppRead = merge2(a.AppRead, b.AppRead)
+	m.PacketSent = mergePkt(a.PacketSent, b.PacketSent)
+	m.AckSent = mergePkt(a.AckSent, b.AckSent)
+	m.PacketRecv = mergePkt(a.PacketRecv, b.PacketRecv)
+	m.SndbufResize = mergeInt2(a.SndbufResize, b.SndbufResize)
+	return m
+}
+
+func merge1(a, b func(uint64)) func(uint64) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(x uint64) { a(x); b(x) }
+}
+
+func mergeTx(a, b func(uint64, int, bool)) func(uint64, int, bool) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(seq uint64, n int, retx bool) { a(seq, n, retx); b(seq, n, retx) }
+}
+
+func merge2(a, b func(uint64, int)) func(uint64, int) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(x uint64, n int) { a(x, n); b(x, n) }
+}
+
+func mergeInt2(a, b func(int, int)) func(int, int) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(x, y int) { a(x, y); b(x, y) }
+}
+
+func mergePkt(a, b func(*pkt.Packet)) func(*pkt.Packet) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(p *pkt.Packet) { a(p); b(p) }
 }
 
 // ConnConfig configures one simulated TCP connection.
@@ -87,6 +159,9 @@ func dial(n *Net, cfg ConnConfig, reverse bool) *Conn {
 	rcvSock.hooks = cfg.ReceiverHooks
 
 	sndSock.snd = sockbuf.NewSendBuffer(cfg.SndBuf, cfg.SndBufMax)
+	if h := cfg.SenderHooks.SndbufResize; h != nil {
+		sndSock.snd.SetOnResize(h)
+	}
 	rcvBuf := sockbuf.NewReceiveBuffer(cfg.RcvBuf)
 
 	var tcpSc *telemetry.Scope
@@ -142,14 +217,27 @@ func dial(n *Net, cfg ConnConfig, reverse bool) *Conn {
 		},
 		OnReadable:   func() { rcvSock.readable.Broadcast() },
 		OnReceiveNew: rcvSock.hooks.TCPReceive,
+		OnInOrder:    rcvSock.hooks.TCPInOrder,
 	})
 
+	// The receiver-side dispatch optionally observes raw arriving data
+	// packets before TCP processes them (the waterfall's wire→reassembly
+	// boundary). ACKs flow to the sender socket and are not reported.
+	rcvHandle := rcvSock.ep.Handle
+	if h := rcvSock.hooks.PacketRecv; h != nil {
+		rcvHandle = func(p *pkt.Packet) {
+			if p.PayloadLen > 0 {
+				h(p)
+			}
+			rcvSock.ep.Handle(p)
+		}
+	}
 	if reverse {
 		n.atB[id] = sndSock.ep.Handle
-		n.atA[id] = rcvSock.ep.Handle
+		n.atA[id] = rcvHandle
 	} else {
 		n.atA[id] = sndSock.ep.Handle
-		n.atB[id] = rcvSock.ep.Handle
+		n.atB[id] = rcvHandle
 	}
 
 	return &Conn{FlowID: id, Sender: sndSock, Receiver: rcvSock}

@@ -54,6 +54,11 @@ type Config struct {
 	// point; it reports byte ranges never seen before (duplicates from
 	// spurious retransmissions are filtered out).
 	OnReceiveNew func(seq uint64, n int)
+	// OnInOrder fires whenever rcv_nxt advances, with the new cumulative
+	// in-order offset — the moment out-of-order bytes leave the reassembly
+	// queue and become readable. Fires after OnReceiveNew for the same
+	// segment.
+	OnInOrder func(cum uint64)
 	// Telem records this endpoint's transport events (retransmissions, RTO
 	// fires, duplicate ACKs, out-of-order queue depth, delayed ACKs, SRTT
 	// samples). Nil disables instrumentation at zero cost.
@@ -80,6 +85,7 @@ type sentSeg struct {
 	end    uint64
 	sentAt units.Time
 	retxAt units.Time // time of the latest retransmission (0 = none)
+	gen    int        // retransmission generation (0 = only the first send)
 	retx   bool       // ever retransmitted (Karn: no RTT sample)
 	sacked bool       // selectively acknowledged by the receiver
 	lost   bool       // deemed lost by the FACK rule; retransmit when possible
@@ -305,6 +311,8 @@ func (e *Endpoint) transmit(seq uint64, n int, retx bool) {
 			if e.sent[i].seq == seq {
 				e.sent[i].retx = true
 				e.sent[i].retxAt = now
+				e.sent[i].gen++
+				p.Gen = e.sent[i].gen
 				break
 			}
 		}
@@ -572,6 +580,9 @@ func (e *Endpoint) HandleData(p *pkt.Packet) {
 		}
 		e.rcvNxt = end
 		e.mergeOOO()
+		if e.cfg.OnInOrder != nil {
+			e.cfg.OnInOrder(e.rcvNxt)
+		}
 		if len(e.ooo) > 0 {
 			immediateAck = true // still a hole: keep the sender informed
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Format names an exporter for CLI flags.
@@ -39,18 +40,68 @@ func (t *Telemetry) Export(w io.Writer, f Format) error {
 	return fmt.Errorf("telemetry: unknown format %q", f)
 }
 
-// chromeEvent is one entry of the Chrome trace_event "JSON Array Format"
+// ChromeEvent is one entry of the Chrome trace_event "JSON Array Format"
 // (also understood by Perfetto). Instants use ph "i", counter tracks "C",
-// metadata "M".
-type chromeEvent struct {
+// complete duration events "X" (with DurUs), metadata "M".
+type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat,omitempty"`
 	Ph    string         `json:"ph"`
 	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTraceWriter streams ChromeEvents as a loadable trace_event JSON
+// document. It factors the envelope/comma bookkeeping out of the exporters
+// so other subsystems (the waterfall attribution, notably) can emit their
+// own tracks in the same format. Call Close to finish the document.
+type ChromeTraceWriter struct {
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	first bool
+	err   error
+}
+
+// NewChromeTraceWriter starts a trace_event document on w.
+func NewChromeTraceWriter(w io.Writer) *ChromeTraceWriter {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	cw := &ChromeTraceWriter{bw: bw, enc: enc, first: true}
+	_, cw.err = bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return cw
+}
+
+// Write appends one event to the document.
+func (cw *ChromeTraceWriter) Write(ev ChromeEvent) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if !cw.first {
+		if cw.err = cw.bw.WriteByte(','); cw.err != nil {
+			return cw.err
+		}
+	}
+	cw.first = false
+	// Encoder appends a newline after each value; harmless inside the
+	// array and keeps the file diffable.
+	cw.err = cw.enc.Encode(ev)
+	return cw.err
+}
+
+// Close terminates the JSON document and flushes.
+func (cw *ChromeTraceWriter) Close() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if _, err := cw.bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
 }
 
 func fieldArgs(fields []Field) map[string]any {
@@ -88,12 +139,7 @@ func numericArgs(fields []Field) map[string]any {
 // categories and name thread tracks; flows become thread IDs; Sample events
 // become counter tracks ("C"), point events become thread instants ("i").
 func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
-		return err
-	}
-	enc := json.NewEncoder(bw)
-	enc.SetEscapeHTML(false)
+	cw := NewChromeTraceWriter(w)
 	events := t.Tracer().Events()
 
 	// Name the (pid, tid) tracks after component/flow so the UI is legible.
@@ -111,40 +157,28 @@ func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
 		pids[comp] = id
 		return id
 	}
-	first := true
-	write := func(ev chromeEvent) error {
-		if !first {
-			if err := bw.WriteByte(','); err != nil {
-				return err
-			}
-		}
-		first = false
-		// Encoder appends a newline after each value; harmless inside the
-		// array and keeps the file diffable.
-		return enc.Encode(ev)
-	}
 
 	for _, ev := range events {
 		pid := pidOf(ev.Component)
 		tr := track{ev.Component, ev.Flow}
 		if !seen[tr] {
 			seen[tr] = true
-			meta := chromeEvent{
+			meta := ChromeEvent{
 				Name: "process_name", Ph: "M", Pid: pid,
 				Args: map[string]any{"name": ev.Component},
 			}
-			if err := write(meta); err != nil {
+			if err := cw.Write(meta); err != nil {
 				return err
 			}
-			meta = chromeEvent{
+			meta = ChromeEvent{
 				Name: "thread_name", Ph: "M", Pid: pid, Tid: ev.Flow,
 				Args: map[string]any{"name": fmt.Sprintf("%s/flow%d", ev.Component, ev.Flow)},
 			}
-			if err := write(meta); err != nil {
+			if err := cw.Write(meta); err != nil {
 				return err
 			}
 		}
-		ce := chromeEvent{
+		ce := ChromeEvent{
 			Name: ev.Name,
 			Cat:  ev.Component,
 			TsUs: float64(ev.At) / 1e3, // ns → µs
@@ -159,14 +193,11 @@ func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
 			ce.Scope = "t"
 			ce.Args = fieldArgs(ev.Fields)
 		}
-		if err := write(ce); err != nil {
+		if err := cw.Write(ce); err != nil {
 			return err
 		}
 	}
-	if _, err := bw.WriteString("]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return cw.Close()
 }
 
 // jsonlEvent is the JSONL export schema: one event object per line.
@@ -203,10 +234,48 @@ func (t *Telemetry) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteText writes a Prometheus-style text snapshot of the metrics
+// escapeLabelValue escapes a Prometheus label value per the text exposition
+// format: backslash, double-quote and newline. (fmt's %q escapes far more —
+// e.g. non-ASCII — which standard Prometheus parsers reject un-escaping.)
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP docstring (backslash and newline only; quotes
+// are legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// header writes the # HELP and # TYPE preamble for one metric family.
+func promHeader(bw *bufio.Writer, name, kind, help string) {
+	fmt.Fprintf(bw, "# HELP element_%s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(bw, "# TYPE element_%s %s\n", name, kind)
+}
+
+// WriteText writes a Prometheus text-exposition snapshot of the metrics
 // registry: counters and gauges as single samples, histograms as summaries
 // (quantiles + _sum + _count). Metric names are `element_<name>` with the
-// component as a label, so parallel components aggregate naturally.
+// component as a label, so parallel components aggregate naturally. Each
+// family carries # HELP/# TYPE lines and label values are escaped, so the
+// output parses with standard Prometheus tooling.
 func (t *Telemetry) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	reg := t.Registry()
@@ -215,9 +284,9 @@ func (t *Telemetry) WriteText(w io.Writer) error {
 	for _, c := range reg.Counters() {
 		if !typed[c.Name] {
 			typed[c.Name] = true
-			fmt.Fprintf(bw, "# TYPE element_%s counter\n", c.Name)
+			promHeader(bw, c.Name, "counter", "Cumulative count of "+c.Name+" recorded by the element simulator.")
 		}
-		fmt.Fprintf(bw, "element_%s{component=%q} %g\n", c.Name, c.Component, c.Value())
+		fmt.Fprintf(bw, "element_%s{component=\"%s\"} %g\n", c.Name, escapeLabelValue(c.Component), c.Value())
 	}
 	typed = map[string]bool{}
 	for _, g := range reg.Gauges() {
@@ -227,27 +296,27 @@ func (t *Telemetry) WriteText(w io.Writer) error {
 		}
 		if !typed[g.Name] {
 			typed[g.Name] = true
-			fmt.Fprintf(bw, "# TYPE element_%s gauge\n", g.Name)
+			promHeader(bw, g.Name, "gauge", "Last value of "+g.Name+" recorded by the element simulator.")
 		}
-		fmt.Fprintf(bw, "element_%s{component=%q} %g\n", g.Name, g.Component, v)
+		fmt.Fprintf(bw, "element_%s{component=\"%s\"} %g\n", g.Name, escapeLabelValue(g.Component), v)
 	}
 	typed = map[string]bool{}
 	for _, h := range reg.Histograms() {
 		if !typed[h.Name] {
 			typed[h.Name] = true
-			fmt.Fprintf(bw, "# TYPE element_%s summary\n", h.Name)
+			promHeader(bw, h.Name, "summary", "Distribution of "+h.Name+" recorded by the element simulator.")
 		}
 		for _, q := range []float64{0.5, 0.9, 0.99} {
-			fmt.Fprintf(bw, "element_%s{component=%q,quantile=%q} %g\n",
-				h.Name, h.Component, fmt.Sprintf("%g", q), h.Quantile(q))
+			fmt.Fprintf(bw, "element_%s{component=\"%s\",quantile=\"%g\"} %g\n",
+				h.Name, escapeLabelValue(h.Component), q, h.Quantile(q))
 		}
-		fmt.Fprintf(bw, "element_%s_sum{component=%q} %g\n", h.Name, h.Component, h.Sum())
-		fmt.Fprintf(bw, "element_%s_count{component=%q} %d\n", h.Name, h.Component, h.Count())
+		fmt.Fprintf(bw, "element_%s_sum{component=\"%s\"} %g\n", h.Name, escapeLabelValue(h.Component), h.Sum())
+		fmt.Fprintf(bw, "element_%s_count{component=\"%s\"} %d\n", h.Name, escapeLabelValue(h.Component), h.Count())
 	}
 	if tr := t.Tracer(); tr != nil {
-		fmt.Fprintf(bw, "# TYPE element_trace_events gauge\n")
+		promHeader(bw, "trace_events", "gauge", "Events currently retained in the telemetry ring.")
 		fmt.Fprintf(bw, "element_trace_events{component=\"telemetry\"} %d\n", tr.Len())
-		fmt.Fprintf(bw, "# TYPE element_trace_evicted counter\n")
+		promHeader(bw, "trace_evicted", "counter", "Events evicted from the telemetry ring.")
 		fmt.Fprintf(bw, "element_trace_evicted{component=\"telemetry\"} %d\n", tr.Evicted())
 	}
 	return bw.Flush()

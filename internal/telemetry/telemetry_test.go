@@ -3,7 +3,9 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -260,6 +262,147 @@ func TestTextExport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text export missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// parsePromText is a minimal parser for the Prometheus text exposition
+// format, strict enough to catch the mistakes standard tooling rejects:
+// samples without a preceding # HELP/# TYPE, and un-escaped label values.
+func parsePromText(t *testing.T, text string) map[string]map[string]float64 {
+	t.Helper()
+	unescape := func(s string) string {
+		var b strings.Builder
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					t.Fatalf("invalid escape \\%c in label value %q", s[i], s)
+				}
+				continue
+			}
+			b.WriteByte(s[i])
+		}
+		return b.String()
+	}
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	out := map[string]map[string]float64{} // metric → label-signature → value
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("HELP line without docstring: %q", line)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			switch kind {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("bad TYPE %q in %q", kind, line)
+			}
+			if !helped[name] {
+				t.Fatalf("TYPE before HELP for %s", name)
+			}
+			typed[name] = true
+			continue
+		}
+		// Sample line: name{labels} value
+		brace := strings.IndexByte(line, '{')
+		closeBrace := strings.LastIndexByte(line, '}')
+		if brace < 0 || closeBrace < brace {
+			t.Fatalf("unlabelled sample line: %q", line)
+		}
+		name := line[:brace]
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !typed[name] && !typed[family] {
+			t.Fatalf("sample %q has no preceding # TYPE", name)
+		}
+		var sig strings.Builder
+		labels := line[brace+1 : closeBrace]
+		for labels != "" {
+			eq := strings.IndexByte(labels, '=')
+			if eq < 0 || eq+1 >= len(labels) || labels[eq+1] != '"' {
+				t.Fatalf("malformed labels in %q", line)
+			}
+			key := labels[:eq]
+			rest := labels[eq+2:]
+			end := -1
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("unterminated label value in %q", line)
+			}
+			fmt.Fprintf(&sig, "%s=%s;", key, unescape(rest[:end]))
+			labels = strings.TrimPrefix(rest[end+1:], ",")
+		}
+		valStr := strings.TrimSpace(line[closeBrace+1:])
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		if out[name] == nil {
+			out[name] = map[string]float64{}
+		}
+		out[name][sig.String()] = val
+	}
+	return out
+}
+
+// TestTextExportRoundTrip writes the registry in the Prometheus text format
+// and parses it back, including a component name that needs every escape
+// (backslash, quote, newline), asserting values survive unchanged.
+func TestTextExportRoundTrip(t *testing.T) {
+	tel := New()
+	tel.Scope("tcp").Counter("retransmits").Add(7)
+	nasty := "comp\"quoted\\slash\nnewline"
+	tel.Scope(nasty).Counter("retransmits").Add(2)
+	tel.Scope("sockbuf").Gauge("cap_bytes").Set(1 << 16)
+	h := tel.Scope("aqm").Histogram("sojourn_seconds")
+	h.Observe(0.25)
+	h.Observe(0.75)
+
+	var buf bytes.Buffer
+	if err := tel.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	parsed := parsePromText(t, buf.String())
+
+	if got := parsed["element_retransmits"]["component=tcp;"]; got != 7 {
+		t.Fatalf("tcp retransmits = %v, want 7", got)
+	}
+	if got := parsed["element_retransmits"]["component="+nasty+";"]; got != 2 {
+		t.Fatalf("escaped-component retransmits = %v, want 2; keys: %v", got, parsed["element_retransmits"])
+	}
+	if got := parsed["element_cap_bytes"]["component=sockbuf;"]; got != 1<<16 {
+		t.Fatalf("cap_bytes = %v, want %d", got, 1<<16)
+	}
+	if got := parsed["element_sojourn_seconds_count"]["component=aqm;"]; got != 2 {
+		t.Fatalf("sojourn count = %v, want 2", got)
+	}
+	if got := parsed["element_sojourn_seconds_sum"]["component=aqm;"]; got != 1 {
+		t.Fatalf("sojourn sum = %v, want 1", got)
+	}
+	if !strings.Contains(buf.String(), "# HELP element_retransmits ") {
+		t.Fatalf("missing HELP line:\n%s", buf.String())
 	}
 }
 

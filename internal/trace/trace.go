@@ -37,7 +37,7 @@ type Collector struct {
 	// Sender side: cumulative write records and transmission stamps.
 	writes    []rangeStamp // app writes, contiguous, FIFO
 	writeHead int
-	transmits []rangeStamp // first + re-transmissions, by start seq (sorted)
+	transmits []rangeStamp // first transmissions, by start seq (sorted)
 
 	// Receiver side: receive stamps awaiting app reads.
 	receives []rangeStamp // sorted by start, disjoint
@@ -102,14 +102,16 @@ func (c *Collector) onTCPTransmit(seq uint64, n int, retx bool) {
 	}
 }
 
-// recordTransmit keeps the latest transmission time per byte range, so the
-// receive path can attribute network delay to the transmission that
-// actually delivered the bytes.
+// recordTransmit keeps the FIRST transmission time per byte range. The
+// paper measures network delay from the segment's first tcp_transmit_skb,
+// so for a segment lost and retransmitted (after an RTO, say) the recovery
+// wait counts as network delay rather than disappearing from the
+// decomposition; the waterfall attribution splits the same interval into
+// its retx and queue/wire stages.
 func (c *Collector) recordTransmit(r rangeStamp) {
 	i := sort.Search(len(c.transmits), func(i int) bool { return c.transmits[i].start >= r.start })
 	if i < len(c.transmits) && c.transmits[i].start == r.start {
-		c.transmits[i] = r // retransmission supersedes
-		return
+		return // retransmission: the first transmission's stamp stands
 	}
 	c.transmits = append(c.transmits, rangeStamp{})
 	copy(c.transmits[i+1:], c.transmits[i:])
@@ -117,7 +119,7 @@ func (c *Collector) recordTransmit(r rangeStamp) {
 }
 
 // onTCPReceive records arrival of new bytes and emits the network-delay
-// sample for the transmission that delivered them.
+// sample measured from the first transmission of the covering segment.
 func (c *Collector) onTCPReceive(seq uint64, n int) {
 	now := c.eng.Now()
 	end := seq + uint64(n)

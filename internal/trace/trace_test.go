@@ -94,14 +94,18 @@ func TestGroundTruthDecomposition(t *testing.T) {
 	if len(nd) == 0 {
 		t.Fatal("no network delay samples")
 	}
-	// One-way network delay ≥ propagation (25 ms) and ≤ prop + full queue
-	// (1000 pkts ≈ 1.23 s).
+	// One-way network delay ≥ propagation (25 ms). The upper bound is prop +
+	// full queue (1000 pkts ≈ 1.23 s) plus loss recovery: network delay is
+	// measured from the FIRST transmission (paper convention), so a segment
+	// tail-dropped by the deep FIFO and fast-retransmitted carries the
+	// recovery wait (up to ~an RTT + another queue traversal, more after an
+	// RTO) in its sample.
 	for _, s := range nd {
 		if s.Delay < 25*units.Millisecond {
 			t.Fatalf("network delay %v below propagation", s.Delay)
 		}
-		if s.Delay > 1500*units.Millisecond {
-			t.Fatalf("network delay %v above queue capacity", s.Delay)
+		if s.Delay > 5*units.Second {
+			t.Fatalf("network delay %v beyond queue capacity plus loss recovery", s.Delay)
 		}
 	}
 

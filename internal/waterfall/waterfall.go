@@ -1,0 +1,744 @@
+// Package waterfall answers the paper's title question — *where does slow
+// data go to wait?* — at per-queue granularity. Where internal/trace
+// decomposes end-to-end delay into the paper's three components (sender
+// host / network / receiver host), this package follows each byte range
+// through every stage it can wait in:
+//
+//	app write → sndbuf residency → TCP send/retransmit wait → link+AQM
+//	queue → wire (serialization+propagation) → reassembly (out-of-order
+//	wait) → rcvbuf residency → app read
+//
+// and produces, per flow, a set of spans (stage, byte range, enter/exit
+// virtual time, retransmit generation) plus a per-stage residency breakdown
+// whose stages sum — within a reported residual — to the end-to-end delay.
+//
+// Instrumentation follows the telemetry discipline: recorders attach
+// through optional hooks (stack.TraceHooks, aqm.TapHooks, netem link taps)
+// and cost nothing when no waterfall is attached. Timestamps telescope —
+// each stage's exit is the next stage's entry — so the per-stage sums
+// reconcile exactly against the write→read delay, and the three-component
+// grouping (sndbuf | retx+queue+wire | reassembly+rcvbuf) reconciles
+// against internal/trace ground truth and ELEMENT's estimates.
+package waterfall
+
+import (
+	"sort"
+
+	"element/internal/aqm"
+	"element/internal/netem"
+	"element/internal/pkt"
+	"element/internal/stack"
+	"element/internal/telemetry"
+	"element/internal/units"
+)
+
+// Stage identifies one waiting place in the pipeline. Stages are ordered:
+// stage k's exit time is stage k+1's entry time for a given byte range.
+type Stage uint8
+
+// The pipeline stages, in byte-range traversal order.
+const (
+	// StageSndbuf is socket-buffer residency: app write → first TCP
+	// transmit of the range.
+	StageSndbuf Stage = iota
+	// StageRetx is retransmit wait: first transmit → the transmit of the
+	// generation that actually delivered the bytes (zero when the first
+	// copy got through).
+	StageRetx
+	// StageQueue is link/AQM queue residency at the bottleneck.
+	StageQueue
+	// StageWire is serialization plus propagation: queue exit → receiver
+	// TCP.
+	StageWire
+	// StageReassembly is out-of-order wait in the receiver's reassembly
+	// queue: TCP receive → in-order (rcv_nxt advance).
+	StageReassembly
+	// StageRcvbuf is receive-buffer residency: in-order → app read.
+	StageRcvbuf
+
+	// NumStages counts the pipeline stages.
+	NumStages = 6
+)
+
+// String names the stage as used in exports and reports.
+func (s Stage) String() string {
+	switch s {
+	case StageSndbuf:
+		return "sndbuf"
+	case StageRetx:
+		return "retx"
+	case StageQueue:
+		return "queue"
+	case StageWire:
+		return "wire"
+	case StageReassembly:
+		return "reassembly"
+	case StageRcvbuf:
+		return "rcvbuf"
+	}
+	return "unknown"
+}
+
+// Glyph is the single-letter code used in the ASCII waterfall.
+func (s Stage) Glyph() byte {
+	switch s {
+	case StageSndbuf:
+		return 'S'
+	case StageRetx:
+		return 'R'
+	case StageQueue:
+		return 'Q'
+	case StageWire:
+		return 'W'
+	case StageReassembly:
+		return 'O'
+	case StageRcvbuf:
+		return 'B'
+	}
+	return '?'
+}
+
+// Span is one stage traversal of one byte range, in virtual time.
+type Span struct {
+	Stage Stage
+	Start uint64 // first byte of the range
+	End   uint64 // one past the last byte
+	From  units.Time
+	To    units.Time
+	Gen   int // retransmit generation that delivered the range (0 = first)
+}
+
+// DropKind classifies a recorded packet drop.
+type DropKind uint8
+
+// Drop kinds.
+const (
+	// DropQueue is a rejection at the queue's front door (tail drop or AQM
+	// early drop on enqueue).
+	DropQueue DropKind = iota
+	// DropWire is a random loss after serialization.
+	DropWire
+)
+
+func (k DropKind) String() string {
+	if k == DropQueue {
+		return "queue"
+	}
+	return "wire"
+}
+
+// Drop marks one lost packet copy (the retransmit-wait explanation).
+type Drop struct {
+	Seq  uint64
+	Gen  int
+	At   units.Time
+	Kind DropKind
+}
+
+// Resize marks a send-buffer capacity change.
+type Resize struct {
+	At       units.Time
+	From, To int
+}
+
+// Waterfall owns the per-flow recorders of one simulation run. Like
+// telemetry.Telemetry it is engine-agnostic: bind it with SetClock.
+// All methods are nil-safe so call sites need no guards.
+type Waterfall struct {
+	clock func() units.Time
+	recs  []*Recorder
+	byID  map[int]*Recorder
+
+	// Telemetry handles (nil when uninstrumented).
+	stageH [NumStages]*telemetry.Histogram
+	e2eH   *telemetry.Histogram
+}
+
+// New returns an empty waterfall.
+func New() *Waterfall { return &Waterfall{byID: map[int]*Recorder{}} }
+
+// SetClock binds the virtual clock (typically sim.Engine.Now).
+func (w *Waterfall) SetClock(fn func() units.Time) {
+	if w != nil {
+		w.clock = fn
+	}
+}
+
+func (w *Waterfall) now() units.Time {
+	if w == nil || w.clock == nil {
+		return 0
+	}
+	return w.clock()
+}
+
+// Instrument registers per-stage residency histograms (<stage>_seconds and
+// e2e_seconds) under sc, so -metrics-summary style snapshots include the
+// waterfall's attribution. A nil scope is a no-op.
+func (w *Waterfall) Instrument(sc *telemetry.Scope) {
+	if w == nil || sc == nil {
+		return
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		w.stageH[s] = sc.Histogram(s.String() + "_seconds")
+	}
+	w.e2eH = sc.Histogram("e2e_seconds")
+}
+
+// NewFlow creates a recorder for one connection. Pass its SenderHooks and
+// ReceiverHooks into the connection's ConnConfig (merge with other
+// observers via stack.MergeTraceHooks), then Bind it to the flow ID the
+// Dial returned.
+func (w *Waterfall) NewFlow() *Recorder {
+	if w == nil {
+		return nil
+	}
+	r := &Recorder{wf: w, stride: 1}
+	w.recs = append(w.recs, r)
+	return r
+}
+
+// Bind associates a recorder with its flow ID so link taps can dispatch
+// packets to it. Call right after Dial, before traffic starts.
+func (w *Waterfall) Bind(flowID int, r *Recorder) {
+	if w == nil || r == nil {
+		return
+	}
+	r.flowID = flowID
+	w.byID[flowID] = r
+}
+
+// Flows returns the recorders in creation order.
+func (w *Waterfall) Flows() []*Recorder {
+	if w == nil {
+		return nil
+	}
+	return w.recs
+}
+
+// TapLink attaches the waterfall to a link so queue residency and wire
+// drops are observed for every bound flow whose data crosses it. Tap both
+// directions of a path when reverse-direction flows exist; packets of
+// unbound flows are ignored.
+func (w *Waterfall) TapLink(l *netem.Link) {
+	if w == nil || l == nil {
+		return
+	}
+	l.Tap(aqm.TapHooks{
+		Enqueued: func(p *pkt.Packet, now units.Time, accepted bool) {
+			if r := w.dataRecorder(p); r != nil {
+				r.onLinkEnqueue(p, now, accepted)
+			}
+		},
+		Dequeued: func(p *pkt.Packet, now units.Time) {
+			if r := w.dataRecorder(p); r != nil {
+				r.onLinkDequeue(p, now)
+			}
+		},
+	}, func(p *pkt.Packet) {
+		if r := w.dataRecorder(p); r != nil {
+			r.onLinkLost(p)
+		}
+	})
+}
+
+// dataRecorder resolves the recorder for a data packet (ACKs are ignored).
+func (w *Waterfall) dataRecorder(p *pkt.Packet) *Recorder {
+	if p.PayloadLen == 0 {
+		return nil
+	}
+	return w.byID[p.FlowID]
+}
+
+// --- Recorder -------------------------------------------------------------
+
+// maxRanges bounds per-flow span retention for exports: when full, the
+// retained set is decimated (every other range dropped, stride doubled), so
+// memory stays bounded and exports stay loadable while the *aggregate*
+// breakdown remains exact over all ranges.
+const maxRanges = 1 << 15
+
+// maxMarks bounds the drop/resize marker lists.
+const maxMarks = 4096
+
+// writeStamp matches trace.Collector's write bookkeeping: the stream
+// extended to end at time at.
+type writeStamp struct {
+	end uint64
+	at  units.Time
+}
+
+// segRec tracks one transmitted segment's sender-side boundary times.
+type segRec struct {
+	seq, end uint64
+	writeAt  units.Time // covering app write
+	firstTx  units.Time
+	lastTx   units.Time // latest (re)transmission
+	gen      int        // current retransmission generation
+}
+
+// linkRec times one packet copy (seq, gen) through the tapped link queue.
+type linkRec struct {
+	seq, end uint64
+	gen      int
+	enqAt    units.Time
+	deqAt    units.Time
+}
+
+// numBounds is the number of boundary timestamps per range: NumStages
+// stages have NumStages+1 fenceposts (write, firstTx, tx, deq, rcv,
+// in-order, read).
+const numBounds = NumStages + 1
+
+// arrival is a received byte range with every upstream boundary
+// snapshotted, waiting for in-order release and the app read.
+type arrival struct {
+	start, end uint64
+	gen        int
+	// b[0..4] = writeAt, firstTx, txAt, deqAt, rcvAt; b[5] (inAt) is
+	// stamped by onInOrder; b[6] (readAt) at finalization.
+	b [numBounds]units.Time
+}
+
+// rangeRec is a finalized byte range: all boundaries known, clamped
+// monotone.
+type rangeRec struct {
+	start, end uint64
+	gen        int
+	b          [numBounds]units.Time
+}
+
+// aggregate is the exact (non-decimated) per-flow attribution state.
+type aggregate struct {
+	ranges       int
+	bytes        uint64
+	stageByteSec [NumStages]float64 // ∫ residency over bytes, byte·seconds
+	e2eByteSec   float64
+	maxE2E       units.Duration
+}
+
+// Recorder accumulates the waterfall of one flow. It observes both sides
+// of the connection (single-threaded virtual time makes that safe) plus
+// the link tap.
+type Recorder struct {
+	wf     *Waterfall
+	flowID int
+
+	// Sender side.
+	writes    []writeStamp
+	writeHead int
+	segs      []segRec // sorted by seq
+	segHead   int
+
+	// Link tap: live (seq, gen) copies, sorted by (seq, gen).
+	links []linkRec
+
+	// Receiver side.
+	arrivals []arrival // sorted by start, disjoint
+	inHead   int       // arrivals[:inHead] have in-order stamps
+	pending  struct {
+		valid    bool
+		seq, end uint64
+		gen      int
+		b        [numBounds]units.Time // boundaries 0..4 filled
+	}
+	readCum uint64
+
+	// Finalized ranges, decimated for bounded retention.
+	ranges      []rangeRec
+	stride      int
+	strideSkip  int
+	agg         aggregate
+	drops       []Drop
+	lostDrops   int // drops not retained once maxMarks hit
+	resizes     []Resize
+	lostResizes int
+}
+
+// FlowID reports the bound flow ID (0 before Bind).
+func (r *Recorder) FlowID() int { return r.flowID }
+
+// SenderHooks returns the trace hooks to install on the sending socket.
+func (r *Recorder) SenderHooks() stack.TraceHooks {
+	if r == nil {
+		return stack.TraceHooks{}
+	}
+	return stack.TraceHooks{
+		AppWrite:     r.onAppWrite,
+		TCPTransmit:  r.onTransmit,
+		SndbufResize: r.onSndbufResize,
+	}
+}
+
+// ReceiverHooks returns the trace hooks to install on the receiving socket.
+func (r *Recorder) ReceiverHooks() stack.TraceHooks {
+	if r == nil {
+		return stack.TraceHooks{}
+	}
+	return stack.TraceHooks{
+		TCPReceive: r.onTCPReceive,
+		TCPInOrder: r.onInOrder,
+		AppRead:    r.onAppRead,
+		PacketRecv: r.onPacketRecv,
+	}
+}
+
+// --- Sender side ----------------------------------------------------------
+
+func (r *Recorder) onAppWrite(endSeq uint64, n int) {
+	r.writes = append(r.writes, writeStamp{end: endSeq, at: r.wf.now()})
+}
+
+func (r *Recorder) onSndbufResize(from, to int) {
+	if len(r.resizes) >= maxMarks {
+		r.lostResizes++
+		return
+	}
+	r.resizes = append(r.resizes, Resize{At: r.wf.now(), From: from, To: to})
+}
+
+// onTransmit matches trace.Collector's convention: a first transmission
+// closes the sndbuf stage against the covering app write; retransmissions
+// bump the segment's generation.
+func (r *Recorder) onTransmit(seq uint64, n int, retx bool) {
+	now := r.wf.now()
+	end := seq + uint64(n)
+	if retx {
+		if i, ok := r.findSeg(seq); ok {
+			r.segs[i].lastTx = now
+			r.segs[i].gen++
+		}
+		return
+	}
+	// Covering write: smallest write record with end >= segment end.
+	var writeAt units.Time
+	for r.writeHead < len(r.writes) {
+		w := r.writes[r.writeHead]
+		if w.end >= end {
+			writeAt = w.at
+			break
+		}
+		r.writeHead++
+	}
+	if r.writeHead > 256 && r.writeHead*2 >= len(r.writes) {
+		m := copy(r.writes, r.writes[r.writeHead:])
+		r.writes = r.writes[:m]
+		r.writeHead = 0
+	}
+	// New data is transmitted in sequence order, so appending keeps segs
+	// sorted.
+	r.segs = append(r.segs, segRec{seq: seq, end: end, writeAt: writeAt, firstTx: now, lastTx: now})
+}
+
+// findSeg locates the live segment record starting at seq.
+func (r *Recorder) findSeg(seq uint64) (int, bool) {
+	lo, hi := r.segHead, len(r.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.segs[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.segs) && r.segs[lo].seq == seq {
+		return lo, true
+	}
+	return 0, false
+}
+
+// coveringSeg locates the segment containing seq (greatest start <= seq).
+func (r *Recorder) coveringSeg(seq uint64) (segRec, bool) {
+	lo, hi := r.segHead, len(r.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.segs[mid].seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > r.segHead {
+		s := r.segs[lo-1]
+		if seq < s.end {
+			return s, true
+		}
+	}
+	return segRec{}, false
+}
+
+// --- Link tap -------------------------------------------------------------
+
+// findLink locates the live copy (seq, gen); insert reports the insertion
+// index when absent.
+func (r *Recorder) findLink(seq uint64, gen int) (int, bool) {
+	lo, hi := 0, len(r.links)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		l := r.links[mid]
+		if l.seq < seq || (l.seq == seq && l.gen < gen) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.links) && r.links[lo].seq == seq && r.links[lo].gen == gen {
+		return lo, true
+	}
+	return lo, false
+}
+
+func (r *Recorder) onLinkEnqueue(p *pkt.Packet, now units.Time, accepted bool) {
+	if !accepted {
+		r.recordDrop(Drop{Seq: p.Seq, Gen: p.Gen, At: now, Kind: DropQueue})
+		return
+	}
+	i, ok := r.findLink(p.Seq, p.Gen)
+	if ok {
+		r.links[i] = linkRec{seq: p.Seq, end: p.End(), gen: p.Gen, enqAt: now}
+		return
+	}
+	r.links = append(r.links, linkRec{})
+	copy(r.links[i+1:], r.links[i:])
+	r.links[i] = linkRec{seq: p.Seq, end: p.End(), gen: p.Gen, enqAt: now}
+	r.sweepLinks()
+}
+
+func (r *Recorder) onLinkDequeue(p *pkt.Packet, now units.Time) {
+	if i, ok := r.findLink(p.Seq, p.Gen); ok {
+		r.links[i].deqAt = now
+	}
+}
+
+func (r *Recorder) onLinkLost(p *pkt.Packet) {
+	r.recordDrop(Drop{Seq: p.Seq, Gen: p.Gen, At: r.wf.now(), Kind: DropWire})
+	if i, ok := r.findLink(p.Seq, p.Gen); ok {
+		r.links = append(r.links[:i], r.links[i+1:]...)
+	}
+}
+
+func (r *Recorder) recordDrop(d Drop) {
+	if len(r.drops) >= maxMarks {
+		r.lostDrops++
+		return
+	}
+	r.drops = append(r.drops, d)
+}
+
+// sweepLinks discards stale copies (lost packets that were retransmitted
+// as a new generation, duplicates never consumed) once the table grows
+// well past any plausible in-flight window.
+func (r *Recorder) sweepLinks() {
+	if len(r.links) < maxMarks {
+		return
+	}
+	kept := r.links[:0]
+	for _, l := range r.links {
+		if l.end > r.readCum {
+			kept = append(kept, l)
+		}
+	}
+	r.links = kept
+}
+
+// --- Receiver side --------------------------------------------------------
+
+// onPacketRecv snapshots the upstream boundaries of an arriving data
+// packet; the TCPReceive calls that follow (same virtual instant) attach
+// them to the new byte ranges the packet contributed.
+func (r *Recorder) onPacketRecv(p *pkt.Packet) {
+	r.pending.valid = true
+	r.pending.seq, r.pending.end, r.pending.gen = p.Seq, p.End(), p.Gen
+	var b [numBounds]units.Time
+	if seg, ok := r.coveringSeg(p.Seq); ok {
+		b[StageSndbuf] = seg.writeAt
+		b[StageRetx] = seg.firstTx
+		if p.Gen == 0 {
+			b[StageQueue] = seg.firstTx
+		} else {
+			b[StageQueue] = seg.lastTx
+		}
+	}
+	if i, ok := r.findLink(p.Seq, p.Gen); ok {
+		l := r.links[i]
+		// The link enqueue happens in the same virtual instant as the TCP
+		// transmit, so enqAt refines the queue boundary for this exact
+		// generation.
+		b[StageQueue] = l.enqAt
+		b[StageWire] = l.deqAt
+		r.links = append(r.links[:i], r.links[i+1:]...)
+	}
+	r.pending.b = b
+}
+
+func (r *Recorder) onTCPReceive(seq uint64, n int) {
+	now := r.wf.now()
+	end := seq + uint64(n)
+	a := arrival{start: seq, end: end}
+	if r.pending.valid && seq >= r.pending.seq && end <= r.pending.end {
+		a.gen = r.pending.gen
+		a.b = r.pending.b
+	} else if seg, ok := r.coveringSeg(seq); ok {
+		// No packet-level snapshot (untapped link or hooks installed by a
+		// bare harness): fall back to sender-side times; the queue and wire
+		// stages then share the tx→rcv interval.
+		a.b[StageSndbuf] = seg.writeAt
+		a.b[StageRetx] = seg.firstTx
+		a.b[StageQueue] = seg.lastTx
+	}
+	a.b[StageReassembly] = now // rcvAt
+	i := sort.Search(len(r.arrivals), func(i int) bool { return r.arrivals[i].start >= a.start })
+	r.arrivals = append(r.arrivals, arrival{})
+	copy(r.arrivals[i+1:], r.arrivals[i:])
+	r.arrivals[i] = a
+}
+
+// onInOrder stamps the reassembly-exit boundary on every arrival released
+// by a rcv_nxt advance.
+func (r *Recorder) onInOrder(cum uint64) {
+	now := r.wf.now()
+	for r.inHead < len(r.arrivals) && r.arrivals[r.inHead].end <= cum {
+		r.arrivals[r.inHead].b[StageRcvbuf] = now
+		r.inHead++
+	}
+	// Defensive: rcv_nxt landing inside an arrival (cannot happen with the
+	// current TCP reassembly, which releases whole reported ranges).
+	if r.inHead < len(r.arrivals) && r.arrivals[r.inHead].start < cum {
+		a := r.arrivals[r.inHead]
+		left := a
+		left.end = cum
+		left.b[StageRcvbuf] = now
+		r.arrivals[r.inHead].start = cum
+		r.arrivals = append(r.arrivals, arrival{})
+		copy(r.arrivals[r.inHead+1:], r.arrivals[r.inHead:])
+		r.arrivals[r.inHead] = left
+		r.inHead++
+	}
+}
+
+// onAppRead finalizes every arrival the read consumed.
+func (r *Recorder) onAppRead(endSeq uint64, n int) {
+	now := r.wf.now()
+	r.readCum = endSeq
+	for len(r.arrivals) > 0 && r.arrivals[0].start < endSeq {
+		a := r.arrivals[0]
+		if a.end <= endSeq {
+			r.finalize(a, a.start, a.end, now)
+			r.arrivals = r.arrivals[1:]
+			if r.inHead > 0 {
+				r.inHead--
+			}
+			continue
+		}
+		// Partially read arrival: finalize the consumed prefix.
+		r.finalize(a, a.start, endSeq, now)
+		r.arrivals[0].start = endSeq
+		break
+	}
+	// Drop sender segment records fully below the read horizon; their
+	// boundaries have been snapshotted into arrivals already.
+	for r.segHead < len(r.segs) && r.segs[r.segHead].end <= endSeq {
+		r.segHead++
+	}
+	if r.segHead > 256 && r.segHead*2 >= len(r.segs) {
+		m := copy(r.segs, r.segs[r.segHead:])
+		r.segs = r.segs[:m]
+		r.segHead = 0
+	}
+}
+
+// finalize turns one consumed byte range into a rangeRec: boundaries are
+// clamped monotone (so stage durations are non-negative and telescope
+// exactly to write→read) and folded into the aggregate.
+func (r *Recorder) finalize(a arrival, start, end uint64, readAt units.Time) {
+	b := a.b
+	b[numBounds-1] = readAt
+	if b[StageRcvbuf] == 0 {
+		b[StageRcvbuf] = b[StageReassembly] // in-order never stamped: arrived in order
+	}
+	for i := 1; i < numBounds; i++ {
+		if b[i] < b[i-1] {
+			b[i] = b[i-1]
+		}
+	}
+	bytes := float64(end - start)
+	e2e := b[numBounds-1].Sub(b[0])
+	for s := 0; s < NumStages; s++ {
+		d := b[s+1].Sub(b[s])
+		r.agg.stageByteSec[s] += d.Seconds() * bytes
+		if r.wf.stageH[s] != nil {
+			r.wf.stageH[s].Observe(d.Seconds())
+		}
+	}
+	r.agg.e2eByteSec += e2e.Seconds() * bytes
+	if e2e > r.agg.maxE2E {
+		r.agg.maxE2E = e2e
+	}
+	if r.wf.e2eH != nil {
+		r.wf.e2eH.Observe(e2e.Seconds())
+	}
+	r.agg.ranges++
+	r.agg.bytes += end - start
+	r.retain(rangeRec{start: start, end: end, gen: a.gen, b: b})
+}
+
+// retain keeps the range for exports, decimating deterministically once
+// the retention cap is reached.
+func (r *Recorder) retain(rr rangeRec) {
+	if r.strideSkip > 0 {
+		r.strideSkip--
+		return
+	}
+	if len(r.ranges) >= maxRanges {
+		k := 0
+		for i := 0; i < len(r.ranges); i += 2 {
+			r.ranges[k] = r.ranges[i]
+			k++
+		}
+		r.ranges = r.ranges[:k]
+		r.stride *= 2
+	}
+	r.strideSkip = r.stride - 1
+	r.ranges = append(r.ranges, rr)
+}
+
+// Spans materializes the retained ranges as stage spans (zero-duration
+// spans are skipped). The aggregate Breakdown covers all ranges exactly;
+// Spans may be a decimated subset on very long runs.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	spans := make([]Span, 0, len(r.ranges)*3)
+	for _, rr := range r.ranges {
+		for s := 0; s < NumStages; s++ {
+			if rr.b[s+1] <= rr.b[s] {
+				continue
+			}
+			spans = append(spans, Span{
+				Stage: Stage(s),
+				Start: rr.start,
+				End:   rr.end,
+				From:  rr.b[s],
+				To:    rr.b[s+1],
+				Gen:   rr.gen,
+			})
+		}
+	}
+	return spans
+}
+
+// Drops returns the recorded packet-drop markers.
+func (r *Recorder) Drops() []Drop {
+	if r == nil {
+		return nil
+	}
+	return r.drops
+}
+
+// Resizes returns the recorded send-buffer capacity changes.
+func (r *Recorder) Resizes() []Resize {
+	if r == nil {
+		return nil
+	}
+	return r.resizes
+}
