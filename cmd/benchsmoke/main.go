@@ -72,13 +72,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	benchmarks, err := parse(&buf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: parsing bench output: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benchmarks) == 0 {
+		// go test succeeded but produced no benchmark lines: the pattern
+		// matched nothing (or the output format changed) — either way the
+		// snapshot would be an empty lie.
+		fmt.Fprintf(os.Stderr, "benchsmoke: no benchmarks matched -bench %q\n", *pattern)
+		os.Exit(1)
+	}
+
 	snap := Snapshot{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		Benchtime:  *benchtime,
-		Benchmarks: parse(&buf),
+		Benchmarks: benchmarks,
 	}
 
 	f, err := os.Create(path)
@@ -108,7 +121,7 @@ func main() {
 // and each package's results are preceded by a "pkg: <import path>"
 // context line (or followed by an "ok <import path> ..." summary, which
 // is used as a fallback when no pkg line appeared).
-func parse(buf *bytes.Buffer) []Result {
+func parse(buf *bytes.Buffer) ([]Result, error) {
 	var (
 		results []Result
 		pkg     string
@@ -145,7 +158,12 @@ func parse(buf *bytes.Buffer) []Result {
 			}
 		}
 	}
-	return results
+	// A scanner error (e.g. a line beyond the 1 MiB buffer) silently
+	// truncates the walk; surface it instead of snapshotting a subset.
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // parseLine decodes one benchmark result line: the name, the iteration

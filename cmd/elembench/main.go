@@ -9,6 +9,9 @@
 //	elembench -seed 7 -dur 60    # override seed and per-run duration (seconds)
 //	elembench -metrics-summary   # print telemetry counters after each run
 //	elembench -waterfall         # print per-stage delay attribution after each run
+//	elembench -faults stale-info # run every scenario under a fault profile
+//
+// elembench exits non-zero when any experiment fails mid-run.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"element/internal/exp"
+	"element/internal/faults"
 	"element/internal/telemetry"
 	"element/internal/units"
 	"element/internal/waterfall"
@@ -33,8 +37,18 @@ func main() {
 		markdown = flag.Bool("md", false, "emit GitHub-flavoured markdown (for EXPERIMENTS.md)")
 		metrics  = flag.Bool("metrics-summary", false, "print a telemetry metrics snapshot after each experiment")
 		waterfal = flag.Bool("waterfall", false, "print the per-stage delay waterfall attribution after each experiment")
+		faultsPr = flag.String("faults", "", "run every scenario under a fault profile: "+strings.Join(faults.Names(), "|"))
 	)
 	flag.Parse()
+
+	if *faultsPr != "" {
+		p, err := faults.ByName(*faultsPr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exp.DefaultFaults = &p
+	}
 
 	if *list {
 		for _, e := range exp.Registry {
@@ -47,7 +61,17 @@ func main() {
 	}
 
 	duration := units.DurationFromSeconds(*dur)
+	failed := 0
 	run := func(e exp.Experiment) {
+		// A panicking experiment must not take down the rest of the sweep —
+		// report it, mark the run failed, and keep going so one bad
+		// configuration still yields every other table.
+		defer func() {
+			if r := recover(); r != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "elembench: experiment %s panicked: %v\n", e.ID, r)
+			}
+		}()
 		// Experiments build their own ScenarioConfigs, so metrics are
 		// injected via the package-level fallback: a fresh Telemetry per
 		// experiment keeps the snapshots from bleeding into each other.
@@ -67,7 +91,10 @@ func main() {
 		}
 		if *metrics {
 			fmt.Printf("--- metrics (%s) ---\n", e.ID)
-			exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText)
+			if err := exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "elembench: metrics export (%s): %v\n", e.ID, err)
+			}
 			fmt.Println()
 			exp.DefaultTelemetry = nil
 		}
@@ -97,9 +124,20 @@ func main() {
 		for _, e := range selected {
 			run(e)
 		}
+		exitIfFailed(failed)
 		return
 	}
 	for _, e := range exp.Registry {
 		run(e)
+	}
+	exitIfFailed(failed)
+}
+
+// exitIfFailed turns mid-sweep failures into a non-zero exit so CI and
+// scripts notice a partially-failed run instead of trusting its output.
+func exitIfFailed(failed int) {
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "elembench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
 	}
 }

@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"element/internal/aqm"
 	"element/internal/cc"
 	"element/internal/exp"
+	"element/internal/faults"
 	"element/internal/netem"
 	"element/internal/telemetry"
 	"element/internal/units"
@@ -41,6 +43,7 @@ func main() {
 		wireless = flag.Bool("wireless", false, "tell the minimizer the sender is on LTE/WiFi")
 		dur      = flag.Float64("dur", 30, "simulated duration (seconds)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		faultsPr = flag.String("faults", "", "inject a fault profile: "+strings.Join(faults.Names(), "|"))
 		telPath  = flag.String("telemetry", "", "write a telemetry export to this file (implies -element)")
 		telFmt   = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
 		wfPath   = flag.String("waterfall", "", "write the per-byte-range delay waterfall to this file")
@@ -100,6 +103,14 @@ func main() {
 			cfg.Direction = netem.Upload
 		}
 	}
+	if *faultsPr != "" {
+		p, err := faults.ByName(*faultsPr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Faults = &p
+	}
 	for i := 0; i < *flows; i++ {
 		spec := exp.FlowSpec{CC: cc.Kind(*algo)}
 		if i == 0 {
@@ -122,10 +133,17 @@ func main() {
 			f.TotalDelay().Seconds()*1000,
 			f.GoodputBps/1e6)
 	}
+	if s.Inj != nil {
+		fmt.Printf("\nfaults (%s): %d injected events\n", *faultsPr, s.Inj.Counts().Total())
+	}
 	if f := s.Flows[0]; f.Sender != nil {
 		est := f.Sender.Estimates().Series()
 		fmt.Printf("\nELEMENT flow 1: %d sender estimates, mean %.1f ms (truth %.1f ms)\n",
 			len(est), est.Mean().Seconds()*1000, f.GT.SenderDelay().Mean().Seconds()*1000)
+		if s.Inj != nil {
+			sa, ra := f.Sender.Tracker.Anomalies(), f.Receiver.Tracker.Anomalies()
+			fmt.Printf("tracker anomalies under faults: sender %d, receiver %d\n", sa.Total(), ra.Total())
+		}
 		if f.Sender.Min != nil {
 			sleeps, total := f.Sender.Min.Sleeps()
 			fmt.Printf("minimizer: target %d bytes, %d pacing sleeps totalling %v\n",

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"element/internal/aqm"
 	"element/internal/cc"
 	"element/internal/exp"
+	"element/internal/faults"
 	"element/internal/telemetry"
 	"element/internal/units"
 	"element/internal/waterfall"
@@ -27,16 +29,17 @@ import (
 
 func main() {
 	var (
-		bw      = flag.Float64("bw", 10, "bottleneck bandwidth (Mbps)")
-		rtt     = flag.Float64("rtt", 50, "base RTT (ms)")
-		qdisc   = flag.String("qdisc", "pfifo_fast", "bottleneck qdisc")
-		algo    = flag.String("cc", "cubic", "congestion control")
-		dur     = flag.Float64("dur", 40, "simulated duration (seconds)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		telPath = flag.String("telemetry", "", "also write a telemetry export to this file")
-		telFmt  = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
-		wfPath  = flag.String("waterfall", "", "write the per-byte-range delay waterfall to this file (\"-\" = stdout)")
-		wfFmt   = flag.String("waterfall-format", "chrome", "waterfall export format: chrome|jsonl|ascii")
+		bw       = flag.Float64("bw", 10, "bottleneck bandwidth (Mbps)")
+		rtt      = flag.Float64("rtt", 50, "base RTT (ms)")
+		qdisc    = flag.String("qdisc", "pfifo_fast", "bottleneck qdisc")
+		algo     = flag.String("cc", "cubic", "congestion control")
+		dur      = flag.Float64("dur", 40, "simulated duration (seconds)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		faultsPr = flag.String("faults", "", "inject a fault profile: "+strings.Join(faults.Names(), "|"))
+		telPath  = flag.String("telemetry", "", "also write a telemetry export to this file")
+		telFmt   = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
+		wfPath   = flag.String("waterfall", "", "write the per-byte-range delay waterfall to this file (\"-\" = stdout)")
+		wfFmt    = flag.String("waterfall-format", "chrome", "waterfall export format: chrome|jsonl|ascii")
 	)
 	flag.Parse()
 
@@ -65,7 +68,7 @@ func main() {
 		wf = waterfall.New()
 	}
 
-	s := exp.RunScenario(exp.ScenarioConfig{
+	cfg := exp.ScenarioConfig{
 		Seed:      *seed,
 		Rate:      units.Rate(*bw) * units.Mbps,
 		RTT:       units.DurationFromSeconds(*rtt / 1000),
@@ -74,7 +77,16 @@ func main() {
 		Flows:     []exp.FlowSpec{{CC: cc.Kind(*algo), Element: true}},
 		Telemetry: telem,
 		Waterfall: wf,
-	})
+	}
+	if *faultsPr != "" {
+		p, err := faults.ByName(*faultsPr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Faults = &p
+	}
+	s := exp.RunScenario(cfg)
 	f := s.Flows[0]
 
 	if telem != nil {
@@ -116,20 +128,24 @@ func main() {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	fmt.Fprintln(w, "# side\tt_seconds\tdelay_seconds\tsource")
-	for _, x := range f.Sender.Estimates().Series() {
-		fmt.Fprintf(w, "sender\t%.6f\t%.6f\telement\n", x.At.Seconds(), x.Delay.Seconds())
+	// Element rows carry the estimator's self-reported confidence grade and
+	// error bound; ground-truth rows have neither ("-").
+	fmt.Fprintln(w, "# side\tt_seconds\tdelay_seconds\tsource\tconfidence\terr_bound_seconds")
+	for _, x := range f.Sender.Estimates().Log() {
+		fmt.Fprintf(w, "sender\t%.6f\t%.6f\telement\t%s\t%.6f\n",
+			x.At.Seconds(), x.Delay.Seconds(), x.Confidence, x.ErrBound.Seconds())
 	}
 	for _, x := range f.GT.SenderDelay() {
-		fmt.Fprintf(w, "sender\t%.6f\t%.6f\tactual\n", x.At.Seconds(), x.Delay.Seconds())
+		fmt.Fprintf(w, "sender\t%.6f\t%.6f\tactual\t-\t-\n", x.At.Seconds(), x.Delay.Seconds())
 	}
-	for _, x := range f.Receiver.Estimates().Series() {
-		fmt.Fprintf(w, "receiver\t%.6f\t%.6f\telement\n", x.At.Seconds(), x.Delay.Seconds())
+	for _, x := range f.Receiver.Estimates().Log() {
+		fmt.Fprintf(w, "receiver\t%.6f\t%.6f\telement\t%s\t%.6f\n",
+			x.At.Seconds(), x.Delay.Seconds(), x.Confidence, x.ErrBound.Seconds())
 	}
 	for _, x := range f.GT.ReceiverDelay() {
-		fmt.Fprintf(w, "receiver\t%.6f\t%.6f\tactual\n", x.At.Seconds(), x.Delay.Seconds())
+		fmt.Fprintf(w, "receiver\t%.6f\t%.6f\tactual\t-\t-\n", x.At.Seconds(), x.Delay.Seconds())
 	}
 	for _, x := range f.GT.NetworkDelay() {
-		fmt.Fprintf(w, "network\t%.6f\t%.6f\tactual\n", x.At.Seconds(), x.Delay.Seconds())
+		fmt.Fprintf(w, "network\t%.6f\t%.6f\tactual\t-\t-\n", x.At.Seconds(), x.Delay.Seconds())
 	}
 }

@@ -23,6 +23,12 @@ type RetInfo struct {
 	RTT float64
 	// Cwnd is the congestion window in segments.
 	Cwnd int
+	// Confidence grades the BufDelay estimate and ErrBound is its error
+	// bar in seconds (see Measurement). Applications adapting their rate
+	// should ignore low-confidence BufDelay values.
+	Confidence Confidence
+	// ErrBound is the BufDelay error bar in seconds.
+	ErrBound float64
 }
 
 // Controller is a pluggable latency-control strategy. Algorithm 3 is the
@@ -54,6 +60,10 @@ type Options struct {
 	// Telem records tracker and minimizer activity under the "core"
 	// component, scoped to the socket's flow. Nil disables instrumentation.
 	Telem *telemetry.Telemetry
+	// Info overrides the TCP_INFO source ELEMENT polls (default: the
+	// socket itself). The fault-injection layer uses it to interpose a
+	// degraded view without touching the data path.
+	Info InfoSource
 }
 
 // Sender is ELEMENT attached to the sending side of a connection: the
@@ -75,19 +85,23 @@ func AttachSender(eng *sim.Engine, sock *stack.Socket, opts Options) *Sender {
 	if opts.Minimize && opts.Controller != nil {
 		panic("core: Options.Minimize and Options.Controller are mutually exclusive")
 	}
+	src := InfoSource(sock)
+	if opts.Info != nil {
+		src = opts.Info
+	}
 	s := &Sender{eng: eng, sock: sock}
-	s.Tracker = NewSenderTracker(eng, sock, opts.Interval)
+	s.Tracker = NewSenderTracker(eng, src, opts.Interval)
 	sc := opts.Telem.Scope("core").WithFlow(sock.FlowID())
 	s.Tracker.Instrument(sc)
 	switch {
 	case opts.Minimize:
 		cfg := opts.Minimizer
 		cfg.Wireless = cfg.Wireless || opts.Wireless
-		s.Min = NewMinimizer(eng, sock, s.Tracker, cfg)
+		s.Min = NewMinimizer(eng, src, s.Tracker, cfg)
 		s.Min.Instrument(sc)
 	case opts.Controller != nil:
 		s.ctrl = opts.Controller
-		s.Tracker.subscribe(s.ctrl.OnDelay)
+		s.Tracker.subscribe(func(m Measurement) { s.ctrl.OnDelay(m.Delay) })
 	}
 	return s
 }
@@ -124,16 +138,20 @@ func (s *Sender) SendFull(p *sim.Proc, n int) RetInfo {
 	return ri
 }
 
-// retinfo assembles the RetInfo snapshot.
+// retinfo assembles the RetInfo snapshot. TCP_INFO is read through the
+// tracker's sanitizer so RetInfo sees the same defended view.
 func (s *Sender) retinfo(size int) RetInfo {
-	ti := s.sock.GetsockoptTCPInfo()
+	ti := s.Tracker.san.GetsockoptTCPInfo()
 	tput := s.ThroughputEstimate()
+	latest := s.Tracker.Estimates().Latest()
 	return RetInfo{
 		Size:       size,
-		BufDelay:   s.Tracker.Estimates().Latest().Delay.Seconds(),
+		BufDelay:   latest.Delay.Seconds(),
 		Throughput: tput,
 		RTT:        ti.RTT.Seconds(),
 		Cwnd:       ti.SndCwnd,
+		Confidence: latest.Confidence,
+		ErrBound:   latest.ErrBound.Seconds(),
 	}
 }
 
@@ -141,18 +159,33 @@ func (s *Sender) retinfo(size int) RetInfo {
 func (s *Sender) Estimates() *Estimates { return s.Tracker.Estimates() }
 
 // ThroughputEstimate reports the current TCP-layer throughput EWMA in
-// bits/s (the RetInfo.Throughput value) without performing a send.
+// bits/s (the RetInfo.Throughput value) without performing a send. It
+// reads through the tracker's sanitizer, so a counter jumping backwards
+// cannot underflow the delta and poison the EWMA; when tcpi_bytes_acked
+// is unavailable the acked-bytes proxy comes from the segment counters.
 func (s *Sender) ThroughputEstimate() float64 {
-	ti := s.sock.GetsockoptTCPInfo()
+	ti := s.Tracker.san.GetsockoptTCPInfo()
+	acked := ti.BytesAcked
+	if s.Tracker.san.bytesAckedAbsent() {
+		segs := ti.SegsOut - ti.TotalRetrans - ti.Unacked
+		if segs < 0 {
+			segs = 0
+		}
+		acked = uint64(segs) * uint64(ti.SndMSS)
+	}
 	now := s.eng.Now()
 	if now > s.lastAt {
-		inst := float64(ti.BytesAcked-s.lastAcked) * 8 / now.Sub(s.lastAt).Seconds()
-		if s.throughput == 0 {
-			s.throughput = inst
-		} else {
-			s.throughput = 0.875*s.throughput + 0.125*inst
+		if acked >= s.lastAcked {
+			inst := float64(acked-s.lastAcked) * 8 / now.Sub(s.lastAt).Seconds()
+			if s.throughput == 0 {
+				s.throughput = inst
+			} else {
+				s.throughput = 0.875*s.throughput + 0.125*inst
+			}
 		}
-		s.lastAcked = ti.BytesAcked
+		// A regression (capability probe flipping estimators) just
+		// re-bases the delta instead of poisoning the EWMA.
+		s.lastAcked = acked
 		s.lastAt = now
 	}
 	return s.throughput
@@ -191,10 +224,14 @@ type Receiver struct {
 
 // AttachReceiver wires ELEMENT onto a receiving socket.
 func AttachReceiver(eng *sim.Engine, sock *stack.Socket, opts Options) *Receiver {
+	src := InfoSource(sock)
+	if opts.Info != nil {
+		src = opts.Info
+	}
 	r := &Receiver{
 		eng:     eng,
 		sock:    sock,
-		Tracker: NewReceiverTracker(eng, sock, opts.Interval),
+		Tracker: NewReceiverTracker(eng, src, opts.Interval),
 	}
 	r.Tracker.Instrument(opts.Telem.Scope("core").WithFlow(sock.FlowID()))
 	return r
@@ -204,9 +241,11 @@ func AttachReceiver(eng *sim.Engine, sock *stack.Socket, opts Options) *Receiver
 func (r *Receiver) Read(p *sim.Proc, max int) RetInfo {
 	got := r.sock.Read(p, max)
 	if got > 0 {
-		r.Tracker.OnRead(r.sock.ReadCum(), got)
+		// A short read means the in-order queue is now empty — the drain
+		// signal the tracker uses to re-base segs_in inflation.
+		r.Tracker.OnRead(r.sock.ReadCum(), got, got < max)
 	}
-	ti := r.sock.GetsockoptTCPInfo()
+	ti := r.Tracker.san.GetsockoptTCPInfo()
 	now := r.eng.Now()
 	if now > r.lastAt {
 		cum := r.sock.ReadCum()
@@ -219,12 +258,15 @@ func (r *Receiver) Read(p *sim.Proc, max int) RetInfo {
 		r.lastRead = cum
 		r.lastAt = now
 	}
+	latest := r.Tracker.Estimates().Latest()
 	return RetInfo{
 		Size:       got,
-		BufDelay:   r.Tracker.Estimates().Latest().Delay.Seconds(),
+		BufDelay:   latest.Delay.Seconds(),
 		Throughput: r.throughput,
 		RTT:        ti.RTT.Seconds(),
 		Cwnd:       ti.SndCwnd,
+		Confidence: latest.Confidence,
+		ErrBound:   latest.ErrBound.Seconds(),
 	}
 }
 

@@ -48,10 +48,17 @@ type InfoSource interface {
 }
 
 // record is one entry of the paper's linked list: a cumulative byte count
-// and the time it was observed.
+// and the time it was observed. slack is how late the observation itself
+// may be (receiver-side records inherit the gap since the previous
+// estimator advance when TCP_INFO sampling stalls); stall snapshots the
+// tracker's cumulative stalled time at push, so the difference at match
+// time is the stalled time the record sat through. Both widen the error
+// bound of every sample the record produces.
 type record struct {
 	bytes uint64
 	at    units.Time
+	slack units.Duration
+	stall units.Duration
 }
 
 // fifo is the paper's singly-linked list, backed by a slice.
@@ -89,6 +96,13 @@ type Measurement struct {
 	Cwnd     int
 	Ssthresh int
 	RTT      units.Duration
+	// Confidence grades the sample and ErrBound is its self-reported
+	// error bar: unless Confidence is ConfidenceLow, the true delay lies
+	// within ErrBound of Delay. Degraded TCP_INFO (stalls, fallback
+	// estimators, counter anomalies) widens ErrBound and lowers
+	// Confidence instead of silently skewing Delay.
+	Confidence Confidence
+	ErrBound   units.Duration
 }
 
 // Estimates holds a tracker's output series.
@@ -114,6 +128,25 @@ func (e *Estimates) Latest() Measurement {
 		return Measurement{}
 	}
 	return e.log[len(e.log)-1]
+}
+
+// ConfidenceCounts tallies the log's samples by confidence grade:
+// counts[ConfidenceLow] is the number of explicitly-flagged samples.
+func (e *Estimates) ConfidenceCounts() [3]int {
+	var counts [3]int
+	for _, m := range e.log {
+		counts[m.Confidence]++
+	}
+	return counts
+}
+
+// FlaggedFraction reports the fraction of samples marked low-confidence
+// (0 when the log is empty).
+func (e *Estimates) FlaggedFraction() float64 {
+	if len(e.log) == 0 {
+		return 0
+	}
+	return float64(e.ConfidenceCounts()[ConfidenceLow]) / float64(len(e.log))
 }
 
 // WriteTo dumps the measurement log in the columns the paper's trackers

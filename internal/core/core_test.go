@@ -77,7 +77,7 @@ func TestReceiverTrackerRecordsGrowthAndMatchesReads(t *testing.T) {
 	eng.Schedule(5*units.Millisecond, func() { src.info.SegsIn = 3 })
 	// The app reads 2500 bytes at t=50ms: the covering record is the
 	// 3000-byte one from t=10ms → delay 40ms.
-	eng.Schedule(50*units.Millisecond, func() { tr.OnRead(2500, 2500) })
+	eng.Schedule(50*units.Millisecond, func() { tr.OnRead(2500, 2500, false) })
 	eng.RunUntil(units.Time(100 * units.Millisecond))
 	est := tr.Estimates().Series()
 	if len(est) != 1 {
@@ -99,7 +99,7 @@ func TestReceiverTrackerDiscardsCoveredRecords(t *testing.T) {
 	eng.Schedule(25*units.Millisecond, func() { src.info.SegsIn = 3 }) // 3000 @30ms
 	// Read past the first two records: they are discarded, the sample
 	// comes from the 3000 record.
-	eng.Schedule(60*units.Millisecond, func() { tr.OnRead(2500, 2500) })
+	eng.Schedule(60*units.Millisecond, func() { tr.OnRead(2500, 2500, false) })
 	eng.RunUntil(units.Time(100 * units.Millisecond))
 	est := tr.Estimates().Series()
 	if len(est) != 1 || est[0].Delay != 30*units.Millisecond {

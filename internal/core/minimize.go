@@ -81,6 +81,16 @@ type Minimizer struct {
 	ticker  *sim.Timer
 	stopped bool
 
+	// Safe mode: when D_measure goes predominantly low-confidence the
+	// pacer stops acting on it — throttling a healthy connection because
+	// of garbage measurements is worse than not pacing at all. confWin is
+	// a ring of the last safeWindow sample confidences.
+	confWin     [safeWindow]Confidence
+	confN       int
+	confIdx     int
+	safe        bool
+	safeEntries int
+
 	// Instrumentation.
 	sleeps     int
 	sleepTotal units.Duration
@@ -104,23 +114,56 @@ func (m *Minimizer) Instrument(sc *telemetry.Scope) {
 	m.stargetG = sc.Gauge("starget_bytes")
 }
 
+// safeWindow is how many recent D_measure samples the safe-mode vote
+// considers; a majority of low-confidence samples in the window trips
+// safe mode.
+const safeWindow = 16
+
 // NewMinimizer attaches Algorithm 3 to a sender tracker. It subscribes to
 // the tracker's delay samples (D_measure) and starts the checking thread.
+// All TCP_INFO reads go through the tracker's sanitizer so the pacer sees
+// the same defended view as Algorithm 1.
 func NewMinimizer(eng *sim.Engine, src InfoSource, tracker *SenderTracker, cfg MinimizerConfig) *Minimizer {
-	m := &Minimizer{eng: eng, src: src, tracker: tracker, cfg: cfg.withDefaults()}
-	tracker.subscribe(m.onDelay)
+	m := &Minimizer{eng: eng, src: tracker.san, tracker: tracker, cfg: cfg.withDefaults()}
+	tracker.subscribe(m.onMeasurement)
 	m.schedule()
 	return m
 }
 
-// onDelay folds a new buffer-delay measurement into D_avg:
-// D_avg ← 7/8·D_avg + 1/8·D_measure.
-func (m *Minimizer) onDelay(d units.Duration) {
-	if m.davg == 0 {
-		m.davg = d
+// onMeasurement folds a new buffer-delay measurement into D_avg
+// (D_avg ← 7/8·D_avg + 1/8·D_measure) and updates the safe-mode vote.
+// Low-confidence samples do not move D_avg — their Delay is explicitly
+// disclaimed — but they do count toward tripping safe mode.
+func (m *Minimizer) onMeasurement(ms Measurement) {
+	m.confWin[m.confIdx] = ms.Confidence
+	m.confIdx = (m.confIdx + 1) % safeWindow
+	if m.confN < safeWindow {
+		m.confN++
+	}
+	low := 0
+	for i := 0; i < m.confN; i++ {
+		if m.confWin[i] == ConfidenceLow {
+			low++
+		}
+	}
+	wasSafe := m.safe
+	m.safe = m.confN >= safeWindow/2 && low*2 > m.confN
+	if m.safe && !wasSafe {
+		m.safeEntries++
+		if m.telem != nil {
+			m.telem.Event(telemetry.SevWarn, "pacer_safe_mode",
+				telemetry.F("low_samples", float64(low)),
+				telemetry.F("window", float64(m.confN)))
+		}
+	}
+	if ms.Confidence == ConfidenceLow {
 		return
 	}
-	m.davg = m.davg*7/8 + d/8
+	if m.davg == 0 {
+		m.davg = ms.Delay
+		return
+	}
+	m.davg = m.davg*7/8 + ms.Delay/8
 }
 
 // schedule runs the checking thread at the tracker's cadence; each tick
@@ -147,6 +190,13 @@ func (m *Minimizer) check() {
 	}
 	if m.davg == 0 {
 		return // no measurements yet
+	}
+	if m.safe {
+		// D_measure is untrustworthy: hold S_target instead of rescaling
+		// it on garbage input. The pacing loop is also suspended, so the
+		// application sends unpaced until confidence recovers.
+		m.tlast = m.eng.Now()
+		return
 	}
 	if m.starget == 0 {
 		// Seed with the send buffer size obtained by getsockopt.
@@ -198,10 +248,19 @@ func (m *Minimizer) AfterSend(p *sim.Proc, cumWritten uint64) {
 	if m.starget == 0 {
 		return // not calibrated yet
 	}
+	if m.safe {
+		return // low-confidence D_measure: do not pace on garbage
+	}
 	cnt := 0
 	for {
 		ti := m.src.GetsockoptTCPInfo()
-		best := ti.BytesAcked + uint64(ti.Unacked*ti.SndMSS)
+		best, _ := m.tracker.san.BEst(ti)
+		if best > cumWritten {
+			best = cumWritten // fallback estimator drift
+		}
+		if c := m.tracker.bestCache; best < c {
+			best = c // never regress below the tracker's clamped view
+		}
 		buffered := float64(0)
 		if cumWritten > best {
 			buffered = float64(cumWritten - best)
@@ -236,6 +295,14 @@ func (m *Minimizer) Sleeps() (int, units.Duration) { return m.sleeps, m.sleepTot
 
 // Updates reports how many per-SRTT target updates have run.
 func (m *Minimizer) Updates() int { return m.updates }
+
+// SafeMode reports whether the pacer is currently backed off because its
+// D_measure input went predominantly low-confidence.
+func (m *Minimizer) SafeMode() bool { return m.safe }
+
+// SafeModeEntries reports how many times the pacer tripped into safe
+// mode.
+func (m *Minimizer) SafeModeEntries() int { return m.safeEntries }
 
 // Stop halts the checking thread.
 func (m *Minimizer) Stop() {

@@ -6,12 +6,32 @@ import (
 	"element/internal/units"
 )
 
+// Confidence-grading parameters shared by both trackers. The grading is
+// deliberately coarse: bounds must be honest (widen under degraded input)
+// without pretending to more precision than a 10 ms poll grants.
+const (
+	// staleLowPolls is the stall length (in polls) past which a sample is
+	// flagged low-confidence outright rather than merely wide-bounded.
+	staleLowPolls = 8
+	// anomalyHoldoffPolls is how many polls after an input anomaly
+	// (backwards counter, MSS change, capability flip) samples stay
+	// downgraded while the estimator re-bases.
+	anomalyHoldoffPolls = 3
+	// mssLowWindowPolls is the receiver-side penalty window after an MSS
+	// change: B_est = segs_in·rcv_mss re-bases the whole cumulative count,
+	// so samples are untrustworthy for a while, not just one poll.
+	mssLowWindowPolls = 50
+	// fallbackBoundPolls widens the error bound (in poll intervals) while
+	// the degraded segment-counter estimator is in use.
+	fallbackBoundPolls = 4
+)
+
 // SenderTracker implements Algorithm 1: user-level estimation of the delay
 // between the application's socket write and the TCP layer's transmission,
 // using only TCP_INFO statistics.
 type SenderTracker struct {
 	eng      *sim.Engine
-	src      InfoSource
+	san      *sanitizer
 	interval units.Duration
 
 	list      fifo // (cumulative written bytes, write time), the paper's linked list
@@ -19,29 +39,44 @@ type SenderTracker struct {
 	lastBest  uint64
 	ticker    *sim.Timer
 	stopped   bool
-	onDelay   func(d units.Duration) // minimizer subscription
-	bestCache uint64                 // latest B_est, exposed for Algorithm 3
+	onDelay   func(m Measurement) // minimizer subscription
+	bestCache uint64              // latest B_est, exposed for Algorithm 3
 	polls     int
+
+	// Hostile-input bookkeeping.
+	cumWritten   uint64         // latest OnWrite cumulative count (fallback clamp)
+	prevBest     uint64         // B_est at the previous poll (stall detection)
+	stalePolls   int            // consecutive polls without B_est progress
+	stallCum     units.Duration // total stalled time ever (per-record stall debt)
+	rateEst      float64        // EWMA of B_est progress, bytes/s (MSS-spread bound)
+	lastAnomaly  int            // poll index of the last sanitizer anomaly
+	prevAnomTot  int            // sanitizer count snapshot for recency detection
+	prevDelay    units.Duration
+	prevDelaySet bool
 
 	// Telemetry handles (nil when uninstrumented).
 	telem    *telemetry.Scope
 	matchH   *telemetry.Histogram
 	pollsC   *telemetry.Counter
 	matchesC *telemetry.Counter
+	lowC     *telemetry.Counter
 	delayS   *telemetry.Sampler
 	fifoS    *telemetry.Sampler
 }
 
 // Instrument records the tracker's activity under sc: a histogram and time
 // series of the matched send-buffer delays (the paper's Algorithm 1
-// output) plus FIFO-depth samples per poll.
+// output), FIFO-depth samples per poll, and the anomaly counters of the
+// TCP_INFO sanitizer.
 func (t *SenderTracker) Instrument(sc *telemetry.Scope) {
 	t.telem = sc
 	t.matchH = sc.Histogram("snd_match_delay_seconds")
 	t.pollsC = sc.Counter("snd_polls")
 	t.matchesC = sc.Counter("snd_matches")
+	t.lowC = sc.Counter("snd_low_confidence_samples")
 	t.delayS = sc.Sampler("snd_buffer_delay", telemetry.DefaultSampleGap, "seconds")
 	t.fifoS = sc.Sampler("snd_fifo", telemetry.DefaultSampleGap, "depth")
+	t.san.instrument(sc)
 }
 
 // NewSenderTracker starts Algorithm 1's tcp_info tracking thread on eng.
@@ -50,7 +85,7 @@ func NewSenderTracker(eng *sim.Engine, src InfoSource, interval units.Duration) 
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
-	t := &SenderTracker{eng: eng, src: src, interval: interval}
+	t := &SenderTracker{eng: eng, san: newSanitizer(src), interval: interval}
 	t.schedule()
 	return t
 }
@@ -69,39 +104,154 @@ func (t *SenderTracker) schedule() {
 // wrapper calls it after every socket write with the cumulative number of
 // bytes written (seq).
 func (t *SenderTracker) OnWrite(cumBytes uint64) {
-	t.list.push(record{bytes: cumBytes, at: t.eng.Now()})
+	if cumBytes > t.cumWritten {
+		t.cumWritten = cumBytes
+	}
+	// stall carries the stalled-time total at push; the difference against
+	// the total at match time is exactly how long this record sat behind a
+	// non-advancing estimate — uncertainty its error bound must admit.
+	t.list.push(record{bytes: cumBytes, at: t.eng.Now(), stall: t.stallCum})
 }
 
 // poll is one iteration of the tcp_info tracking thread: estimate the bytes
 // that have left the TCP layer and emit a delay sample for every write
-// record at or below the estimate.
+// record at or below the estimate. Each sample carries a confidence grade
+// and an error bound derived from how degraded the TCP_INFO input looked.
 func (t *SenderTracker) poll() {
 	t.polls++
-	ti := t.src.GetsockoptTCPInfo()
-	// B_est = tcpi_bytes_acked + tcpi_unacked * tcpi_snd_mss.
-	best := ti.BytesAcked + uint64(ti.Unacked*ti.SndMSS)
+	ti := t.san.GetsockoptTCPInfo()
+	best, fallback := t.san.BEst(ti)
+	overrun := false
+	if fallback && best > t.cumWritten {
+		// The segment-counter estimate drifted past the bytes the app ever
+		// wrote: provably wrong, clamp and flag.
+		best = t.cumWritten
+		t.san.counts.Overruns++
+		overrun = true
+	}
+	if best < t.bestCache {
+		// B_est must not regress: a backwards step would un-send bytes the
+		// matcher already accounted for and corrupt Algorithm 3's buffered
+		// estimate.
+		best = t.bestCache
+		t.san.counts.BestRegressions++
+	}
 	t.bestCache = best
+
+	// Stall detection: no estimator progress while writes wait. Stalled
+	// time accrues into stallCum; each record remembers the total at push,
+	// so a record matched long after a stall — the backlog drains over many
+	// polls as acknowledgements trickle in — still carries the full stalled
+	// time it sat through in its error bound, not just the stall length at
+	// the poll that happened to pop it.
+	if best > t.prevBest {
+		if t.interval > 0 {
+			inst := float64(best-t.prevBest) / t.interval.Seconds()
+			if t.rateEst > 0 && inst > 2*t.rateEst {
+				// Catch-up burst: after a frozen stretch the estimate drains
+				// its backlog at far above the steady rate. Records popped
+				// during the drain are still late by however much backlog
+				// remains ahead of them, so the stall debt keeps accruing
+				// until the estimate is back in step.
+				t.stallCum += t.interval
+			}
+			if t.rateEst == 0 {
+				t.rateEst = inst
+			} else {
+				t.rateEst = (7*t.rateEst + inst) / 8
+			}
+		}
+		t.stalePolls = 0
+	} else if !t.list.empty() {
+		t.stalePolls++
+		t.stallCum += t.interval
+		t.san.counts.StalledPolls++
+		t.san.stallsC.Inc()
+	}
+	t.prevBest = best
+
+	if tot := t.san.counts.Total(); tot != t.prevAnomTot {
+		t.prevAnomTot = tot
+		t.lastAnomaly = t.polls
+	}
+
+	// MSS-spread widening: the true MSS lies within the observed envelope,
+	// so the Unacked·MSS term of B_est is off by at most Unacked·spread
+	// bytes — converted to time through the estimator's own drain rate
+	// (doubled: the rate estimate is built from the same degraded input).
+	// Under the fallback estimator the sensitivity is the whole segment
+	// count, far beyond repair — those samples are flagged instead.
+	var mssTerm units.Duration
+	mssLow := false
+	if spread := t.san.sndMSSSpread(); spread > 0 {
+		if fallback || t.rateEst <= 0 {
+			mssLow = true
+		} else {
+			mssTerm = units.DurationFromSeconds(2 * float64(ti.Unacked*spread) / t.rateEst)
+		}
+	}
+
 	now := t.eng.Now()
 	for !t.list.empty() && t.list.front().bytes <= best {
 		r := t.list.pop()
 		d := now.Sub(r.at)
-		t.est.add(Measurement{
+		rstall := t.stallCum - r.stall
+		conf, bound := t.grade(fallback, overrun, mssLow, rstall, mssTerm)
+		// Per-sample jitter slack: the local delay variation bounds the
+		// interpolation error against a continuously-sampled ground truth.
+		slack := units.Duration(0)
+		if t.prevDelaySet {
+			slack = d - t.prevDelay
+			if slack < 0 {
+				slack = -slack
+			}
+		}
+		t.prevDelay, t.prevDelaySet = d, true
+		m := Measurement{
 			At: now, Delay: d, Cwnd: ti.SndCwnd, Ssthresh: ti.SndSsthresh, RTT: ti.RTT,
-		}, int(r.bytes-t.lastBest))
+			Confidence: conf, ErrBound: bound + slack,
+		}
+		t.est.add(m, int(r.bytes-t.lastBest))
 		t.lastBest = r.bytes
 		if t.telem != nil {
 			t.matchesC.Inc()
 			t.matchH.Observe(d.Seconds())
 			t.delayS.SampleValsAt(now, d.Seconds())
+			if conf == ConfidenceLow {
+				t.lowC.Inc()
+			}
 		}
 		if t.onDelay != nil {
-			t.onDelay(d)
+			t.onDelay(m)
 		}
 	}
 	if t.telem != nil {
 		t.pollsC.Inc()
 		t.fifoS.SampleValsAt(now, float64(t.list.len()))
 	}
+}
+
+// grade turns the input-health observations into a confidence grade and a
+// base error bound for one sample. The base bound is two polling
+// intervals (match quantization on both ends) widened by every
+// acknowledged source of degradation — wide-and-honest rather than
+// tight-and-wrong. rstall is the stalled time the matched record sat
+// through; mssTerm the MSS-envelope widening.
+func (t *SenderTracker) grade(fallback, overrun, mssLow bool, rstall, mssTerm units.Duration) (Confidence, units.Duration) {
+	bound := 2*t.interval + rstall + mssTerm
+	if fallback {
+		bound += fallbackBoundPolls * t.interval
+	}
+	recentAnomaly := t.lastAnomaly > 0 && t.polls-t.lastAnomaly <= anomalyHoldoffPolls
+	switch {
+	case overrun, mssLow,
+		t.stalePolls >= staleLowPolls,
+		recentAnomaly && t.san.counts.Backwards+t.san.counts.BestRegressions+t.san.counts.MSSChanges > 0 && t.polls == t.lastAnomaly:
+		return ConfidenceLow, bound
+	case fallback, rstall > 0, mssTerm > 0, t.stalePolls > 0, recentAnomaly:
+		return ConfidenceMedium, bound
+	}
+	return ConfidenceHigh, bound
 }
 
 // EstimatedTCPBytes reports the latest B_est (Algorithm 3 reads it after
@@ -121,6 +271,13 @@ func (t *SenderTracker) Polls() int { return t.polls }
 // Pending reports the number of unmatched write records.
 func (t *SenderTracker) Pending() int { return t.list.len() }
 
+// Anomalies reports the tracker's hostile-input audit trail.
+func (t *SenderTracker) Anomalies() AnomalyCounts { return t.san.Anomalies() }
+
+// DegradedMode reports whether the tracker is running on the fallback
+// (segment-counter) estimator because tcpi_bytes_acked is unavailable.
+func (t *SenderTracker) DegradedMode() bool { return t.san.bytesAckedAbsent() }
+
 // Stop halts the tracking thread.
 func (t *SenderTracker) Stop() {
 	t.stopped = true
@@ -129,14 +286,15 @@ func (t *SenderTracker) Stop() {
 	}
 }
 
-// subscribe registers the minimizer's delay callback.
-func (t *SenderTracker) subscribe(fn func(units.Duration)) { t.onDelay = fn }
+// subscribe registers the minimizer's (or a watcher's) measurement
+// callback.
+func (t *SenderTracker) subscribe(fn func(Measurement)) { t.onDelay = fn }
 
 // ReceiverTracker implements Algorithm 2: user-level estimation of the
 // delay between TCP receiving data and the application reading it.
 type ReceiverTracker struct {
 	eng      *sim.Engine
-	src      InfoSource
+	san      *sanitizer
 	interval units.Duration
 
 	list    fifo // (estimated received bytes at TCP, time)
@@ -146,10 +304,37 @@ type ReceiverTracker struct {
 	stopped bool
 	polls   int
 
+	// Hostile-input bookkeeping.
+	lastGrowth  units.Time // when B_est last advanced (record slack)
+	lastRcvMSS  int
+	mssLowUntil int // poll index until which samples stay low-confidence
+	// segs_in inflation audit: the drain excess (B_est beyond the in-order
+	// bytes delivered) is the ceiling on how much any sample may overstate
+	// waiting, folded into every error bound. excEpoch holds the largest
+	// excess seen this poll epoch and the previous one — the first drain
+	// after a poll is the least stale measurement of the excess, so the
+	// epoch maximum tracks inflation without being dragged down by later
+	// reads in the same epoch. excBound is the sticky value served to
+	// grade between drains. The windowed floor of the excess separates
+	// persistent inflation (duplicate segments) from transient reassembly
+	// backlog for the Resyncs anomaly counter.
+	excEpoch     [2]uint64
+	excBound     uint64
+	stallCum     units.Duration // arrival-stall time accrued while records wait
+	offWinMin    [2]uint64
+	offWinStart  int     // poll index where the current floor bucket opened
+	prevFloor    uint64  // last inflation floor that incremented Resyncs
+	rateEst      float64 // EWMA of B_est growth, bytes/s (excess → time)
+	prevAnomTot  int
+	lastAnomaly  int
+	prevDelay    units.Duration
+	prevDelaySet bool
+
 	// Telemetry handles (nil when uninstrumented).
 	telem    *telemetry.Scope
 	matchH   *telemetry.Histogram
 	matchesC *telemetry.Counter
+	lowC     *telemetry.Counter
 	delayS   *telemetry.Sampler
 }
 
@@ -158,15 +343,29 @@ func (t *ReceiverTracker) Instrument(sc *telemetry.Scope) {
 	t.telem = sc
 	t.matchH = sc.Histogram("rcv_match_delay_seconds")
 	t.matchesC = sc.Counter("rcv_matches")
+	t.lowC = sc.Counter("rcv_low_confidence_samples")
 	t.delayS = sc.Sampler("rcv_buffer_delay", telemetry.DefaultSampleGap, "seconds")
+	t.san.instrument(sc)
 }
 
 // NewReceiverTracker starts Algorithm 2's tcp_info tracking thread.
+// offsetWindowPolls is the sliding window (in polls) over which the
+// receiver takes the minimum drain excess as its inflation estimate. Long
+// enough that a reassembly episode (real waiting) does not read as
+// inflation; short enough that genuine duplicate-segment inflation is
+// absorbed within a couple of seconds.
+const offsetWindowPolls = 100
+
+// offUnset marks an offset-window bucket that saw no drains yet.
+const offUnset = ^uint64(0)
+
 func NewReceiverTracker(eng *sim.Engine, src InfoSource, interval units.Duration) *ReceiverTracker {
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
-	t := &ReceiverTracker{eng: eng, src: src, interval: interval}
+	t := &ReceiverTracker{eng: eng, san: newSanitizer(src), interval: interval}
+	t.lastGrowth = eng.Now()
+	t.offWinMin = [2]uint64{offUnset, offUnset}
 	t.schedule()
 	return t
 }
@@ -183,14 +382,60 @@ func (t *ReceiverTracker) schedule() {
 
 // poll is one iteration of the tcp_info tracking thread: record the
 // estimated bytes received at the TCP layer whenever the estimate grows.
+// Each record carries the sampling slack accumulated since the previous
+// growth — under stalled or rate-limited TCP_INFO the record's timestamp
+// can lag the true arrival by that much, and the error bounds of the
+// samples it produces say so.
 func (t *ReceiverTracker) poll() {
 	t.polls++
-	ti := t.src.GetsockoptTCPInfo()
+	if t.polls-t.offWinStart >= offsetWindowPolls {
+		t.offWinMin[1] = t.offWinMin[0]
+		t.offWinMin[0] = offUnset
+		t.offWinStart = t.polls
+	}
+	t.excEpoch[1] = t.excEpoch[0]
+	t.excEpoch[0] = 0
+	ti := t.san.GetsockoptTCPInfo()
+	if ti.RcvMSS != t.lastRcvMSS {
+		if t.lastRcvMSS != 0 {
+			// segs_in × rcv_mss re-bases the entire cumulative estimate on
+			// an MSS change; distrust samples for a long window.
+			t.mssLowUntil = t.polls + mssLowWindowPolls
+		}
+		t.lastRcvMSS = ti.RcvMSS
+	}
+	if tot := t.san.counts.Total(); tot != t.prevAnomTot {
+		t.prevAnomTot = tot
+		t.lastAnomaly = t.polls
+	}
 	// B_est = tcpi_segs_in * tcpi_rcv_mss.
 	best := uint64(ti.SegsIn) * uint64(ti.RcvMSS)
 	if best > t.prev {
+		now := t.eng.Now()
+		slack := now.Sub(t.lastGrowth) - t.interval
+		if slack < 0 {
+			slack = 0
+		}
+		// Arrival-rate EWMA: converts the byte-denominated drain excess into
+		// a time-denominated bound term in grade.
+		if el := now.Sub(t.lastGrowth).Seconds(); el > 0 {
+			inst := float64(best-t.prev) / el
+			if t.rateEst == 0 {
+				t.rateEst = inst
+			} else {
+				t.rateEst = (7*t.rateEst + inst) / 8
+			}
+		}
 		t.prev = best
-		t.list.push(record{bytes: best, at: t.eng.Now()})
+		t.lastGrowth = now
+		t.list.push(record{bytes: best, at: now, slack: slack, stall: t.stallCum})
+	} else if !t.list.empty() {
+		// Arrivals stalled while claimed bytes wait unmatched. If the front
+		// record is inflation (duplicate segments), its eventual sample
+		// accrues phantom waiting at wall-clock speed for the whole stall —
+		// a blackout, say — far beyond what the excess-over-rate term can
+		// express. The stall debt the record sat through covers it.
+		t.stallCum += t.interval
 	}
 }
 
@@ -198,26 +443,143 @@ func (t *ReceiverTracker) poll() {
 // calls it after every socket read with the cumulative bytes read (seq).
 // Records below seq are discarded; the first record at or above seq (the
 // one covering the just-read byte) yields the delay sample.
-func (t *ReceiverTracker) OnRead(cumBytes uint64, readBytes int) {
+//
+// drained reports that the read emptied the in-order receive queue (the
+// socket returned less than asked). At that instant the bytes TCP has
+// truly delivered in order equal seq, so any excess of B_est over it is
+// tcpi_segs_in inflation — duplicate segments from spurious
+// retransmissions — plus unread reassembly bytes not yet readable. Either
+// way the excess is exactly how far ahead of reality the estimate may
+// run, i.e. how much any sample may overstate waiting; it is folded into
+// the error bound rather than subtracted from the matching, so a degraded
+// counter widens bounds instead of silently reshaping the series.
+func (t *ReceiverTracker) OnRead(cumBytes uint64, readBytes int, drained bool) {
 	now := t.eng.Now()
+	if cumBytes > t.prev && t.prev > 0 {
+		// The application read bytes B_est claims TCP never received: the
+		// estimator is provably behind (GRO/LRO-style coalescing under-
+		// counting segs_in). Flag rather than silently underestimate.
+		t.san.counts.Lags++
+		t.lastAnomaly = t.polls
+		t.prevAnomTot = t.san.counts.Total()
+	}
+	if drained {
+		var exc uint64
+		if t.prev > cumBytes {
+			exc = t.prev - cumBytes
+		}
+		if exc > t.excEpoch[0] {
+			t.excEpoch[0] = exc
+		}
+		// Refresh the bound excess BEFORE matching: the first read after a
+		// burst of duplicate arrivals must already carry their inflation in
+		// its bound, not discover it one read too late.
+		b := t.excEpoch[0]
+		if t.excEpoch[1] > b {
+			b = t.excEpoch[1]
+		}
+		t.excBound = b
+		// The sliding-window minimum of the drain excess separates persistent
+		// duplicate-segment inflation from transient reassembly backlog:
+		// whenever the reassembly queue empties within the window, the
+		// minimum collapses to pure inflation. It feeds the Resyncs audit
+		// counter, not the matching.
+		if exc < t.offWinMin[0] {
+			t.offWinMin[0] = exc
+		}
+		floor := t.offWinMin[0]
+		if t.offWinMin[1] < floor {
+			floor = t.offWinMin[1]
+		}
+		if floor != offUnset {
+			mss := uint64(t.lastRcvMSS)
+			if mss == 0 {
+				mss = 1448
+			}
+			if floor > t.prevFloor && floor-t.prevFloor >= mss {
+				// Persistent inflation grew by at least a full segment since
+				// the last audit mark: duplicate arrivals, worth flagging.
+				t.san.counts.Resyncs++
+				t.lastAnomaly = t.polls
+				t.prevAnomTot = t.san.counts.Total()
+				t.prevFloor = floor
+			}
+		}
+	}
 	for !t.list.empty() {
 		if t.list.front().bytes <= cumBytes {
 			t.list.pop()
 			continue
 		}
 		r := t.list.front()
-		ti := t.src.GetsockoptTCPInfo()
+		ti := t.san.GetsockoptTCPInfo()
 		d := now.Sub(r.at)
-		t.est.add(Measurement{
+		conf, bound := t.grade(cumBytes, r.slack, t.stallCum-r.stall)
+		slack := units.Duration(0)
+		if t.prevDelaySet {
+			slack = d - t.prevDelay
+			if slack < 0 {
+				slack = -slack
+			}
+		}
+		t.prevDelay, t.prevDelaySet = d, true
+		m := Measurement{
 			At: now, Delay: d, Cwnd: ti.SndCwnd, Ssthresh: ti.SndSsthresh, RTT: ti.RTT,
-		}, readBytes)
+			Confidence: conf, ErrBound: bound + slack,
+		}
+		t.est.add(m, readBytes)
 		if t.telem != nil {
 			t.matchesC.Inc()
 			t.matchH.Observe(d.Seconds())
 			t.delayS.SampleValsAt(now, d.Seconds())
+			if conf == ConfidenceLow {
+				t.lowC.Inc()
+			}
 		}
 		break
 	}
+}
+
+// grade computes the confidence and base error bound of one receiver
+// sample. Base bound: three polling intervals — record-timestamp
+// quantization at push plus match quantization at read — widened by the
+// record's sampling slack, by the stalled time the matched record sat
+// through, and by the latest drain excess converted to time through the
+// arrival rate (the estimate may run that far ahead of the bytes
+// actually delivered, so the sample may overstate waiting by up to that
+// much).
+func (t *ReceiverTracker) grade(cumBytes uint64, recSlack, rstall units.Duration) (Confidence, units.Duration) {
+	bound := 3*t.interval + recSlack + rstall
+	inflLow := false
+	if t.excBound > 0 {
+		if t.rateEst > 0 {
+			// Doubled: the rate EWMA is built from the same degraded counter
+			// and runs hot when duplicate bursts inflate it, which would
+			// shrink the term exactly when it matters. One extra interval on
+			// top: the excess is measured against a B_est snapshot up to a
+			// poll old, so arrivals read in the gap hide that much inflation.
+			bound += t.interval +
+				units.DurationFromSeconds(2*float64(t.excBound)/t.rateEst)
+		} else {
+			// Excess with no rate to convert it: unquantifiable.
+			inflLow = true
+		}
+	}
+	mss := uint64(t.lastRcvMSS)
+	if mss == 0 {
+		mss = 1448
+	}
+	recentAnomaly := t.lastAnomaly > 0 && t.polls-t.lastAnomaly <= anomalyHoldoffPolls
+	switch {
+	case cumBytes > t.prev && t.prev > 0, // estimator provably behind the app
+		t.polls < t.mssLowUntil,
+		inflLow,
+		recSlack >= units.Duration(staleLowPolls)*t.interval:
+		return ConfidenceLow, bound
+	case recentAnomaly, recSlack > 0, rstall > 0, t.excBound >= 4*mss:
+		return ConfidenceMedium, bound
+	}
+	return ConfidenceHigh, bound
 }
 
 // Estimates exposes the tracker's delay series.
@@ -225,6 +587,9 @@ func (t *ReceiverTracker) Estimates() *Estimates { return &t.est }
 
 // Polls reports how many TCP_INFO polls have run.
 func (t *ReceiverTracker) Polls() int { return t.polls }
+
+// Anomalies reports the tracker's hostile-input audit trail.
+func (t *ReceiverTracker) Anomalies() AnomalyCounts { return t.san.Anomalies() }
 
 // Stop halts the tracking thread.
 func (t *ReceiverTracker) Stop() {

@@ -44,11 +44,11 @@ func (s *Sender) Watch(delayThresh, jitterThresh units.Duration, onDelay, onJitt
 		onJitter:     onJitter,
 	}
 	prevHook := s.Tracker.onDelay
-	s.Tracker.subscribe(func(d units.Duration) {
+	s.Tracker.subscribe(func(m Measurement) {
 		if prevHook != nil {
-			prevHook(d) // keep the minimizer (or earlier watchers) fed
+			prevHook(m) // keep the minimizer (or earlier watchers) fed
 		}
-		w.observe(s.eng.Now(), d)
+		w.observe(s.eng.Now(), m.Delay)
 	})
 	return w
 }

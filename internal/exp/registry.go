@@ -49,6 +49,8 @@ var Registry = []Experiment{
 		"motion-to-photon latency of a VR stream with a reverse viewpoint channel", Fig18},
 	{"tab_cpu", "ELEMENT overhead",
 		"tracker CPU/memory cost per connection", Overhead},
+	{"degraded", "Estimator robustness under fault injection",
+		"every fault profile vs ground truth: flagged fractions, bound violations, anomaly counts", Degraded},
 }
 
 // Lookup finds an experiment by ID.

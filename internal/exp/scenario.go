@@ -8,6 +8,7 @@ import (
 	"element/internal/aqm"
 	"element/internal/cc"
 	"element/internal/core"
+	"element/internal/faults"
 	"element/internal/netem"
 	"element/internal/sim"
 	"element/internal/stack"
@@ -28,6 +29,12 @@ var DefaultTelemetry *telemetry.Telemetry
 // waterfall: when non-nil, every scenario without its own Waterfall
 // attaches recorders to all flows and taps both path directions.
 var DefaultWaterfall *waterfall.Waterfall
+
+// DefaultFaults plays the same role for fault injection: when non-nil,
+// every scenario without its own Faults profile runs under it —
+// cmd/elembench sets it from -faults so pre-registered experiments can
+// be rerun degraded.
+var DefaultFaults *faults.Profile
 
 // FlowSpec describes one flow in a scenario.
 type FlowSpec struct {
@@ -74,6 +81,12 @@ type ScenarioConfig struct {
 	// (recorder hooks on both sockets, taps on both link directions). Nil
 	// falls back to DefaultWaterfall; nil both disables attribution.
 	Waterfall *waterfall.Waterfall
+	// Faults injects the given fault profile: degraded TCP_INFO for every
+	// ELEMENT tracker, path chaos on the links, and app-level write/read
+	// perturbation. Nil falls back to DefaultFaults; nil both runs the
+	// polite simulator. The injector is seeded from Seed, so the whole
+	// degraded run is reproducible.
+	Faults *faults.Profile
 }
 
 // wanQueuePackets is the bottleneck buffer used by the controlled-testbed
@@ -127,7 +140,11 @@ type Scenario struct {
 	Net   *stack.Net
 	Path  *netem.Path
 	Flows []*FlowResult
-	cfg   ScenarioConfig
+	// Inj is the scenario's fault injector (nil when no profile is
+	// active); its Counts() are the audit trail the matrix tests compare
+	// across same-seed runs.
+	Inj *faults.Injector
+	cfg ScenarioConfig
 }
 
 // Build constructs the engine, path and flows for cfg without running it.
@@ -176,6 +193,25 @@ func Build(cfg ScenarioConfig) *Scenario {
 	net := stack.NewNet(eng, path)
 	s := &Scenario{Eng: eng, Net: net, Path: path, cfg: cfg}
 
+	// Fault injection: the injector gets its own RNG stream derived from
+	// the scenario seed (independent of the engine's), and its events are
+	// bridged into telemetry and the waterfall notes. Path chaos must be
+	// composed after stack.NewNet so the sink wrappers see the endpoints.
+	prof := cfg.Faults
+	if prof == nil {
+		prof = DefaultFaults
+	}
+	if prof != nil && prof.Active() {
+		inj := faults.New(eng, *prof, cfg.Seed+0x6661756c74) // "fault"
+		faultSc := telem.Scope("faults")
+		inj.OnEvent(func(ev faults.Event) {
+			faultSc.Event(telemetry.SevWarn, ev.Kind, telemetry.Str("detail", ev.Detail))
+			wf.Note("fault:"+ev.Kind, ev.Detail)
+		})
+		inj.ApplyPath(path)
+		s.Inj = inj
+	}
+
 	for _, spec := range cfg.Flows {
 		spec := spec
 		col := trace.New(eng)
@@ -195,8 +231,12 @@ func Build(cfg ScenarioConfig) *Scenario {
 				Minimize: spec.Minimize,
 				Wireless: spec.Wireless,
 				Telem:    telem,
+				Info:     s.Inj.WrapInfo(conn.Sender),
 			})
-			fr.Receiver = core.AttachReceiver(eng, conn.Receiver, core.Options{Telem: telem})
+			fr.Receiver = core.AttachReceiver(eng, conn.Receiver, core.Options{
+				Telem: telem,
+				Info:  s.Inj.WrapInfo(conn.Receiver),
+			})
 		}
 		s.Flows = append(s.Flows, fr)
 
@@ -208,11 +248,15 @@ func Build(cfg ScenarioConfig) *Scenario {
 			eng.Spawn("writer", func(p *sim.Proc) {
 				const chunk = 8 << 10 // iperf2's default TCP block size
 				for p.Now() < units.Time(stopAt) {
+					if d := s.Inj.WriteStall(); d > 0 {
+						p.Sleep(d)
+					}
 					var n int
+					size := s.Inj.WriteSize(chunk)
 					if fr.Sender != nil {
-						n = fr.Sender.Send(p, chunk).Size
+						n = fr.Sender.Send(p, size).Size
 					} else {
-						n = conn.Sender.Write(p, chunk)
+						n = conn.Sender.Write(p, size)
 					}
 					if n == 0 {
 						return
@@ -222,10 +266,11 @@ func Build(cfg ScenarioConfig) *Scenario {
 			eng.Spawn("reader", func(p *sim.Proc) {
 				for {
 					var n int
+					max := s.Inj.ReadSize(1 << 20)
 					if fr.Receiver != nil {
-						n = fr.Receiver.Read(p, 1<<20).Size
+						n = fr.Receiver.Read(p, max).Size
 					} else {
-						n = conn.Receiver.Read(p, 1<<20)
+						n = conn.Receiver.Read(p, max)
 					}
 					if n == 0 {
 						return

@@ -1,0 +1,267 @@
+// Package faults is ELEMENT's deterministic fault-injection layer. It
+// perturbs everything the framework can observe — TCP_INFO snapshots
+// (missing fields emulating old kernels, stale sampling, GRO-style
+// coalescing, MSS drift, counters that jump backwards), the network path
+// (blackouts, rate oscillation, reorder bursts, ACK compression and
+// loss), and the application's own socket calls (partial writes, short
+// reads, stalled loops) — so the degraded-mode estimators in
+// internal/core can be tested against a hostile world instead of a
+// polite simulator.
+//
+// Everything is driven by a dedicated rand.Rand seeded independently of
+// the simulation engine: two runs with the same profile and seed inject
+// byte-identical fault sequences and report identical Counts, which the
+// scenario matrix in internal/exp asserts.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// Profile is a declarative bundle of fault settings. The zero value
+// injects nothing (the "none" profile); see profiles.go for the built-in
+// catalog.
+type Profile struct {
+	Name string
+	Desc string
+	Info InfoFaults
+	Path PathFaults
+	App  AppFaults
+}
+
+// InfoFaults degrade the TCP_INFO snapshots ELEMENT polls.
+type InfoFaults struct {
+	// HideBytesAcked zeroes tcpi_bytes_acked on every snapshot, emulating
+	// pre-3.15/4.1 kernels where the field does not exist.
+	HideBytesAcked bool
+	// ZeroMSSProb is the per-snapshot probability of reporting a zero
+	// SndMSS/RcvMSS (handshake races, buggy stacks).
+	ZeroMSSProb float64
+	// StaleProb is the per-poll probability of entering a frozen window:
+	// the snapshot stops updating for up to StaleBurst polls (rate-limited
+	// getsockopt, a stalled sampling goroutine).
+	StaleProb float64
+	// StaleBurst is the maximum length of a frozen window in polls.
+	StaleBurst int
+	// CoalesceSegsIn emulates GRO/LRO: SegsIn growth is only reported in
+	// jumps of this many segments, holding back the remainder.
+	CoalesceSegsIn int
+	// MSSDriftProb is the per-snapshot probability of the MSS drifting
+	// (PMTU changes); the drift is uniform in ±MSSDriftMax bytes.
+	MSSDriftProb float64
+	// MSSDriftMax bounds one MSS drift step in bytes.
+	MSSDriftMax int
+	// BackwardsProb is the per-snapshot probability of a cumulative
+	// counter (BytesAcked) jumping backwards by up to BackwardsMax bytes
+	// (stats bugs, 32-bit wraps).
+	BackwardsProb float64
+	// BackwardsMax bounds one backwards jump in bytes.
+	BackwardsMax uint64
+}
+
+// PathFaults compose chaos on top of the netem path.
+type PathFaults struct {
+	// FlapPeriod is the mean time between link blackouts (0 disables).
+	FlapPeriod units.Duration
+	// FlapLen is how long each blackout lasts (loss rate 1 on both
+	// directions).
+	FlapLen units.Duration
+	// RateOscPeriod makes the forward rate oscillate sinusoidally with
+	// this period (0 disables).
+	RateOscPeriod units.Duration
+	// RateOscDepth is the oscillation amplitude as a fraction of the base
+	// rate in (0, 1).
+	RateOscDepth float64
+	// ReorderProb is the per-data-packet probability of being held back
+	// ReorderDelay and delivered late (out of order).
+	ReorderProb float64
+	// ReorderDelay is how long a reordered packet is held.
+	ReorderDelay units.Duration
+	// AckLossProb drops pure ACKs with this probability (cumulative ACKs
+	// make this safe but it starves cwnd growth and delays RTT samples).
+	AckLossProb float64
+	// AckCompress batches pure ACKs and delivers them in bursts every
+	// AckCompress interval (middlebox ACK compression).
+	AckCompress units.Duration
+}
+
+// AppFaults perturb the application's own socket-call pattern.
+type AppFaults struct {
+	// PartialWriteProb truncates a write to a random fraction of its
+	// intended size with this probability.
+	PartialWriteProb float64
+	// ShortReadProb truncates a read's buffer to one MSS-ish chunk with
+	// this probability.
+	ShortReadProb float64
+	// StallProb makes the writer loop sleep StallLen before a write with
+	// this probability (a busy application thread).
+	StallProb float64
+	// StallLen is the length of one writer stall.
+	StallLen units.Duration
+}
+
+// Active reports whether the profile injects anything at all.
+func (p Profile) Active() bool {
+	return p.Info != InfoFaults{} || p.Path != PathFaults{} || p.App != AppFaults{}
+}
+
+// Counts is the injector's audit trail: how many of each fault actually
+// fired. Deterministic runs produce identical Counts.
+type Counts struct {
+	StaleServed      int // snapshots served frozen
+	ZeroMSS          int // snapshots with a zeroed MSS
+	BackwardsJumps   int // counters jumped backwards
+	MSSDrifts        int // MSS drift steps applied
+	CoalescedPolls   int // snapshots with SegsIn held back
+	HiddenBytesAcked int // snapshots with BytesAcked hidden
+	Blackouts        int // link blackout windows
+	RateSteps        int // rate-oscillation adjustments
+	Reordered        int // data packets held back
+	AcksDropped      int // pure ACKs dropped
+	AcksHeld         int // pure ACKs batched by compression
+	PartialWrites    int // writes truncated
+	ShortReads       int // reads truncated
+	WriterStalls     int // writer-loop stalls injected
+}
+
+// Total sums every fault class.
+func (c Counts) Total() int {
+	return c.StaleServed + c.ZeroMSS + c.BackwardsJumps + c.MSSDrifts +
+		c.CoalescedPolls + c.HiddenBytesAcked + c.Blackouts + c.RateSteps +
+		c.Reordered + c.AcksDropped + c.AcksHeld + c.PartialWrites +
+		c.ShortReads + c.WriterStalls
+}
+
+// String renders the nonzero counters, sorted by name.
+func (c Counts) String() string {
+	pairs := []struct {
+		name string
+		n    int
+	}{
+		{"acks_dropped", c.AcksDropped}, {"acks_held", c.AcksHeld},
+		{"backwards", c.BackwardsJumps}, {"blackouts", c.Blackouts},
+		{"coalesced", c.CoalescedPolls}, {"hidden_bytes_acked", c.HiddenBytesAcked},
+		{"mss_drifts", c.MSSDrifts}, {"partial_writes", c.PartialWrites},
+		{"rate_steps", c.RateSteps}, {"reordered", c.Reordered},
+		{"short_reads", c.ShortReads}, {"stale", c.StaleServed},
+		{"writer_stalls", c.WriterStalls}, {"zero_mss", c.ZeroMSS},
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	var parts []string
+	for _, p := range pairs {
+		if p.n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", p.name, p.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Event is one injected fault, for bridging into telemetry and the
+// waterfall exporters.
+type Event struct {
+	At     units.Time
+	Kind   string // e.g. "blackout", "reorder", "stale_window"
+	Detail string
+}
+
+// Injector owns the fault state for one scenario: a dedicated RNG
+// (independent of the engine's, so fault sequences are identical across
+// runs regardless of what the simulation itself draws), the shared fault
+// counters, and the event hook. All methods are nil-safe: a nil *Injector
+// injects nothing, so call sites need no guards.
+type Injector struct {
+	eng     *sim.Engine
+	prof    Profile
+	rng     *rand.Rand
+	counts  Counts
+	onEvent func(Event)
+}
+
+// New builds an injector for prof on eng, seeded with seed. The same
+// (profile, seed) pair always injects the same fault sequence.
+func New(eng *sim.Engine, prof Profile, seed int64) *Injector {
+	return &Injector{eng: eng, prof: prof, rng: rand.New(rand.NewSource(seed))}
+}
+
+// OnEvent registers a hook receiving every injected fault (telemetry
+// events, waterfall notes). Nil-safe.
+func (inj *Injector) OnEvent(fn func(Event)) {
+	if inj == nil {
+		return
+	}
+	inj.onEvent = fn
+}
+
+// Counts reports the audit trail so far. Nil-safe (zero counts).
+func (inj *Injector) Counts() Counts {
+	if inj == nil {
+		return Counts{}
+	}
+	return inj.counts
+}
+
+// Profile reports the injected profile. Nil-safe (zero profile).
+func (inj *Injector) Profile() Profile {
+	if inj == nil {
+		return Profile{}
+	}
+	return inj.prof
+}
+
+// emit fires the event hook.
+func (inj *Injector) emit(kind, detail string) {
+	if inj.onEvent != nil {
+		inj.onEvent(Event{At: inj.eng.Now(), Kind: kind, Detail: detail})
+	}
+}
+
+// WriteSize perturbs the application writer's intended chunk size:
+// partial writes truncate to a random fraction. Nil-safe (identity).
+func (inj *Injector) WriteSize(n int) int {
+	if inj == nil || inj.prof.App.PartialWriteProb <= 0 || n <= 1 {
+		return n
+	}
+	if inj.rng.Float64() >= inj.prof.App.PartialWriteProb {
+		return n
+	}
+	inj.counts.PartialWrites++
+	got := 1 + inj.rng.Intn(n-1)
+	inj.emit("partial_write", fmt.Sprintf("%d of %d bytes", got, n))
+	return got
+}
+
+// ReadSize perturbs the application reader's buffer size: short reads
+// shrink the buffer to a ~MSS-sized chunk. Nil-safe (identity).
+func (inj *Injector) ReadSize(max int) int {
+	if inj == nil || inj.prof.App.ShortReadProb <= 0 || max <= 2048 {
+		return max
+	}
+	if inj.rng.Float64() >= inj.prof.App.ShortReadProb {
+		return max
+	}
+	inj.counts.ShortReads++
+	return 1 + inj.rng.Intn(2048)
+}
+
+// WriteStall returns how long the writer loop should stall before its
+// next write (0 almost always). Nil-safe (0).
+func (inj *Injector) WriteStall() units.Duration {
+	if inj == nil || inj.prof.App.StallProb <= 0 || inj.prof.App.StallLen <= 0 {
+		return 0
+	}
+	if inj.rng.Float64() >= inj.prof.App.StallProb {
+		return 0
+	}
+	inj.counts.WriterStalls++
+	inj.emit("writer_stall", inj.prof.App.StallLen.String())
+	return inj.prof.App.StallLen
+}

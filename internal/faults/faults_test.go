@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"testing"
+
+	"element/internal/sim"
+	"element/internal/tcpinfo"
+	"element/internal/units"
+)
+
+type scriptSource struct {
+	info   tcpinfo.TCPInfo
+	sndBuf []int
+}
+
+func (s *scriptSource) GetsockoptTCPInfo() tcpinfo.TCPInfo { return s.info }
+func (s *scriptSource) SetSndBuf(b int)                    { s.sndBuf = append(s.sndBuf, b) }
+
+// A nil injector must be a complete no-op: identity sizes, zero stalls,
+// zero counts, pass-through info wrapping.
+func TestNilInjectorIsNoop(t *testing.T) {
+	var inj *Injector
+	if got := inj.WriteSize(4096); got != 4096 {
+		t.Fatalf("WriteSize = %d, want 4096", got)
+	}
+	if got := inj.ReadSize(1 << 20); got != 1<<20 {
+		t.Fatalf("ReadSize = %d, want %d", got, 1<<20)
+	}
+	if got := inj.WriteStall(); got != 0 {
+		t.Fatalf("WriteStall = %v, want 0", got)
+	}
+	if inj.Counts().Total() != 0 {
+		t.Fatal("nil injector has counts")
+	}
+	src := &scriptSource{}
+	if inj.WrapInfo(src) != Source(src) {
+		t.Fatal("nil injector wrapped the info source")
+	}
+	inj.OnEvent(func(Event) {})
+	inj.ApplyPath(nil)
+}
+
+// With no info faults configured, WrapInfo must return the source
+// unchanged (zero overhead on the polite path).
+func TestWrapInfoPassThroughWithoutInfoFaults(t *testing.T) {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	inj := New(eng, Profiles["reorder"], 7)
+	src := &scriptSource{}
+	if inj.WrapInfo(src) != Source(src) {
+		t.Fatal("WrapInfo wrapped despite no info faults")
+	}
+}
+
+// The same (profile, seed) pair must produce identical fault decisions:
+// run the same scripted poll sequence twice and compare counts and the
+// degraded snapshots.
+func TestInjectorDeterministicUnderFixedSeed(t *testing.T) {
+	run := func() (Counts, []tcpinfo.TCPInfo) {
+		eng := sim.New(1)
+		defer eng.Shutdown()
+		inj := New(eng, Profiles["everything"], 42)
+		src := &scriptSource{info: tcpinfo.TCPInfo{SndMSS: 1448, RcvMSS: 1448}}
+		tap := inj.WrapInfo(src)
+		var snaps []tcpinfo.TCPInfo
+		for i := 0; i < 500; i++ {
+			src.info.BytesAcked += 1448
+			src.info.SegsIn += 1
+			src.info.SegsOut += 1
+			snaps = append(snaps, tap.GetsockoptTCPInfo())
+			inj.WriteSize(8192)
+			inj.ReadSize(1 << 20)
+			inj.WriteStall()
+		}
+		return inj.Counts(), snaps
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts differ across same-seed runs:\n  %v\n  %v", c1, c2)
+	}
+	if c1.Total() == 0 {
+		t.Fatal("'everything' profile injected nothing over 500 polls")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("snapshot %d differs across same-seed runs", i)
+		}
+	}
+}
+
+// Different seeds must actually change the fault sequence (the RNG is
+// wired up, not a constant).
+func TestInjectorSeedsDiffer(t *testing.T) {
+	run := func(seed int64) Counts {
+		eng := sim.New(1)
+		defer eng.Shutdown()
+		inj := New(eng, Profiles["stale-info"], seed)
+		src := &scriptSource{info: tcpinfo.TCPInfo{SndMSS: 1448, RcvMSS: 1448}}
+		tap := inj.WrapInfo(src)
+		for i := 0; i < 1000; i++ {
+			src.info.BytesAcked += 1448
+			tap.GetsockoptTCPInfo()
+		}
+		return inj.Counts()
+	}
+	if run(1) == run(2) {
+		t.Fatal("seeds 1 and 2 produced identical stale-info counts (suspicious)")
+	}
+}
+
+// legacy-kernel must hide BytesAcked on every snapshot.
+func TestLegacyKernelHidesBytesAcked(t *testing.T) {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	inj := New(eng, Profiles["legacy-kernel"], 1)
+	src := &scriptSource{info: tcpinfo.TCPInfo{SndMSS: 1448, BytesAcked: 1 << 20}}
+	tap := inj.WrapInfo(src)
+	for i := 0; i < 10; i++ {
+		if ti := tap.GetsockoptTCPInfo(); ti.BytesAcked != 0 {
+			t.Fatalf("poll %d: BytesAcked = %d, want hidden (0)", i, ti.BytesAcked)
+		}
+	}
+	if inj.Counts().HiddenBytesAcked != 10 {
+		t.Fatalf("HiddenBytesAcked = %d, want 10", inj.Counts().HiddenBytesAcked)
+	}
+}
+
+// gro must hold SegsIn back until a full coalescing jump accumulates,
+// and never report more than the true count.
+func TestGROCoalescesSegsIn(t *testing.T) {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	inj := New(eng, Profiles["gro"], 1)
+	src := &scriptSource{info: tcpinfo.TCPInfo{RcvMSS: 1448}}
+	tap := inj.WrapInfo(src)
+	prev := 0
+	for i := 1; i <= 64; i++ {
+		src.info.SegsIn = i
+		ti := tap.GetsockoptTCPInfo()
+		if ti.SegsIn > i {
+			t.Fatalf("SegsIn = %d > true %d", ti.SegsIn, i)
+		}
+		if ti.SegsIn < prev {
+			t.Fatalf("SegsIn went backwards: %d after %d", ti.SegsIn, prev)
+		}
+		if ti.SegsIn%Profiles["gro"].Info.CoalesceSegsIn != 0 {
+			t.Fatalf("SegsIn = %d, want multiples of the coalescing jump", ti.SegsIn)
+		}
+		prev = ti.SegsIn
+	}
+	if prev != 64 {
+		t.Fatalf("final SegsIn = %d, want 64 (all jumps flushed)", prev)
+	}
+	if inj.Counts().CoalescedPolls == 0 {
+		t.Fatal("CoalescedPolls = 0, want > 0")
+	}
+}
+
+// The event hook must see injected faults.
+func TestEventsEmitted(t *testing.T) {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	inj := New(eng, Profiles["stale-info"], 3)
+	var events []Event
+	inj.OnEvent(func(ev Event) { events = append(events, ev) })
+	src := &scriptSource{info: tcpinfo.TCPInfo{SndMSS: 1448}}
+	tap := inj.WrapInfo(src)
+	for i := 0; i < 1000; i++ {
+		src.info.BytesAcked += 1448
+		tap.GetsockoptTCPInfo()
+	}
+	if len(events) == 0 {
+		t.Fatal("no events emitted over 1000 degraded polls")
+	}
+	for _, ev := range events {
+		if ev.Kind != "stale_window" {
+			t.Fatalf("event kind = %q, want stale_window", ev.Kind)
+		}
+	}
+}
+
+// Catalog sanity: every profile resolves by name, "none" is inactive,
+// everything else is active.
+func TestProfileCatalog(t *testing.T) {
+	names := Names()
+	if len(names) != len(Profiles) {
+		t.Fatalf("Names() = %d entries, want %d", len(names), len(Profiles))
+	}
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if p.Name != n {
+			t.Fatalf("profile %q has Name %q", n, p.Name)
+		}
+		if n == "none" && p.Active() {
+			t.Fatal("'none' profile is active")
+		}
+		if n != "none" && !p.Active() {
+			t.Fatalf("profile %q is inactive", n)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) did not error")
+	}
+}
+
+// Writer stalls must come from the profile's stall length.
+func TestWriteStallLength(t *testing.T) {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	prof := Profile{App: AppFaults{StallProb: 1, StallLen: 25 * units.Millisecond}}
+	inj := New(eng, prof, 1)
+	if d := inj.WriteStall(); d != 25*units.Millisecond {
+		t.Fatalf("WriteStall = %v, want 25ms", d)
+	}
+	if inj.Counts().WriterStalls != 1 {
+		t.Fatalf("WriterStalls = %d, want 1", inj.Counts().WriterStalls)
+	}
+}

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"fmt"
+
+	"element/internal/tcpinfo"
+)
+
+// Source is the slice of the socket surface the info tap wraps; it is
+// structurally identical to core.InfoSource so an *InfoTap drops into
+// core.Options.Info without this package importing internal/core.
+type Source interface {
+	GetsockoptTCPInfo() tcpinfo.TCPInfo
+	SetSndBuf(bytes int)
+}
+
+// InfoTap degrades the TCP_INFO snapshots one tracker polls. Each tap
+// keeps its own view state (frozen windows, coalescing debt, drifted
+// MSS) but draws randomness from and counts into the shared Injector, so
+// sender- and receiver-side degradation interleave deterministically.
+type InfoTap struct {
+	inj *Injector
+	src Source
+
+	frozen     tcpinfo.TCPInfo // snapshot served during a stale window
+	freezeLeft int             // polls left in the current stale window
+
+	shownSegsIn int // SegsIn as reported after coalescing holdback
+	mssOffset   int // accumulated MSS drift
+}
+
+// WrapInfo wraps src with this injector's TCP_INFO degradation. With a
+// nil injector or no info faults configured it returns src unchanged, so
+// the polite path costs nothing.
+func (inj *Injector) WrapInfo(src Source) Source {
+	if inj == nil || inj.prof.Info == (InfoFaults{}) {
+		return src
+	}
+	return &InfoTap{inj: inj, src: src}
+}
+
+// SetSndBuf passes buffer control through untouched.
+func (t *InfoTap) SetSndBuf(bytes int) { t.src.SetSndBuf(bytes) }
+
+// GetsockoptTCPInfo returns the degraded snapshot.
+func (t *InfoTap) GetsockoptTCPInfo() tcpinfo.TCPInfo {
+	inj, f := t.inj, t.inj.prof.Info
+
+	// Stale windows: serve the frozen snapshot for the rest of the window.
+	if t.freezeLeft > 0 {
+		t.freezeLeft--
+		inj.counts.StaleServed++
+		return t.frozen
+	}
+	ti := t.src.GetsockoptTCPInfo()
+
+	if f.StaleProb > 0 && f.StaleBurst > 0 && inj.rng.Float64() < f.StaleProb {
+		t.freezeLeft = 1 + inj.rng.Intn(f.StaleBurst)
+		inj.emit("stale_window", fmt.Sprintf("%d polls", t.freezeLeft))
+	}
+
+	// GRO-style coalescing: report SegsIn only in jumps of CoalesceSegsIn.
+	if f.CoalesceSegsIn > 1 {
+		held := ti.SegsIn - t.shownSegsIn
+		if held >= f.CoalesceSegsIn {
+			t.shownSegsIn = ti.SegsIn
+		} else if held > 0 {
+			inj.counts.CoalescedPolls++
+		}
+		ti.SegsIn = t.shownSegsIn
+	}
+
+	// MSS drift (PMTU changes): a persistent offset that random-walks.
+	if f.MSSDriftProb > 0 && f.MSSDriftMax > 0 && inj.rng.Float64() < f.MSSDriftProb {
+		step := inj.rng.Intn(2*f.MSSDriftMax+1) - f.MSSDriftMax
+		// Keep the drifted MSS positive and plausible.
+		if ti.SndMSS+t.mssOffset+step > 256 && ti.RcvMSS+t.mssOffset+step > 256 {
+			t.mssOffset += step
+			inj.counts.MSSDrifts++
+			inj.emit("mss_drift", fmt.Sprintf("offset %+d", t.mssOffset))
+		}
+	}
+	if t.mssOffset != 0 {
+		ti.SndMSS += t.mssOffset
+		ti.RcvMSS += t.mssOffset
+	}
+
+	// Zeroed MSS (handshake races).
+	if f.ZeroMSSProb > 0 && inj.rng.Float64() < f.ZeroMSSProb {
+		ti.SndMSS, ti.RcvMSS = 0, 0
+		inj.counts.ZeroMSS++
+	}
+
+	// Old kernels: tcpi_bytes_acked does not exist.
+	if f.HideBytesAcked {
+		if ti.BytesAcked > 0 {
+			inj.counts.HiddenBytesAcked++
+		}
+		ti.BytesAcked = 0
+	}
+
+	// Backwards counter jumps (stats bugs, wraps).
+	if f.BackwardsProb > 0 && f.BackwardsMax > 0 && ti.BytesAcked > 0 &&
+		inj.rng.Float64() < f.BackwardsProb {
+		jump := 1 + uint64(inj.rng.Int63n(int64(f.BackwardsMax)))
+		if jump > ti.BytesAcked {
+			jump = ti.BytesAcked
+		}
+		ti.BytesAcked -= jump
+		inj.counts.BackwardsJumps++
+		inj.emit("backwards_jump", fmt.Sprintf("bytes_acked -%d", jump))
+	}
+
+	t.frozen = ti
+	return ti
+}

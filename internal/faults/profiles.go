@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"element/internal/units"
+)
+
+// Profiles is the built-in fault-profile catalog, keyed by name. Each
+// profile isolates one class of misbehavior; "everything" composes them
+// all, and "none" is the polite baseline the scenario matrix uses as a
+// control.
+var Profiles = map[string]Profile{
+	"none": {
+		Name: "none",
+		Desc: "polite baseline: no faults injected",
+	},
+	"legacy-kernel": {
+		Name: "legacy-kernel",
+		Desc: "tcpi_bytes_acked hidden (pre-3.15/4.1 kernels): forces the segment-counter fallback estimator",
+		Info: InfoFaults{HideBytesAcked: true},
+	},
+	"stale-info": {
+		Name: "stale-info",
+		Desc: "rate-limited TCP_INFO: snapshots freeze for bursts of polls",
+		Info: InfoFaults{StaleProb: 0.05, StaleBurst: 12},
+	},
+	"gro": {
+		Name: "gro",
+		Desc: "GRO/LRO coalescing: SegsIn reported only in multi-segment jumps",
+		Info: InfoFaults{CoalesceSegsIn: 8},
+	},
+	"mss-drift": {
+		Name: "mss-drift",
+		Desc: "PMTU churn: MSS random-walks, with occasional zeroed snapshots",
+		Info: InfoFaults{MSSDriftProb: 0.02, MSSDriftMax: 200, ZeroMSSProb: 0.01},
+	},
+	"counter-chaos": {
+		Name: "counter-chaos",
+		Desc: "stats bugs: cumulative counters occasionally jump backwards",
+		Info: InfoFaults{BackwardsProb: 0.03, BackwardsMax: 20000},
+	},
+	"flaky-path": {
+		Name: "flaky-path",
+		Desc: "link flaps and rate oscillation: blackouts plus a sinusoidally swinging bottleneck",
+		Path: PathFaults{
+			FlapPeriod:    2 * units.Second,
+			FlapLen:       150 * units.Millisecond,
+			RateOscPeriod: 1 * units.Second,
+			RateOscDepth:  0.5,
+		},
+	},
+	"reorder": {
+		Name: "reorder",
+		Desc: "reorder bursts: data packets held back past their successors",
+		Path: PathFaults{ReorderProb: 0.02, ReorderDelay: 30 * units.Millisecond},
+	},
+	"ack-chaos": {
+		Name: "ack-chaos",
+		Desc: "ACK compression and loss on the return path",
+		Path: PathFaults{AckLossProb: 0.05, AckCompress: 20 * units.Millisecond},
+	},
+	"app-stress": {
+		Name: "app-stress",
+		Desc: "hostile application: partial writes, short reads, stalled writer loops",
+		App: AppFaults{
+			PartialWriteProb: 0.1,
+			ShortReadProb:    0.1,
+			StallProb:        0.02,
+			StallLen:         50 * units.Millisecond,
+		},
+	},
+	"everything": {
+		Name: "everything",
+		Desc: "all of the above at once",
+		Info: InfoFaults{
+			HideBytesAcked: true,
+			StaleProb:      0.03,
+			StaleBurst:     8,
+			CoalesceSegsIn: 4,
+			MSSDriftProb:   0.01,
+			MSSDriftMax:    100,
+			ZeroMSSProb:    0.005,
+		},
+		Path: PathFaults{
+			FlapPeriod:    3 * units.Second,
+			FlapLen:       100 * units.Millisecond,
+			RateOscPeriod: 1 * units.Second,
+			RateOscDepth:  0.4,
+			ReorderProb:   0.01,
+			ReorderDelay:  20 * units.Millisecond,
+			AckLossProb:   0.02,
+			AckCompress:   15 * units.Millisecond,
+		},
+		App: AppFaults{
+			PartialWriteProb: 0.05,
+			ShortReadProb:    0.05,
+			StallProb:        0.01,
+			StallLen:         30 * units.Millisecond,
+		},
+	},
+}
+
+// Names returns the catalog's profile names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(Profiles))
+	for n := range Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName looks up a built-in profile.
+func ByName(name string) (Profile, error) {
+	p, ok := Profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("faults: unknown profile %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return p, nil
+}

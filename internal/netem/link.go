@@ -188,6 +188,9 @@ func (l *Link) Rate() units.Rate { return l.rate }
 // SetLossRate changes the i.i.d. loss probability.
 func (l *Link) SetLossRate(p float64) { l.lossRate = p }
 
+// LossRate reports the current i.i.d. loss probability.
+func (l *Link) LossRate() float64 { return l.lossRate }
+
 // SetDelay changes the propagation delay for subsequently delivered packets.
 func (l *Link) SetDelay(d units.Duration) { l.delay = d }
 

@@ -63,6 +63,21 @@ func (p *Path) AttachA(s Sink) { p.sinkA = s }
 // AttachB registers the sink for packets arriving at the B side.
 func (p *Path) AttachB(s Sink) { p.sinkB = s }
 
+// WrapSinks interposes wrap around the currently attached sinks: the
+// B-side sink (fed by the forward link, reverse=false) and the A-side
+// sink (fed by the reverse link, reverse=true). The links read p.sinkA/
+// p.sinkB at delivery time, so wrapping works even after endpoints have
+// attached — the fault injector uses it to reorder, drop, or batch
+// packets between the link and the endpoint without touching either.
+func (p *Path) WrapSinks(wrap func(reverse bool, s Sink) Sink) {
+	if p.sinkB != nil {
+		p.sinkB = wrap(false, p.sinkB)
+	}
+	if p.sinkA != nil {
+		p.sinkA = wrap(true, p.sinkA)
+	}
+}
+
 // SendAtoB transmits a packet from A toward B over the forward link.
 func (p *Path) SendAtoB(q *pkt.Packet) { p.Forward.Send(q) }
 

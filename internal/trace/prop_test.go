@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"element/internal/sim"
+	"element/internal/units"
+)
+
+// propSchedule drives the collector's hooks directly with a seeded-random
+// event schedule that includes out-of-order deliveries, duplicated and
+// partially-overlapping receive stamps, and spurious re-transmissions —
+// the stamp patterns a reordering or duplicating path (the faults package's
+// reorder/flaky-path profiles) produces, but without a stack in between so
+// the adversarial cases hit the bookkeeping unconditionally. It returns
+// the collector after a final read that consumes the whole stream.
+func propSchedule(t *testing.T, seed int64, steps int) *Collector {
+	t.Helper()
+	eng := sim.New(seed)
+	rng := rand.New(rand.NewSource(seed))
+	c := New(eng)
+
+	eng.Spawn("driver", func(p *sim.Proc) {
+		var (
+			written uint64 // app stream extent
+			txEnd   uint64 // transmitted prefix
+			readCum uint64
+			segs    []rangeStamp // transmitted segments, in seq order
+			undeliv []int        // indices into segs not yet delivered
+		)
+		for i := 0; i < steps; i++ {
+			p.Sleep(units.Duration(rng.Intn(2_000_001))) // 0..2ms
+			switch action := rng.Intn(10); {
+			case action < 3: // app write
+				n := 1 + rng.Intn(3000)
+				written += uint64(n)
+				c.onAppWrite(written, n)
+			case action < 6: // first transmission of the next chunk
+				if txEnd >= written {
+					continue
+				}
+				n := 1 + rng.Intn(1448)
+				if uint64(n) > written-txEnd {
+					n = int(written - txEnd)
+				}
+				c.onTCPTransmit(txEnd, n, false)
+				segs = append(segs, rangeStamp{start: txEnd, end: txEnd + uint64(n)})
+				undeliv = append(undeliv, len(segs)-1)
+				txEnd += uint64(n)
+			case action < 7: // re-transmission of a random old segment
+				if len(segs) == 0 {
+					continue
+				}
+				s := segs[rng.Intn(len(segs))]
+				// Half flagged retx, half a spurious duplicate "first"
+				// transmission: recordTransmit must keep the first stamp
+				// either way.
+				c.onTCPTransmit(s.start, int(s.end-s.start), rng.Intn(2) == 0)
+			case action < 9: // out-of-order delivery, sometimes duplicated
+				if len(undeliv) == 0 {
+					continue
+				}
+				j := rng.Intn(len(undeliv))
+				s := segs[undeliv[j]]
+				switch rng.Intn(4) {
+				case 0: // duplicate: deliver without retiring
+				case 1: // overlapping fragment starting mid-segment
+					if span := s.end - s.start; span > 1 {
+						off := 1 + rng.Int63n(int64(span-1))
+						c.onTCPReceive(s.start+uint64(off), int(s.end-s.start-uint64(off)))
+					}
+				default:
+					undeliv = append(undeliv[:j], undeliv[j+1:]...)
+				}
+				c.onTCPReceive(s.start, int(s.end-s.start))
+			default: // app read up to a random point in the transmitted prefix
+				if txEnd <= readCum {
+					continue
+				}
+				n := 1 + uint64(rng.Int63n(int64(txEnd-readCum)))
+				readCum += n
+				c.onAppRead(readCum, int(n))
+			}
+		}
+		// Drain: deliver everything outstanding, then read the full stream.
+		p.Sleep(units.Millisecond)
+		for _, j := range undeliv {
+			c.onTCPReceive(segs[j].start, int(segs[j].end-segs[j].start))
+		}
+		p.Sleep(units.Millisecond)
+		if txEnd > readCum {
+			c.onAppRead(txEnd, int(txEnd-readCum))
+		}
+	})
+	eng.Run()
+	return c
+}
+
+// checkSeries asserts the delay-sample invariants every consumer of the
+// ground truth relies on: timestamps never go backwards, no negative
+// delays, and every sample covers at least one byte.
+func checkSeries(t *testing.T, name string, s Series) {
+	t.Helper()
+	var last units.Time
+	for i, x := range s {
+		if x.At < last {
+			t.Fatalf("%s[%d]: timestamp %v before predecessor %v", name, i, x.At, last)
+		}
+		last = x.At
+		if x.Delay < 0 {
+			t.Fatalf("%s[%d]: negative delay %v", name, i, x.Delay)
+		}
+		if x.Bytes <= 0 {
+			t.Fatalf("%s[%d]: non-positive byte count %d", name, i, x.Bytes)
+		}
+	}
+}
+
+// TestCollectorPropertyOutOfOrder is the satellite robustness check for
+// the ground-truth collector: under randomized out-of-order, duplicated,
+// and overlapping receive stamps it must not panic, must keep every series
+// monotone in time with non-negative delays, and must account for at least
+// the full stream once everything is read.
+func TestCollectorPropertyOutOfOrder(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := propSchedule(t, seed, 2000)
+
+		checkSeries(t, "senderDelay", c.senderDelay)
+		checkSeries(t, "networkDelay", c.networkDelay)
+		checkSeries(t, "receiverDelay", c.receiverDelay)
+
+		// First-stamp-wins transmit records stay strictly sorted and
+		// duplicate-free even under spurious re-transmissions.
+		if !sort.SliceIsSorted(c.transmits, func(a, b int) bool {
+			return c.transmits[a].start < c.transmits[b].start
+		}) {
+			t.Fatalf("seed %d: transmit records out of order", seed)
+		}
+		for i := 1; i < len(c.transmits); i++ {
+			if c.transmits[i].start == c.transmits[i-1].start {
+				t.Fatalf("seed %d: duplicate transmit record at seq %d", seed, c.transmits[i].start)
+			}
+		}
+
+		// The final full read must pop every receive stamp — duplicates
+		// included — or the matcher is leaking state.
+		if len(c.receives) != 0 {
+			t.Fatalf("seed %d: %d receive stamps left after full read (readCum %d, first start %d)",
+				seed, len(c.receives), c.readCum, c.receives[0].start)
+		}
+
+		// Every read byte was covered by at least one receive stamp, so the
+		// receiver-delay samples must account for the whole stream; with
+		// duplicates they may exceed it, never undershoot.
+		var rcvBytes uint64
+		for _, x := range c.receiverDelay {
+			rcvBytes += uint64(x.Bytes)
+		}
+		if rcvBytes < c.readCum {
+			t.Fatalf("seed %d: receiver delay covers %d bytes < %d read", seed, rcvBytes, c.readCum)
+		}
+	}
+}
+
+// TestCollectorPropertyDeterministic pins the collector's schedule-driven
+// output: identical seeds must reproduce identical series, byte for byte.
+func TestCollectorPropertyDeterministic(t *testing.T) {
+	a := propSchedule(t, 42, 1500)
+	b := propSchedule(t, 42, 1500)
+	same := func(name string, x, y Series) {
+		if len(x) != len(y) {
+			t.Fatalf("%s: %d vs %d samples across identical runs", name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s[%d]: %+v vs %+v", name, i, x[i], y[i])
+			}
+		}
+	}
+	same("senderDelay", a.senderDelay, b.senderDelay)
+	same("networkDelay", a.networkDelay, b.networkDelay)
+	same("receiverDelay", a.receiverDelay, b.receiverDelay)
+}

@@ -117,25 +117,40 @@ func (w *Waterfall) WriteChromeTrace(out io.Writer) error {
 			}
 		}
 	}
+	// Scenario-level notes (injected faults etc.) land as global instant
+	// events so they cut across every flow's tracks.
+	for _, n := range w.notes {
+		ev := telemetry.ChromeEvent{
+			Name: n.Name, Cat: "notes",
+			Ph: "i", Scope: "g",
+			TsUs: float64(n.At) / 1e3,
+			Args: map[string]any{"detail": n.Detail},
+		}
+		if err := cw.Write(ev); err != nil {
+			return err
+		}
+	}
 	return cw.Close()
 }
 
 // jsonlSpan is the JSONL export schema for spans and markers: one object
 // per line, distinguished by "type".
 type jsonlSpan struct {
-	Type  string  `json:"type"` // "span", "drop", "resize"
-	Flow  int     `json:"flow"`
-	Stage string  `json:"stage,omitempty"`
-	Start uint64  `json:"start,omitempty"`
-	End   uint64  `json:"end,omitempty"`
-	Gen   int     `json:"gen,omitempty"`
-	FromS float64 `json:"from_s,omitempty"`
-	ToS   float64 `json:"to_s,omitempty"`
-	AtS   float64 `json:"at_s,omitempty"`
-	Kind  string  `json:"kind,omitempty"`
-	Seq   uint64  `json:"seq,omitempty"`
-	From  int     `json:"from,omitempty"`
-	To    int     `json:"to,omitempty"`
+	Type   string  `json:"type"` // "span", "drop", "resize", "note"
+	Flow   int     `json:"flow"`
+	Stage  string  `json:"stage,omitempty"`
+	Start  uint64  `json:"start,omitempty"`
+	End    uint64  `json:"end,omitempty"`
+	Gen    int     `json:"gen,omitempty"`
+	FromS  float64 `json:"from_s,omitempty"`
+	ToS    float64 `json:"to_s,omitempty"`
+	AtS    float64 `json:"at_s,omitempty"`
+	Kind   string  `json:"kind,omitempty"`
+	Seq    uint64  `json:"seq,omitempty"`
+	From   int     `json:"from,omitempty"`
+	To     int     `json:"to,omitempty"`
+	Name   string  `json:"name,omitempty"`
+	Detail string  `json:"detail,omitempty"`
 }
 
 // WriteJSONL writes the retained spans and markers as one JSON object per
@@ -175,6 +190,15 @@ func (w *Waterfall) WriteJSONL(out io.Writer) error {
 			if err := enc.Encode(js); err != nil {
 				return err
 			}
+		}
+	}
+	for _, n := range w.notes {
+		js := jsonlSpan{
+			Type: "note", AtS: n.At.Seconds(),
+			Name: n.Name, Detail: n.Detail,
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()

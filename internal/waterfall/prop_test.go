@@ -1,0 +1,203 @@
+package waterfall
+
+import (
+	"math/rand"
+	"testing"
+
+	"element/internal/pkt"
+	"element/internal/units"
+)
+
+// propDrive feeds one Recorder a seeded-random schedule through its public
+// hook surface — no stack, no links — with deliveries arriving out of
+// order, duplicated, and as overlapping fragments, the stamp patterns the
+// faults package's reorder and flaky-path profiles generate. Packet-level
+// snapshots (onPacketRecv) are attached to only some deliveries so both
+// the snapshot path and the coveringSeg fallback run. Returns the recorder
+// after a full drain (everything delivered, released in order, and read).
+func propDrive(t *testing.T, seed int64, steps int) *Recorder {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var now units.Time
+	wf := New()
+	wf.SetClock(func() units.Time { return now })
+	r := wf.NewFlow()
+	sh, rh := r.SenderHooks(), r.ReceiverHooks()
+
+	type seg struct {
+		start, end uint64
+		gen        int
+	}
+	var (
+		written, txEnd, inOrder, readCum uint64
+		segs                             []seg
+		undeliv                          []int // indices into segs awaiting first delivery
+		delivered                        []bool
+		inOrderIdx                       int // segs[:inOrderIdx] all delivered
+	)
+	deliver := func(s seg) {
+		if rng.Intn(2) == 0 {
+			// Snapshot path: the packet-recv hook fires in the same virtual
+			// instant as the TCPReceive it feeds.
+			rh.PacketRecv(&pkt.Packet{Seq: s.start, PayloadLen: int(s.end - s.start), Gen: s.gen})
+		}
+		rh.TCPReceive(s.start, int(s.end-s.start))
+	}
+	advanceInOrder := func() {
+		for inOrderIdx < len(segs) && delivered[inOrderIdx] {
+			inOrder = segs[inOrderIdx].end
+			inOrderIdx++
+		}
+		rh.TCPInOrder(inOrder)
+	}
+
+	for i := 0; i < steps; i++ {
+		now = now.Add(units.Duration(rng.Intn(2_000_001))) // 0..2ms
+		switch action := rng.Intn(10); {
+		case action < 3: // app write
+			n := 1 + rng.Intn(3000)
+			written += uint64(n)
+			sh.AppWrite(written, n)
+		case action < 6: // first transmission, in sequence order
+			if txEnd >= written {
+				continue
+			}
+			n := 1 + rng.Intn(1448)
+			if uint64(n) > written-txEnd {
+				n = int(written - txEnd)
+			}
+			sh.TCPTransmit(txEnd, n, false)
+			segs = append(segs, seg{start: txEnd, end: txEnd + uint64(n)})
+			delivered = append(delivered, false)
+			undeliv = append(undeliv, len(segs)-1)
+			txEnd += uint64(n)
+		case action < 7: // retransmission bumps the segment generation
+			if len(undeliv) == 0 {
+				continue
+			}
+			j := undeliv[rng.Intn(len(undeliv))]
+			sh.TCPTransmit(segs[j].start, int(segs[j].end-segs[j].start), true)
+			segs[j].gen++
+		case action < 9: // out-of-order delivery with duplicates and overlaps
+			if len(undeliv) == 0 {
+				continue
+			}
+			j := rng.Intn(len(undeliv))
+			idx := undeliv[j]
+			s := segs[idx]
+			switch rng.Intn(4) {
+			case 0: // duplicate: deliver now, again later
+			case 1: // overlapping fragment from mid-segment first
+				if span := s.end - s.start; span > 1 {
+					off := 1 + uint64(rng.Int63n(int64(span-1)))
+					deliver(seg{start: s.start + off, end: s.end, gen: s.gen})
+				}
+				fallthrough
+			default:
+				delivered[idx] = true
+				undeliv = append(undeliv[:j], undeliv[j+1:]...)
+			}
+			deliver(s)
+			advanceInOrder()
+		default: // app read within the in-order prefix
+			if inOrder <= readCum {
+				continue
+			}
+			n := 1 + uint64(rng.Int63n(int64(inOrder-readCum)))
+			readCum += n
+			rh.AppRead(readCum, int(n))
+		}
+	}
+	// Drain: deliver stragglers, release them in order, read the stream.
+	now = now.Add(units.Millisecond)
+	for _, idx := range undeliv {
+		deliver(segs[idx])
+		delivered[idx] = true
+	}
+	advanceInOrder()
+	now = now.Add(units.Millisecond)
+	if txEnd > readCum {
+		rh.AppRead(txEnd, int(txEnd-readCum))
+		readCum = txEnd
+	}
+	return r
+}
+
+// TestRecorderPropertyOutOfOrder asserts the attribution invariants that
+// make the waterfall trustworthy regardless of delivery order: boundary
+// stamps telescope monotonically (so no stage has negative residency),
+// every arrival is eventually finalized, and the per-stage byte·second
+// sums reconcile exactly with the end-to-end integral.
+func TestRecorderPropertyOutOfOrder(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := propDrive(t, seed, 2000)
+
+		if len(r.arrivals) != 0 {
+			t.Fatalf("seed %d: %d arrivals left after full drain", seed, len(r.arrivals))
+		}
+		if r.inHead != 0 {
+			t.Fatalf("seed %d: inHead %d out of sync with drained arrivals", seed, r.inHead)
+		}
+		for _, rr := range r.ranges {
+			for i := 1; i < numBounds; i++ {
+				if rr.b[i] < rr.b[i-1] {
+					t.Fatalf("seed %d: range [%d,%d) boundary %d at %v before boundary %d at %v",
+						seed, rr.start, rr.end, i, rr.b[i], i-1, rr.b[i-1])
+				}
+			}
+		}
+		for _, sp := range r.Spans() {
+			if sp.To <= sp.From {
+				t.Fatalf("seed %d: span %s [%d,%d) has non-positive duration", seed, sp.Stage, sp.Start, sp.End)
+			}
+		}
+
+		b := r.Breakdown()
+		if b.Ranges == 0 {
+			t.Fatalf("seed %d: no ranges finalized", seed)
+		}
+		// Duplicates and overlaps inflate the byte count, never shrink it
+		// below the distinct stream.
+		var streamEnd uint64
+		for _, rr := range r.ranges {
+			if rr.end > streamEnd {
+				streamEnd = rr.end
+			}
+		}
+		if b.Bytes < streamEnd {
+			t.Fatalf("seed %d: breakdown covers %d bytes < stream end %d", seed, b.Bytes, streamEnd)
+		}
+		// The telescoping construction makes the stage sums equal the
+		// end-to-end integral up to floating-point rounding, no matter how
+		// scrambled the deliveries were.
+		if b.Residual > 1e-9 {
+			t.Fatalf("seed %d: stage-sum residual %.3g under reordering", seed, b.Residual)
+		}
+		for s := 0; s < NumStages; s++ {
+			if b.Stage[s].ByteSeconds < 0 {
+				t.Fatalf("seed %d: stage %s has negative residency", seed, Stage(s))
+			}
+		}
+	}
+}
+
+// TestRecorderPropertyDeterministic pins the recorder's output under a
+// fixed schedule: identical seeds must reproduce identical aggregates and
+// retained spans.
+func TestRecorderPropertyDeterministic(t *testing.T) {
+	a := propDrive(t, 42, 1500)
+	b := propDrive(t, 42, 1500)
+	ba, bb := a.Breakdown(), b.Breakdown()
+	if ba != bb {
+		t.Fatalf("breakdowns diverge across identical runs:\n%+v\n%+v", ba, bb)
+	}
+	sa, sb := a.Spans(), b.Spans()
+	if len(sa) != len(sb) {
+		t.Fatalf("span counts diverge: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("span %d diverges: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+}

@@ -184,6 +184,27 @@ func (w *Waterfall) WriteASCII(out io.Writer) error {
 		fmt.Fprintf(bw, "all flows combined:\n")
 		writeTable(bw, agg)
 	}
+	if len(w.notes) > 0 {
+		fmt.Fprintf(bw, "\nnotes (%d", len(w.notes))
+		if w.lostNotes > 0 {
+			fmt.Fprintf(bw, ", %d more not retained", w.lostNotes)
+		}
+		fmt.Fprintln(bw, "):")
+		max := len(w.notes)
+		if max > asciiMaxRows {
+			max = asciiMaxRows
+		}
+		for _, n := range w.notes[:max] {
+			fmt.Fprintf(bw, "  %-12s %s", n.At, n.Name)
+			if n.Detail != "" {
+				fmt.Fprintf(bw, " (%s)", n.Detail)
+			}
+			fmt.Fprintln(bw)
+		}
+		if len(w.notes) > max {
+			fmt.Fprintf(bw, "  … %d more\n", len(w.notes)-max)
+		}
+	}
 	return bw.Flush()
 }
 

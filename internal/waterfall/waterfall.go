@@ -141,6 +141,15 @@ type Resize struct {
 	From, To int
 }
 
+// Note is a scenario-level annotation — an injected fault, a phase
+// change — rendered alongside the spans by every exporter so delay
+// excursions can be matched to their cause.
+type Note struct {
+	At     units.Time
+	Name   string
+	Detail string
+}
+
 // Waterfall owns the per-flow recorders of one simulation run. Like
 // telemetry.Telemetry it is engine-agnostic: bind it with SetClock.
 // All methods are nil-safe so call sites need no guards.
@@ -148,6 +157,9 @@ type Waterfall struct {
 	clock func() units.Time
 	recs  []*Recorder
 	byID  map[int]*Recorder
+
+	notes     []Note
+	lostNotes int
 
 	// Telemetry handles (nil when uninstrumented).
 	stageH [NumStages]*telemetry.Histogram
@@ -205,6 +217,27 @@ func (w *Waterfall) Bind(flowID int, r *Recorder) {
 	}
 	r.flowID = flowID
 	w.byID[flowID] = r
+}
+
+// Note records a scenario-level annotation at the current virtual time.
+// Nil-safe; retention is bounded like the drop/resize markers.
+func (w *Waterfall) Note(name, detail string) {
+	if w == nil {
+		return
+	}
+	if len(w.notes) >= maxMarks {
+		w.lostNotes++
+		return
+	}
+	w.notes = append(w.notes, Note{At: w.now(), Name: name, Detail: detail})
+}
+
+// Notes returns the recorded annotations in time order.
+func (w *Waterfall) Notes() []Note {
+	if w == nil {
+		return nil
+	}
+	return w.notes
 }
 
 // Flows returns the recorders in creation order.
