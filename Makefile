@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke
+.PHONY: check fmt vet build test bench bench-smoke soak soak-short
 
 ## check: the full local gate — format, vet, build, race-enabled tests.
 check: fmt vet build test
@@ -22,6 +22,17 @@ build:
 # (~35 min on a loaded box).
 test:
 	$(GO) test -race -timeout 60m ./...
+
+## soak: the fleet churn soak — ≥1000 supervised connections with
+## open/close/crash/stall churn under the race detector, asserting zero
+## goroutine leaks, zero bounded-or-flagged violations, and identical
+## restart/eviction counters across two same-seed runs (~2 min).
+soak:
+	FLEET_SOAK_CONNS=1000 $(GO) test -race -timeout 30m -run TestFleetSoak -v ./internal/fleet/
+
+## soak-short: the CI-sized soak (~100 connections, ~20 s).
+soak-short:
+	FLEET_SOAK_CONNS=100 $(GO) test -race -timeout 10m -run TestFleetSoak -v ./internal/fleet/
 
 ## bench: every table/figure benchmark plus the overhead ablations.
 bench:

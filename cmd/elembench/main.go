@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"element/internal/exp"
@@ -60,9 +63,24 @@ func main() {
 		return
 	}
 
+	// Ctrl-C stops the in-flight experiment at the next slice boundary
+	// (its partial tables, metrics and waterfall still print) and skips
+	// the rest of the sweep.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	exp.DefaultContext = ctx
+
 	duration := units.DurationFromSeconds(*dur)
 	failed := 0
 	run := func(e exp.Experiment) {
+		if ctx.Err() != nil {
+			return
+		}
+		defer func() {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "elembench: interrupted during %s — results above are partial\n", e.ID)
+			}
+		}()
 		// A panicking experiment must not take down the rest of the sweep —
 		// report it, mark the run failed, and keep going so one bad
 		// configuration still yields every other table.

@@ -1,0 +1,138 @@
+// Command elemfleet runs the supervised monitoring fleet: N concurrent
+// simulated connections, each watched by its own ELEMENT monitor under
+// the fleet supervisor (panic recovery, backoff restarts, watchdog
+// recycling, periodic JSON checkpoints). Connection and monitor churn is
+// scheduled deterministically from the seed and composes with the fault
+// profiles.
+//
+// Usage:
+//
+//	elemfleet                          # 8 connections, default churn
+//	elemfleet -conns 100 -dur 10       # a bigger fleet
+//	elemfleet -crash-frac 1            # crash every monitor once
+//	elemfleet -faults stale-info       # degrade TCP_INFO fleet-wide
+//	elemfleet -metrics -waterfall      # export telemetry and attribution
+//
+// Interrupting a run (Ctrl-C) drains gracefully: monitors take a final
+// poll, partial series are reconciled, and telemetry/waterfall exports
+// are still written. elemfleet exits non-zero if any connection violates
+// the bounded-or-flagged contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"element/internal/faults"
+	"element/internal/fleet"
+	"element/internal/telemetry"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+func main() {
+	var (
+		conns     = flag.Int("conns", 8, "number of concurrent connections")
+		seed      = flag.Int64("seed", 1, "simulation seed (fixes the churn schedule)")
+		dur       = flag.Float64("dur", 8, "simulated duration in seconds")
+		rateMbps  = flag.Float64("rate", 4, "per-connection path rate in Mbps")
+		rttMs     = flag.Float64("rtt", 40, "per-connection RTT in ms")
+		interval  = flag.Float64("interval", 10, "TCP_INFO polling interval in ms")
+		recordCap = flag.Int("record-cap", 0, "tracker record FIFO cap (0 = default, negative = unlimited)")
+		minimize  = flag.Bool("minimize", false, "run the Algorithm 3 minimizer on every monitor")
+		cpEvery   = flag.Float64("checkpoint-every", 500, "checkpoint cadence in ms (negative disables)")
+
+		openWindow = flag.Float64("open-window", 1, "stagger connection opens over this many seconds")
+		closeFrac  = flag.Float64("close-frac", 0.25, "fraction of connections closing early")
+		crashFrac  = flag.Float64("crash-frac", 0.4, "fraction of monitors crashing mid-run")
+		stallFrac  = flag.Float64("stall-frac", 0.3, "fraction of monitors wedging (watchdog recycles them)")
+
+		faultsPr = flag.String("faults", "", "fault profile: "+strings.Join(faults.Names(), "|"))
+		metrics  = flag.Bool("metrics", false, "print a telemetry export after the run")
+		waterfal = flag.Bool("waterfall", false, "print per-stage delay attribution after the run")
+		perConn  = flag.Bool("per-conn", true, "print the per-connection table")
+	)
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Seed:            *seed,
+		Connections:     *conns,
+		Duration:        units.DurationFromSeconds(*dur),
+		Rate:            units.Rate(*rateMbps * 1e6),
+		RTT:             units.DurationFromSeconds(*rttMs / 1e3),
+		Interval:        units.DurationFromSeconds(*interval / 1e3),
+		RecordCap:       *recordCap,
+		Minimize:        *minimize,
+		CheckpointEvery: units.DurationFromSeconds(*cpEvery / 1e3),
+		Churn: fleet.ChurnConfig{
+			OpenWindow: units.DurationFromSeconds(*openWindow),
+			CloseFrac:  *closeFrac,
+			CrashFrac:  *crashFrac,
+			StallFrac:  *stallFrac,
+		},
+	}
+	if *cpEvery < 0 {
+		cfg.CheckpointEvery = -1
+	}
+	if *faultsPr != "" {
+		p, err := faults.ByName(*faultsPr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = &p
+	}
+	var telem *telemetry.Telemetry
+	if *metrics {
+		telem = telemetry.New()
+		cfg.Telem = telem
+	}
+	var wf *waterfall.Waterfall
+	if *waterfal {
+		wf = waterfall.New()
+		cfg.Waterfall = wf
+	}
+
+	// Ctrl-C stops the virtual clock at the next slice boundary; the
+	// fleet still drains, so partial results and exports are intact.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res := fleet.New(cfg).RunContext(ctx)
+	if res.Interrupted {
+		fmt.Fprintln(os.Stderr, "elemfleet: interrupted — reporting the partial run")
+	}
+
+	if *perConn {
+		fmt.Printf("%-5s %12s %9s %11s %9s %8s %9s %13s\n",
+			"conn", "snd samples", "flagged%", "violations", "restarts", "crashes", "recycles", "goodput Mbps")
+		for _, c := range res.Conns {
+			fmt.Printf("%-5d %12d %9.1f %11d %9d %8d %9d %13.2f\n",
+				c.ID, c.Sender.Samples, 100*c.Sender.FlaggedFraction(),
+				c.Sender.Violations+c.Receiver.Violations,
+				c.Restarts, c.Crashes, c.Recycles, c.GoodputBps/1e6)
+		}
+	}
+	fmt.Println(res)
+
+	if telem != nil {
+		fmt.Println("--- metrics ---")
+		if err := telem.Export(os.Stdout, telemetry.FormatText); err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: metrics export:", err)
+		}
+	}
+	if wf != nil {
+		agg := wf.Aggregate()
+		fmt.Printf("--- waterfall: %d flows, %d byte ranges ---\n", len(wf.Flows()), agg.Ranges)
+		agg.WriteTable(os.Stdout)
+	}
+	if v := res.Violations(); v != 0 {
+		fmt.Fprintf(os.Stderr, "elemfleet: %d bounded-or-flagged violations\n", v)
+		os.Exit(1)
+	}
+}

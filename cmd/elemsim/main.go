@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"element/internal/aqm"
 	"element/internal/cc"
@@ -121,7 +124,16 @@ func main() {
 		cfg.Flows = append(cfg.Flows, spec)
 	}
 
-	s := exp.RunScenario(cfg)
+	// Ctrl-C stops the virtual clock at the next slice boundary; the
+	// partial run is still reported and telemetry/waterfall exports are
+	// still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s := exp.RunScenarioContext(ctx, cfg)
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "elemsim: interrupted at t=%.1fs — reporting the partial run\n",
+			units.Duration(s.Eng.Now()).Seconds())
+	}
 	fmt.Printf("%-6s %-10s %12s %12s %12s %12s %12s\n",
 		"flow", "cc", "snd(ms)", "net(ms)", "rcv(ms)", "total(ms)", "tput(Mbps)")
 	for i, f := range s.Flows {

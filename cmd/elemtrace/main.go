@@ -12,11 +12,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"element/internal/aqm"
 	"element/internal/cc"
@@ -86,7 +89,15 @@ func main() {
 		}
 		cfg.Faults = &p
 	}
-	s := exp.RunScenario(cfg)
+	// Ctrl-C stops the virtual clock at the next slice boundary; the
+	// partial trace and any telemetry/waterfall exports are still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s := exp.RunScenarioContext(ctx, cfg)
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "elemtrace: interrupted at t=%.1fs — writing the partial trace\n",
+			units.Duration(s.Eng.Now()).Seconds())
+	}
 	f := s.Flows[0]
 
 	if telem != nil {

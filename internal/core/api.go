@@ -46,6 +46,9 @@ type Controller interface {
 type Options struct {
 	// Interval is the TCP_INFO polling period (0 = 10 ms).
 	Interval units.Duration
+	// RecordCap bounds each tracker's record FIFO (0 = DefaultRecordCap,
+	// negative = unlimited); see TrackerOptions.RecordCap.
+	RecordCap int
 	// Minimize runs Algorithm 3 on the sender (the "default latency
 	// minimization algorithm" used for legacy applications).
 	Minimize bool
@@ -90,7 +93,7 @@ func AttachSender(eng *sim.Engine, sock *stack.Socket, opts Options) *Sender {
 		src = opts.Info
 	}
 	s := &Sender{eng: eng, sock: sock}
-	s.Tracker = NewSenderTracker(eng, src, opts.Interval)
+	s.Tracker = NewSenderTrackerOpts(eng, src, TrackerOptions{Interval: opts.Interval, RecordCap: opts.RecordCap})
 	sc := opts.Telem.Scope("core").WithFlow(sock.FlowID())
 	s.Tracker.Instrument(sc)
 	switch {
@@ -231,7 +234,7 @@ func AttachReceiver(eng *sim.Engine, sock *stack.Socket, opts Options) *Receiver
 	r := &Receiver{
 		eng:     eng,
 		sock:    sock,
-		Tracker: NewReceiverTracker(eng, src, opts.Interval),
+		Tracker: NewReceiverTrackerOpts(eng, src, TrackerOptions{Interval: opts.Interval, RecordCap: opts.RecordCap}),
 	}
 	r.Tracker.Instrument(opts.Telem.Scope("core").WithFlow(sock.FlowID()))
 	return r

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"element/internal/stats"
+	"element/internal/units"
+)
+
+// This file evaluates the bounded-or-flagged contract: each estimator
+// sample either stays within its self-reported error bound of ground
+// truth or is explicitly marked low-confidence. It lives in core (rather
+// than with the experiments) so that any layer holding a measurement log
+// and a ground-truth series — the exp scenarios, the fleet supervisor's
+// reconciliation, the soak harness — can audit the contract without
+// import cycles.
+
+// boundEps absorbs ground-truth interpolation fuzz when comparing a
+// sample against the trace series.
+const boundEps = units.Millisecond
+
+// receiverWindow is the ground-truth lookback for receiver samples.
+// Algorithm 2's samples track the *oldest* waiting bytes during a lag
+// episode, while the trace series at the same instant is bimodal (hole
+// bytes ≈ 0, queued bytes the full wait) — so receiver samples compare
+// against the maximum true wait in a recent window, exactly like the
+// receiver accuracy test in internal/core.
+const receiverWindow = 150 * units.Millisecond
+
+// BoundCheck tallies the bounded-or-flagged evaluation of one estimator
+// log against ground truth.
+type BoundCheck struct {
+	Samples    int // graded samples seen
+	Flagged    int // explicitly low-confidence (exempt from the bound)
+	Checked    int // non-flagged samples with comparable ground truth
+	Violations int // checked samples outside their reported bound
+	// WorstExcess is the largest distance beyond the reported bound seen
+	// across violations (diagnostics).
+	WorstExcess units.Duration
+}
+
+// FlaggedFraction reports Flagged/Samples (0 when empty).
+func (b BoundCheck) FlaggedFraction() float64 {
+	if b.Samples == 0 {
+		return 0
+	}
+	return float64(b.Flagged) / float64(b.Samples)
+}
+
+// Merge accumulates another tally into b (fleet-wide totals).
+func (b *BoundCheck) Merge(o BoundCheck) {
+	b.Samples += o.Samples
+	b.Flagged += o.Flagged
+	b.Checked += o.Checked
+	b.Violations += o.Violations
+	if o.WorstExcess > b.WorstExcess {
+		b.WorstExcess = o.WorstExcess
+	}
+}
+
+// gtBand computes the [min, max] envelope of truth over (from, to],
+// including values interpolated at both endpoints. ok is false when the
+// window holds no comparable ground truth.
+func gtBand(truth stats.Series, from, to units.Time) (lo, hi units.Duration, ok bool) {
+	first := true
+	add := func(d units.Duration) {
+		if first {
+			lo, hi, first = d, d, false
+			return
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if d, within := truth.At(from); within {
+		add(d)
+	}
+	if d, within := truth.At(to); within {
+		add(d)
+	}
+	for _, s := range truth {
+		if s.At > from && s.At <= to {
+			add(s.Delay)
+		}
+	}
+	return lo, hi, !first
+}
+
+// CheckSenderBounds evaluates the sender log: a non-flagged sample
+// violates the contract when its delay is farther than ErrBound from the
+// ground-truth envelope over the sample's own timestamp-quantization
+// window. Ground-truth samples are stamped at transmit time while the
+// estimator stamps at match time, and under stalled TCP_INFO a match
+// runs late by up to the staleness folded into the sample's bound — so
+// the lookback window is two polling intervals plus the sample's own
+// ErrBound (tight samples keep a tight window; only samples that already
+// admit lateness look further back).
+func CheckSenderBounds(log []Measurement, truth stats.Series, interval units.Duration) BoundCheck {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	var bc BoundCheck
+	for _, m := range log {
+		bc.Samples++
+		if m.Confidence == ConfidenceLow {
+			bc.Flagged++
+			continue
+		}
+		lo, hi, ok := gtBand(truth, m.At.Add(-2*interval-m.ErrBound), m.At)
+		if !ok {
+			continue
+		}
+		bc.Checked++
+		var dist units.Duration
+		if m.Delay < lo {
+			dist = lo - m.Delay
+		} else if m.Delay > hi {
+			dist = m.Delay - hi
+		}
+		if excess := dist - m.ErrBound - boundEps; excess > 0 {
+			bc.Violations++
+			if excess > bc.WorstExcess {
+				bc.WorstExcess = excess
+			}
+		}
+	}
+	return bc
+}
+
+// CheckReceiverBounds evaluates the receiver log. The contract is
+// one-sided: a non-flagged sample must not report more waiting than the
+// maximum true wait in the recent window plus its bound (phantom delay).
+// Underestimates are inherent to Algorithm 2 — a sample can legitimately
+// match bytes younger than the oldest waiting range — so they do not
+// count as violations.
+func CheckReceiverBounds(log []Measurement, truth stats.Series) BoundCheck {
+	var bc BoundCheck
+	for _, m := range log {
+		bc.Samples++
+		if m.Confidence == ConfidenceLow {
+			bc.Flagged++
+			continue
+		}
+		window := receiverWindow
+		if m.ErrBound > window {
+			window = m.ErrBound
+		}
+		_, hi, ok := gtBand(truth, m.At.Add(-window), m.At)
+		if !ok {
+			continue
+		}
+		bc.Checked++
+		if excess := m.Delay - hi - m.ErrBound - boundEps; excess > 0 {
+			bc.Violations++
+			if excess > bc.WorstExcess {
+				bc.WorstExcess = excess
+			}
+		}
+	}
+	return bc
+}

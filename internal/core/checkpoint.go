@@ -1,0 +1,390 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"element/internal/sim"
+	"element/internal/tcpinfo"
+	"element/internal/units"
+)
+
+// This file implements crash-safe checkpoint/restore for the ELEMENT
+// estimators. A monitor that dies mid-series must not restart the series
+// from zero (silently forgetting every unmatched record) nor resume it
+// pretending nothing happened (reporting tight bounds over a window it
+// never observed). A checkpoint serializes everything a tracker needs to
+// keep matching — the cumulative byte records, B_est clamps, stall debt,
+// rate EWMAs and the anomaly audit trail — and a restore folds the outage
+// window (restore time minus checkpoint time) into the stall/slack debt
+// machinery, so every sample produced from state that sat through the
+// outage carries the outage in its error bound and a degraded confidence
+// grade. That upholds the bounded-or-flagged contract across restarts.
+//
+// Checkpoints are plain exported structs; Marshal/Unmarshal helpers use
+// encoding/json so a supervisor can persist them anywhere bytes go.
+
+// RecordCheckpoint is one serialized FIFO record.
+type RecordCheckpoint struct {
+	Bytes uint64         `json:"bytes"`
+	At    units.Time     `json:"at"`
+	Slack units.Duration `json:"slack,omitempty"`
+	Stall units.Duration `json:"stall,omitempty"`
+}
+
+// SanitizerCheckpoint captures the defended-view state shared by both
+// trackers: the last good snapshot the monotonicity clamps compare
+// against, the tcpi_bytes_acked capability verdict, the MSS envelope and
+// the anomaly audit trail.
+type SanitizerCheckpoint struct {
+	Seen      bool            `json:"seen"`
+	Cap       uint8           `json:"cap"`
+	Last      tcpinfo.TCPInfo `json:"last"`
+	Counts    AnomalyCounts   `json:"counts"`
+	SndMSSMin int             `json:"snd_mss_min,omitempty"`
+	SndMSSMax int             `json:"snd_mss_max,omitempty"`
+}
+
+func (s *sanitizer) checkpoint() SanitizerCheckpoint {
+	return SanitizerCheckpoint{
+		Seen:      s.seen,
+		Cap:       uint8(s.cap),
+		Last:      s.last,
+		Counts:    s.counts,
+		SndMSSMin: s.sndMSSMin,
+		SndMSSMax: s.sndMSSMax,
+	}
+}
+
+func (s *sanitizer) restore(cp SanitizerCheckpoint) {
+	s.seen = cp.Seen
+	s.cap = capState(cp.Cap)
+	s.last = cp.Last
+	s.counts = cp.Counts
+	s.sndMSSMin = cp.SndMSSMin
+	s.sndMSSMax = cp.SndMSSMax
+}
+
+// SenderCheckpoint is the serializable state of Algorithm 1's tracker.
+type SenderCheckpoint struct {
+	TakenAt   units.Time         `json:"taken_at"`
+	Interval  units.Duration     `json:"interval"`
+	RecordCap int                `json:"record_cap,omitempty"`
+	Records   []RecordCheckpoint `json:"records,omitempty"`
+
+	CumWritten uint64 `json:"cum_written"`
+	BestCache  uint64 `json:"best_cache"`
+	LastBest   uint64 `json:"last_best"`
+	PrevBest   uint64 `json:"prev_best"`
+
+	Polls        int            `json:"polls"`
+	StalePolls   int            `json:"stale_polls"`
+	StallCum     units.Duration `json:"stall_cum"`
+	RateEst      float64        `json:"rate_est"`
+	LastAnomaly  int            `json:"last_anomaly"`
+	PrevAnomTot  int            `json:"prev_anom_tot"`
+	PrevDelay    units.Duration `json:"prev_delay"`
+	PrevDelaySet bool           `json:"prev_delay_set"`
+
+	Sanitizer SanitizerCheckpoint `json:"sanitizer"`
+}
+
+// Checkpoint serializes the tracker's resumable state at the current
+// instant. It does not include the measurement log: the supervisor is
+// expected to have flushed (or to accept losing) already-produced samples;
+// what the checkpoint preserves is the ability to keep producing correct
+// ones.
+func (t *SenderTracker) Checkpoint() SenderCheckpoint {
+	cp := SenderCheckpoint{
+		TakenAt:      t.eng.Now(),
+		Interval:     t.interval,
+		RecordCap:    t.list.cap,
+		CumWritten:   t.cumWritten,
+		BestCache:    t.bestCache,
+		LastBest:     t.lastBest,
+		PrevBest:     t.prevBest,
+		Polls:        t.polls,
+		StalePolls:   t.stalePolls,
+		StallCum:     t.stallCum,
+		RateEst:      t.rateEst,
+		LastAnomaly:  t.lastAnomaly,
+		PrevAnomTot:  t.prevAnomTot,
+		PrevDelay:    t.prevDelay,
+		PrevDelaySet: t.prevDelaySet,
+		Sanitizer:    t.san.checkpoint(),
+	}
+	cp.Records = checkpointRecords(&t.list)
+	return cp
+}
+
+// Marshal encodes the checkpoint as JSON.
+func (cp SenderCheckpoint) Marshal() ([]byte, error) { return json.Marshal(cp) }
+
+// UnmarshalSenderCheckpoint decodes a checkpoint produced by Marshal.
+func UnmarshalSenderCheckpoint(b []byte) (SenderCheckpoint, error) {
+	var cp SenderCheckpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return SenderCheckpoint{}, fmt.Errorf("core: decoding sender checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// RestoreSenderTracker resumes Algorithm 1 from a checkpoint. The outage
+// window — the gap between the checkpoint's timestamp and the engine's
+// current time — is folded into the tracker's stall debt, so every record
+// that sat through the outage produces a sample whose error bound admits
+// the whole unobserved window, at degraded confidence; an outage longer
+// than the stale-poll threshold flags samples outright until the estimator
+// observes fresh progress. opts.Interval and opts.RecordCap default to the
+// checkpoint's values when zero; opts.Detached works as in
+// NewSenderTrackerOpts.
+func RestoreSenderTracker(eng *sim.Engine, src InfoSource, cp SenderCheckpoint, opts TrackerOptions) *SenderTracker {
+	if opts.Interval <= 0 {
+		opts.Interval = cp.Interval
+	}
+	if opts.RecordCap == 0 {
+		opts.RecordCap = cp.RecordCap
+	}
+	t := NewSenderTrackerOpts(eng, src, opts)
+	t.san.restore(cp.Sanitizer)
+	restoreRecords(&t.list, cp.Records)
+	t.cumWritten = cp.CumWritten
+	t.bestCache = cp.BestCache
+	t.lastBest = cp.LastBest
+	t.prevBest = cp.PrevBest
+	t.polls = cp.Polls
+	t.stalePolls = cp.StalePolls
+	t.stallCum = cp.StallCum
+	t.rateEst = cp.RateEst
+	t.lastAnomaly = cp.LastAnomaly
+	t.prevAnomTot = cp.PrevAnomTot
+	t.prevDelay = cp.PrevDelay
+	t.prevDelaySet = cp.PrevDelaySet
+
+	outage := eng.Now().Sub(cp.TakenAt)
+	if outage < 0 {
+		outage = 0
+	}
+	// The outage is stalled time every outstanding record sat through:
+	// records snapshot stallCum at push, so bumping the total here widens
+	// exactly the samples produced from pre-outage state. Counting the gap
+	// into stalePolls makes a long outage flag samples low-confidence until
+	// B_est provably advances again, and the Restores anomaly opens the
+	// usual post-anomaly holdoff window.
+	t.stallCum += outage
+	t.stalePolls += int(outage / t.interval)
+	t.san.counts.Restores++
+	t.lastAnomaly = t.polls
+	t.prevAnomTot = t.san.counts.Total()
+	return t
+}
+
+// ReceiverCheckpoint is the serializable state of Algorithm 2's tracker.
+type ReceiverCheckpoint struct {
+	TakenAt   units.Time         `json:"taken_at"`
+	Interval  units.Duration     `json:"interval"`
+	RecordCap int                `json:"record_cap,omitempty"`
+	Records   []RecordCheckpoint `json:"records,omitempty"`
+
+	Prev        uint64         `json:"prev"`
+	Polls       int            `json:"polls"`
+	LastGrowth  units.Time     `json:"last_growth"`
+	LastRcvMSS  int            `json:"last_rcv_mss"`
+	MSSLowUntil int            `json:"mss_low_until"`
+	ExcEpoch    [2]uint64      `json:"exc_epoch"`
+	ExcBound    uint64         `json:"exc_bound"`
+	StallCum    units.Duration `json:"stall_cum"`
+	OffWinMin   [2]uint64      `json:"off_win_min"`
+	OffWinStart int            `json:"off_win_start"`
+	PrevFloor   uint64         `json:"prev_floor"`
+	RateEst     float64        `json:"rate_est"`
+
+	LastAnomaly  int            `json:"last_anomaly"`
+	PrevAnomTot  int            `json:"prev_anom_tot"`
+	PrevDelay    units.Duration `json:"prev_delay"`
+	PrevDelaySet bool           `json:"prev_delay_set"`
+
+	Sanitizer SanitizerCheckpoint `json:"sanitizer"`
+}
+
+// Checkpoint serializes the tracker's resumable state at the current
+// instant.
+func (t *ReceiverTracker) Checkpoint() ReceiverCheckpoint {
+	cp := ReceiverCheckpoint{
+		TakenAt:      t.eng.Now(),
+		Interval:     t.interval,
+		RecordCap:    t.list.cap,
+		Prev:         t.prev,
+		Polls:        t.polls,
+		LastGrowth:   t.lastGrowth,
+		LastRcvMSS:   t.lastRcvMSS,
+		MSSLowUntil:  t.mssLowUntil,
+		ExcEpoch:     t.excEpoch,
+		ExcBound:     t.excBound,
+		StallCum:     t.stallCum,
+		OffWinMin:    t.offWinMin,
+		OffWinStart:  t.offWinStart,
+		PrevFloor:    t.prevFloor,
+		RateEst:      t.rateEst,
+		LastAnomaly:  t.lastAnomaly,
+		PrevAnomTot:  t.prevAnomTot,
+		PrevDelay:    t.prevDelay,
+		PrevDelaySet: t.prevDelaySet,
+		Sanitizer:    t.san.checkpoint(),
+	}
+	cp.Records = checkpointRecords(&t.list)
+	return cp
+}
+
+// Marshal encodes the checkpoint as JSON.
+func (cp ReceiverCheckpoint) Marshal() ([]byte, error) { return json.Marshal(cp) }
+
+// UnmarshalReceiverCheckpoint decodes a checkpoint produced by Marshal.
+func UnmarshalReceiverCheckpoint(b []byte) (ReceiverCheckpoint, error) {
+	var cp ReceiverCheckpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return ReceiverCheckpoint{}, fmt.Errorf("core: decoding receiver checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// RestoreReceiverTracker resumes Algorithm 2 from a checkpoint. The
+// outage window is folded into the stall debt of every outstanding record
+// (samples they produce admit the whole unobserved window); the restored
+// lastGrowth timestamp predates the outage, so the first post-restore
+// record additionally inherits the outage as sampling slack — arrivals
+// during the outage were observed up to that late.
+func RestoreReceiverTracker(eng *sim.Engine, src InfoSource, cp ReceiverCheckpoint, opts TrackerOptions) *ReceiverTracker {
+	if opts.Interval <= 0 {
+		opts.Interval = cp.Interval
+	}
+	if opts.RecordCap == 0 {
+		opts.RecordCap = cp.RecordCap
+	}
+	t := NewReceiverTrackerOpts(eng, src, opts)
+	t.san.restore(cp.Sanitizer)
+	restoreRecords(&t.list, cp.Records)
+	t.prev = cp.Prev
+	t.polls = cp.Polls
+	t.lastGrowth = cp.LastGrowth
+	t.lastRcvMSS = cp.LastRcvMSS
+	t.mssLowUntil = cp.MSSLowUntil
+	t.excEpoch = cp.ExcEpoch
+	t.excBound = cp.ExcBound
+	t.stallCum = cp.StallCum
+	t.offWinMin = cp.OffWinMin
+	t.offWinStart = cp.OffWinStart
+	t.prevFloor = cp.PrevFloor
+	t.rateEst = cp.RateEst
+	t.lastAnomaly = cp.LastAnomaly
+	t.prevAnomTot = cp.PrevAnomTot
+	t.prevDelay = cp.PrevDelay
+	t.prevDelaySet = cp.PrevDelaySet
+
+	outage := eng.Now().Sub(cp.TakenAt)
+	if outage < 0 {
+		outage = 0
+	}
+	t.stallCum += outage
+	t.san.counts.Restores++
+	t.lastAnomaly = t.polls
+	t.prevAnomTot = t.san.counts.Total()
+	return t
+}
+
+// MinimizerCheckpoint is the serializable state of Algorithm 3.
+type MinimizerCheckpoint struct {
+	TakenAt units.Time      `json:"taken_at"`
+	Config  MinimizerConfig `json:"config"`
+
+	Davg    units.Duration `json:"davg"`
+	Starget float64        `json:"starget"`
+
+	ConfWin     [safeWindow]Confidence `json:"conf_win"`
+	ConfN       int                    `json:"conf_n"`
+	ConfIdx     int                    `json:"conf_idx"`
+	Safe        bool                   `json:"safe"`
+	SafeEntries int                    `json:"safe_entries"`
+
+	Sleeps     int            `json:"sleeps"`
+	SleepTotal units.Duration `json:"sleep_total"`
+	Updates    int            `json:"updates"`
+}
+
+// Checkpoint serializes Algorithm 3's resumable state: D_avg, S_target,
+// the safe-mode confidence window and the pacing counters.
+func (m *Minimizer) Checkpoint() MinimizerCheckpoint {
+	return MinimizerCheckpoint{
+		TakenAt:     m.eng.Now(),
+		Config:      m.cfg,
+		Davg:        m.davg,
+		Starget:     m.starget,
+		ConfWin:     m.confWin,
+		ConfN:       m.confN,
+		ConfIdx:     m.confIdx,
+		Safe:        m.safe,
+		SafeEntries: m.safeEntries,
+		Sleeps:      m.sleeps,
+		SleepTotal:  m.sleepTotal,
+		Updates:     m.updates,
+	}
+}
+
+// Marshal encodes the checkpoint as JSON.
+func (cp MinimizerCheckpoint) Marshal() ([]byte, error) { return json.Marshal(cp) }
+
+// UnmarshalMinimizerCheckpoint decodes a checkpoint produced by Marshal.
+func UnmarshalMinimizerCheckpoint(b []byte) (MinimizerCheckpoint, error) {
+	var cp MinimizerCheckpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return MinimizerCheckpoint{}, fmt.Errorf("core: decoding minimizer checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// RestoreMinimizer resumes Algorithm 3 on a (restored) tracker. D_avg and
+// S_target carry over — the connection's equilibrium does not reset just
+// because the monitor did — but the per-SRTT update clock restarts at the
+// current instant, so the first rescale happens a full SRTT after restore
+// rather than immediately on stale state. detached works as in
+// NewMinimizerDetached.
+func RestoreMinimizer(eng *sim.Engine, tracker *SenderTracker, cp MinimizerCheckpoint, detached bool) *Minimizer {
+	m := NewMinimizerDetached(eng, tracker.san, tracker, cp.Config)
+	m.davg = cp.Davg
+	m.starget = cp.Starget
+	m.confWin = cp.ConfWin
+	m.confN = cp.ConfN
+	m.confIdx = cp.ConfIdx
+	m.safe = cp.Safe
+	m.safeEntries = cp.SafeEntries
+	m.sleeps = cp.Sleeps
+	m.sleepTotal = cp.SleepTotal
+	m.updates = cp.Updates
+	m.tlast = eng.Now()
+	if !detached {
+		m.schedule()
+	}
+	return m
+}
+
+// checkpointRecords snapshots a fifo's live records oldest-first.
+func checkpointRecords(f *fifo) []RecordCheckpoint {
+	if f.len() == 0 {
+		return nil
+	}
+	out := make([]RecordCheckpoint, 0, f.len())
+	for _, r := range f.items[f.head:] {
+		out = append(out, RecordCheckpoint{Bytes: r.bytes, At: r.at, Slack: r.slack, Stall: r.stall})
+	}
+	return out
+}
+
+// restoreRecords refills a fresh fifo from checkpointed records,
+// re-applying the cap (a restore with a tighter cap evicts the oldest
+// records immediately; the counts stay in the restored sanitizer, so the
+// evictions are deliberately not re-counted here).
+func restoreRecords(f *fifo, recs []RecordCheckpoint) {
+	for _, r := range recs {
+		f.push(record{bytes: r.Bytes, at: r.At, slack: r.Slack, stall: r.Stall})
+	}
+}

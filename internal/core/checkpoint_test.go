@@ -1,0 +1,414 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"element/internal/cc"
+	"element/internal/faults"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/tcpinfo"
+	"element/internal/trace"
+	"element/internal/units"
+)
+
+func TestSenderCheckpointJSONRoundTrip(t *testing.T) {
+	eng := sim.New(1)
+	src := &fakeSource{info: tcpinfo.TCPInfo{SndMSS: 1000, RcvMSS: 1000, BytesAcked: 1}}
+	tr := NewSenderTracker(eng, src, 10*units.Millisecond)
+	eng.Schedule(0, func() { tr.OnWrite(5000) })
+	eng.Schedule(15*units.Millisecond, func() { tr.OnWrite(9000) })
+	eng.RunUntil(units.Time(50 * units.Millisecond))
+	tr.Stop()
+
+	cp := tr.Checkpoint()
+	b, err := cp.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalSenderCheckpoint(b)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(cp, got) {
+		t.Fatalf("round trip changed checkpoint:\n  before %+v\n  after  %+v", cp, got)
+	}
+	eng.Shutdown()
+}
+
+func TestReceiverCheckpointJSONRoundTrip(t *testing.T) {
+	eng := sim.New(1)
+	src := &fakeSource{info: tcpinfo.TCPInfo{RcvMSS: 1000}}
+	tr := NewReceiverTracker(eng, src, 10*units.Millisecond)
+	eng.Schedule(5*units.Millisecond, func() { src.info.SegsIn = 3 })
+	eng.Schedule(25*units.Millisecond, func() { src.info.SegsIn = 7 })
+	eng.RunUntil(units.Time(50 * units.Millisecond))
+	tr.Stop()
+
+	cp := tr.Checkpoint()
+	b, err := cp.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalReceiverCheckpoint(b)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(cp, got) {
+		t.Fatalf("round trip changed checkpoint:\n  before %+v\n  after  %+v", cp, got)
+	}
+	if len(cp.Records) == 0 {
+		t.Fatalf("expected outstanding receive records in the checkpoint")
+	}
+	eng.Shutdown()
+}
+
+func TestMinimizerCheckpointJSONRoundTrip(t *testing.T) {
+	eng := sim.New(1)
+	src := &fakeSource{info: tcpinfo.TCPInfo{SndMSS: 1000, RcvMSS: 1000, SndCwnd: 10, SndBuf: 64 << 10, RTT: 20 * units.Millisecond}}
+	tr := NewSenderTracker(eng, src, 10*units.Millisecond)
+	m := NewMinimizer(eng, src, tr, MinimizerConfig{})
+	eng.Schedule(0, func() { tr.OnWrite(4000) })
+	eng.Schedule(5*units.Millisecond, func() { src.info.BytesAcked = 4000 })
+	eng.RunUntil(units.Time(200 * units.Millisecond))
+	tr.Stop()
+	m.Stop()
+
+	cp := m.Checkpoint()
+	b, err := cp.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalMinimizerCheckpoint(b)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(cp, got) {
+		t.Fatalf("round trip changed checkpoint:\n  before %+v\n  after  %+v", cp, got)
+	}
+	if cp.Davg == 0 {
+		t.Fatalf("expected a calibrated D_avg in the checkpoint")
+	}
+	eng.Shutdown()
+}
+
+// TestSenderRestoreWidensBoundsOverOutage checks the restart contract on
+// the sender: a record pushed before the monitor died and matched after
+// restore must carry the whole outage window in its error bound and a
+// degraded confidence grade.
+func TestSenderRestoreWidensBoundsOverOutage(t *testing.T) {
+	eng := sim.New(1)
+	src := &fakeSource{info: tcpinfo.TCPInfo{SndMSS: 1000, RcvMSS: 1000, BytesAcked: 1}}
+	tr := NewSenderTracker(eng, src, 10*units.Millisecond)
+	eng.Schedule(0, func() { tr.OnWrite(5000) })
+	eng.RunUntil(units.Time(40 * units.Millisecond))
+	// Monitor dies at t=40ms with the write still unmatched.
+	tr.Stop()
+	cp := tr.Checkpoint()
+	if len(cp.Records) != 1 {
+		t.Fatalf("records in checkpoint = %d, want 1", len(cp.Records))
+	}
+
+	// 300 ms outage, then restore and let TCP progress match the record.
+	const outage = 300 * units.Millisecond
+	eng.RunUntil(units.Time(40*units.Millisecond + outage))
+	rt := RestoreSenderTracker(eng, src, cp, TrackerOptions{})
+	if got := rt.Anomalies().Restores; got != 1 {
+		t.Fatalf("Restores = %d, want 1", got)
+	}
+	src.info.BytesAcked = 6000
+	eng.RunUntil(units.Time(500 * units.Millisecond))
+	rt.Stop()
+
+	log := rt.Estimates().Log()
+	if len(log) == 0 {
+		t.Fatalf("no samples produced after restore")
+	}
+	m := log[0]
+	if m.ErrBound < outage {
+		t.Fatalf("post-restore ErrBound = %v, want ≥ the %v outage", m.ErrBound, outage)
+	}
+	if m.Confidence == ConfidenceHigh {
+		t.Fatalf("post-restore sample is high-confidence; the outage must degrade it")
+	}
+	eng.Shutdown()
+}
+
+// TestReceiverRestoreWidensBoundsOverOutage is the receiver-side restart
+// contract: outstanding receive records matched after restore admit the
+// outage, and the first post-restore record inherits the unobserved gap
+// as sampling slack.
+func TestReceiverRestoreWidensBoundsOverOutage(t *testing.T) {
+	eng := sim.New(1)
+	src := &fakeSource{info: tcpinfo.TCPInfo{RcvMSS: 1000}}
+	tr := NewReceiverTracker(eng, src, 10*units.Millisecond)
+	eng.Schedule(5*units.Millisecond, func() { src.info.SegsIn = 3 })
+	eng.RunUntil(units.Time(30 * units.Millisecond))
+	tr.Stop()
+	cp := tr.Checkpoint()
+
+	const outage = 200 * units.Millisecond
+	eng.RunUntil(units.Time(30*units.Millisecond + outage))
+	rt := RestoreReceiverTracker(eng, src, cp, TrackerOptions{})
+	// Read bytes covered by the pre-outage record: its sample must admit
+	// the outage.
+	rt.OnRead(2500, 2500, false)
+	log := rt.Estimates().Log()
+	if len(log) != 1 {
+		t.Fatalf("samples = %d, want 1", len(log))
+	}
+	if log[0].ErrBound < outage {
+		t.Fatalf("post-restore ErrBound = %v, want ≥ the %v outage", log[0].ErrBound, outage)
+	}
+	if log[0].Confidence == ConfidenceHigh {
+		t.Fatalf("post-restore sample is high-confidence; the outage must degrade it")
+	}
+
+	// A growth observed after restore carries the gap since the restored
+	// lastGrowth as slack (arrivals during the outage were observed late).
+	src.info.SegsIn = 6
+	eng.RunUntil(units.Time(30*units.Millisecond + outage + 20*units.Millisecond))
+	rt.OnRead(5500, 3000, false)
+	log = rt.Estimates().Log()
+	if len(log) != 2 {
+		t.Fatalf("samples = %d, want 2", len(log))
+	}
+	if log[1].ErrBound < outage/2 {
+		t.Fatalf("first post-restore growth sample ErrBound = %v, want to admit most of the %v outage", log[1].ErrBound, outage)
+	}
+	rt.Stop()
+	eng.Shutdown()
+}
+
+// restoreRun drives one full-stack connection for dur. If interruptAt is
+// positive the monitor (both trackers) is checkpointed and killed at that
+// time and restored — through a serialize→parse round trip — after
+// restoreGap. Traffic is identical either way: the application writes and
+// reads through the raw sockets and feeds the trackers only while the
+// monitor is alive, exactly like a crashed monitoring sidecar.
+type restoreRun struct {
+	eng      *sim.Engine
+	col      *trace.Collector
+	sndLog   []Measurement
+	rcvLog   []Measurement
+	restores int
+}
+
+func runWithOutage(t *testing.T, seed int64, dur, interruptAt, restoreGap units.Duration, prof *faults.Profile) *restoreRun {
+	t.Helper()
+	eng := sim.New(seed)
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+		Reverse: netem.LinkConfig{Rate: 10 * units.Mbps, Delay: 25 * units.Millisecond},
+	})
+	net := stack.NewNet(eng, path)
+	col := trace.New(eng)
+	conn := stack.Dial(net, stack.ConnConfig{
+		CC:            cc.KindCubic,
+		SenderHooks:   col.SenderHooks(),
+		ReceiverHooks: col.ReceiverHooks(),
+	})
+
+	var sndSrc, rcvSrc InfoSource = conn.Sender, conn.Receiver
+	if prof != nil {
+		inj := faults.New(eng, *prof, seed+0x6661756c74)
+		sndSrc = inj.WrapInfo(conn.Sender)
+		rcvSrc = inj.WrapInfo(conn.Receiver)
+	}
+
+	rr := &restoreRun{eng: eng, col: col}
+	snd := NewSenderTracker(eng, sndSrc, 0)
+	rcv := NewReceiverTracker(eng, rcvSrc, 0)
+	alive := true
+
+	eng.Spawn("writer", func(p *sim.Proc) {
+		for {
+			n := conn.Sender.Write(p, 16<<10)
+			if n == 0 {
+				return
+			}
+			if alive {
+				snd.OnWrite(conn.Sender.WrittenCum())
+			}
+		}
+	})
+	eng.Spawn("reader", func(p *sim.Proc) {
+		for {
+			n := conn.Receiver.Read(p, 1<<20)
+			if n == 0 {
+				return
+			}
+			if alive {
+				rcv.OnRead(conn.Receiver.ReadCum(), n, n < 1<<20)
+			}
+		}
+	})
+
+	if interruptAt > 0 {
+		eng.Schedule(interruptAt, func() {
+			// The monitor dies: flush its series, checkpoint, stop.
+			rr.sndLog = append(rr.sndLog, snd.Estimates().Log()...)
+			rr.rcvLog = append(rr.rcvLog, rcv.Estimates().Log()...)
+			scpB, err := snd.Checkpoint().Marshal()
+			if err != nil {
+				t.Errorf("sender checkpoint: %v", err)
+			}
+			rcpB, err := rcv.Checkpoint().Marshal()
+			if err != nil {
+				t.Errorf("receiver checkpoint: %v", err)
+			}
+			snd.Stop()
+			rcv.Stop()
+			alive = false
+			eng.Schedule(restoreGap, func() {
+				scp, err := UnmarshalSenderCheckpoint(scpB)
+				if err != nil {
+					t.Errorf("sender restore: %v", err)
+					return
+				}
+				rcp, err := UnmarshalReceiverCheckpoint(rcpB)
+				if err != nil {
+					t.Errorf("receiver restore: %v", err)
+					return
+				}
+				snd = RestoreSenderTracker(eng, sndSrc, scp, TrackerOptions{})
+				rcv = RestoreReceiverTracker(eng, rcvSrc, rcp, TrackerOptions{})
+				alive = true
+				rr.restores++
+			})
+		})
+	}
+
+	eng.RunUntil(units.Time(dur))
+	snd.Stop()
+	rcv.Stop()
+	rr.sndLog = append(rr.sndLog, snd.Estimates().Log()...)
+	rr.rcvLog = append(rr.rcvLog, rcv.Estimates().Log()...)
+	eng.Shutdown()
+	return rr
+}
+
+// TestRestoreContinuesSeriesWithinWidenedBounds is the end-to-end restart
+// contract: serialize → restore → continue must keep every non-flagged
+// sample within its (widened) bound of ground truth, and the resumed
+// series must keep producing samples comparable to an uninterrupted run.
+func TestRestoreContinuesSeriesWithinWidenedBounds(t *testing.T) {
+	const dur = 12 * units.Second
+	base := runWithOutage(t, 7, dur, 0, 0, nil)
+	interrupted := runWithOutage(t, 7, dur, 4*units.Second, 700*units.Millisecond, nil)
+	if interrupted.restores != 1 {
+		t.Fatalf("restores = %d, want 1", interrupted.restores)
+	}
+
+	// Bounded-or-flagged must hold across the restart.
+	if bc := CheckSenderBounds(interrupted.sndLog, interrupted.col.SenderDelay(), 0); bc.Violations != 0 {
+		t.Fatalf("sender bound violations across restart: %+v", bc)
+	}
+	if bc := CheckReceiverBounds(interrupted.rcvLog, interrupted.col.ReceiverDelay()); bc.Violations != 0 {
+		t.Fatalf("receiver bound violations across restart: %+v", bc)
+	}
+
+	// The resumed series must not collapse: sample volume comparable to
+	// the uninterrupted run minus what the outage itself can cost.
+	if len(interrupted.sndLog) < len(base.sndLog)/2 {
+		t.Fatalf("interrupted run produced %d sender samples vs %d uninterrupted — series did not resume",
+			len(interrupted.sndLog), len(base.sndLog))
+	}
+
+	// Post-restore steady-state estimates must agree with the baseline's
+	// over the same window within the widened bounds.
+	meanAfter := func(log []Measurement, from units.Time) (units.Duration, units.Duration, int) {
+		var sum, worst units.Duration
+		n := 0
+		for _, m := range log {
+			if m.At < from || m.Confidence == ConfidenceLow {
+				continue
+			}
+			sum += m.Delay
+			if m.ErrBound > worst {
+				worst = m.ErrBound
+			}
+			n++
+		}
+		if n == 0 {
+			return 0, 0, 0
+		}
+		return sum / units.Duration(n), worst, n
+	}
+	from := units.Time(6 * units.Second)
+	bMean, bBound, bn := meanAfter(base.sndLog, from)
+	iMean, iBound, in := meanAfter(interrupted.sndLog, from)
+	if bn == 0 || in == 0 {
+		t.Fatalf("no comparable post-restore samples (base %d, interrupted %d)", bn, in)
+	}
+	diff := bMean - iMean
+	if diff < 0 {
+		diff = -diff
+	}
+	allow := bBound + iBound
+	if diff > allow {
+		t.Fatalf("post-restore mean %v vs baseline %v differ by %v > widened allowance %v",
+			iMean, bMean, diff, allow)
+	}
+}
+
+// TestRestoreUnderFaultProfiles repeats the restart contract under every
+// named fault profile: degraded TCP_INFO plus a monitor outage must still
+// yield bounded-or-flagged samples.
+func TestRestoreUnderFaultProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-profile sweep in -short mode")
+	}
+	for _, name := range faults.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prof, err := faults.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr := runWithOutage(t, 11, 10*units.Second, 3*units.Second, 500*units.Millisecond, &prof)
+			if rr.restores != 1 {
+				t.Fatalf("restores = %d, want 1", rr.restores)
+			}
+			if bc := CheckSenderBounds(rr.sndLog, rr.col.SenderDelay(), 0); bc.Violations != 0 {
+				t.Fatalf("sender bound violations under %s: %+v", name, bc)
+			}
+			if bc := CheckReceiverBounds(rr.rcvLog, rr.col.ReceiverDelay()); bc.Violations != 0 {
+				t.Fatalf("receiver bound violations under %s: %+v", name, bc)
+			}
+		})
+	}
+}
+
+// TestTrackerRecordCapEvicts pins the bounded-FIFO behaviour: pushes past
+// the cap evict the oldest records, count as anomalies, and degrade the
+// next samples instead of growing without bound.
+func TestTrackerRecordCapEvicts(t *testing.T) {
+	eng := sim.New(1)
+	src := &fakeSource{info: tcpinfo.TCPInfo{SndMSS: 1000, RcvMSS: 1000, BytesAcked: 1}}
+	tr := NewSenderTrackerOpts(eng, src, TrackerOptions{Interval: 10 * units.Millisecond, RecordCap: 4})
+	tr.PollOnce() // evictions mid-run, after at least one poll
+	for i := 1; i <= 10; i++ {
+		tr.OnWrite(uint64(i * 100))
+	}
+	if got := tr.Pending(); got != 4 {
+		t.Fatalf("pending = %d, want cap 4", got)
+	}
+	if got := tr.Anomalies().Evictions; got != 6 {
+		t.Fatalf("evictions = %d, want 6", got)
+	}
+	// The next matched sample must be degraded (eviction is an anomaly).
+	src.info.BytesAcked = 1000
+	tr.PollOnce()
+	log := tr.Estimates().Log()
+	if len(log) == 0 {
+		t.Fatalf("no samples after eviction")
+	}
+	if log[0].Confidence == ConfidenceHigh {
+		t.Fatalf("sample after eviction is high-confidence, want degraded")
+	}
+	tr.Stop()
+	eng.Shutdown()
+}

@@ -61,13 +61,35 @@ type record struct {
 	stall units.Duration
 }
 
-// fifo is the paper's singly-linked list, backed by a slice.
+// DefaultRecordCap bounds a tracker's record FIFO when the caller does not
+// choose a cap. A monitor must not grow without bound just because its
+// drain (TCP_INFO progress or application reads) stopped keeping up with
+// pushes: past the cap the oldest records are evicted and counted as
+// anomalies instead of silently eating memory. 64Ki records ≈ 3 MB — far
+// above anything a healthy connection accumulates at a 10 ms poll.
+const DefaultRecordCap = 1 << 16
+
+// fifo is the paper's singly-linked list, backed by a slice. cap, when
+// positive, bounds the number of live records: pushing onto a full fifo
+// evicts the oldest record first.
 type fifo struct {
 	items []record
 	head  int
+	cap   int
 }
 
-func (f *fifo) push(r record) { f.items = append(f.items, r) }
+// push appends r, evicting the oldest record when the fifo is at its cap.
+// It returns the evicted record and whether an eviction happened.
+func (f *fifo) push(r record) (record, bool) {
+	var ev record
+	evicted := false
+	if f.cap > 0 && f.len() >= f.cap {
+		ev = f.pop()
+		evicted = true
+	}
+	f.items = append(f.items, r)
+	return ev, evicted
+}
 
 func (f *fifo) empty() bool { return f.head >= len(f.items) }
 

@@ -124,11 +124,23 @@ const safeWindow = 16
 // All TCP_INFO reads go through the tracker's sanitizer so the pacer sees
 // the same defended view as Algorithm 1.
 func NewMinimizer(eng *sim.Engine, src InfoSource, tracker *SenderTracker, cfg MinimizerConfig) *Minimizer {
-	m := &Minimizer{eng: eng, src: tracker.san, tracker: tracker, cfg: cfg.withDefaults()}
-	tracker.subscribe(m.onMeasurement)
+	m := NewMinimizerDetached(eng, src, tracker, cfg)
 	m.schedule()
 	return m
 }
+
+// NewMinimizerDetached attaches Algorithm 3 without starting its checking
+// thread; the caller drives every pass through CheckOnce. The fleet
+// supervisor uses this so each pass runs under its panic-recovery wrapper.
+func NewMinimizerDetached(eng *sim.Engine, src InfoSource, tracker *SenderTracker, cfg MinimizerConfig) *Minimizer {
+	m := &Minimizer{eng: eng, src: tracker.san, tracker: tracker, cfg: cfg.withDefaults()}
+	tracker.subscribe(m.onMeasurement)
+	return m
+}
+
+// CheckOnce runs a single checking-thread pass immediately (the per-SRTT
+// guard still applies). Detached minimizers are driven entirely through it.
+func (m *Minimizer) CheckOnce() { m.check() }
 
 // onMeasurement folds a new buffer-delay measurement into D_avg
 // (D_avg ← 7/8·D_avg + 1/8·D_measure) and updates the safe-mode vote.

@@ -80,12 +80,39 @@ type AnomalyCounts struct {
 	// duplicate segments from spurious retransmissions, inflating the
 	// estimate without bound unless corrected).
 	Resyncs int
+	// Evictions counts records dropped from a tracker's bounded FIFO
+	// because pushes outpaced the drain past the configured cap. Each
+	// eviction is a delay sample that will never be produced — bounded
+	// memory traded against series completeness, audited rather than
+	// silent.
+	Evictions int
+	// Restores counts checkpoint restores this tracker's series has been
+	// resumed through; the outage window of each restore is folded into
+	// the error bounds of the samples that sat through it.
+	Restores int
 }
 
 // Total sums every anomaly class.
 func (a AnomalyCounts) Total() int {
 	return a.Backwards + a.BestRegressions + a.MSSChanges + a.ZeroFields +
-		a.StalledPolls + a.FallbackPolls + a.Overruns + a.Lags + a.Resyncs
+		a.StalledPolls + a.FallbackPolls + a.Overruns + a.Lags + a.Resyncs +
+		a.Evictions + a.Restores
+}
+
+// Add accumulates another tally field-by-field (combining the two sides
+// of a connection, or a whole fleet).
+func (a *AnomalyCounts) Add(o AnomalyCounts) {
+	a.Backwards += o.Backwards
+	a.BestRegressions += o.BestRegressions
+	a.MSSChanges += o.MSSChanges
+	a.ZeroFields += o.ZeroFields
+	a.StalledPolls += o.StalledPolls
+	a.FallbackPolls += o.FallbackPolls
+	a.Overruns += o.Overruns
+	a.Lags += o.Lags
+	a.Resyncs += o.Resyncs
+	a.Evictions += o.Evictions
+	a.Restores += o.Restores
 }
 
 // capState tracks whether the kernel exposes tcpi_bytes_acked.

@@ -79,14 +79,49 @@ func (t *SenderTracker) Instrument(sc *telemetry.Scope) {
 	t.san.instrument(sc)
 }
 
+// TrackerOptions configures tracker construction beyond the polling
+// interval.
+type TrackerOptions struct {
+	// Interval is the TCP_INFO polling period (0 = 10 ms).
+	Interval units.Duration
+	// RecordCap bounds the write/receive record FIFO: 0 selects
+	// DefaultRecordCap, negative disables the cap entirely. Evictions past
+	// the cap are counted in AnomalyCounts.Evictions and degrade the
+	// confidence of subsequent samples.
+	RecordCap int
+	// Detached suppresses the tracker's self-scheduled polling timer; the
+	// caller drives every poll through PollOnce. The fleet supervisor uses
+	// this so each poll runs under its panic-recovery wrapper.
+	Detached bool
+}
+
+func (o TrackerOptions) normalize() TrackerOptions {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	switch {
+	case o.RecordCap == 0:
+		o.RecordCap = DefaultRecordCap
+	case o.RecordCap < 0:
+		o.RecordCap = 0
+	}
+	return o
+}
+
 // NewSenderTracker starts Algorithm 1's tcp_info tracking thread on eng.
 // interval = 0 uses the paper's 10 ms default.
 func NewSenderTracker(eng *sim.Engine, src InfoSource, interval units.Duration) *SenderTracker {
-	if interval <= 0 {
-		interval = DefaultInterval
+	return NewSenderTrackerOpts(eng, src, TrackerOptions{Interval: interval})
+}
+
+// NewSenderTrackerOpts is NewSenderTracker with full construction options.
+func NewSenderTrackerOpts(eng *sim.Engine, src InfoSource, opts TrackerOptions) *SenderTracker {
+	opts = opts.normalize()
+	t := &SenderTracker{eng: eng, san: newSanitizer(src), interval: opts.Interval}
+	t.list.cap = opts.RecordCap
+	if !opts.Detached {
+		t.schedule()
 	}
-	t := &SenderTracker{eng: eng, san: newSanitizer(src), interval: interval}
-	t.schedule()
 	return t
 }
 
@@ -110,7 +145,18 @@ func (t *SenderTracker) OnWrite(cumBytes uint64) {
 	// stall carries the stalled-time total at push; the difference against
 	// the total at match time is exactly how long this record sat behind a
 	// non-advancing estimate — uncertainty its error bound must admit.
-	t.list.push(record{bytes: cumBytes, at: t.eng.Now(), stall: t.stallCum})
+	if ev, evicted := t.list.push(record{bytes: cumBytes, at: t.eng.Now(), stall: t.stallCum}); evicted {
+		// Bounded memory beat drain: the evicted write will never produce a
+		// sample. Advance the byte-weight cursor past it so the next match
+		// is not over-weighted with the evicted bytes, and degrade upcoming
+		// samples like any other input anomaly.
+		if ev.bytes > t.lastBest {
+			t.lastBest = ev.bytes
+		}
+		t.san.counts.Evictions++
+		t.lastAnomaly = t.polls
+		t.prevAnomTot = t.san.counts.Total()
+	}
 }
 
 // poll is one iteration of the tcp_info tracking thread: estimate the bytes
@@ -271,6 +317,9 @@ func (t *SenderTracker) Polls() int { return t.polls }
 // Pending reports the number of unmatched write records.
 func (t *SenderTracker) Pending() int { return t.list.len() }
 
+// Interval reports the tracker's polling period.
+func (t *SenderTracker) Interval() units.Duration { return t.interval }
+
 // Anomalies reports the tracker's hostile-input audit trail.
 func (t *SenderTracker) Anomalies() AnomalyCounts { return t.san.Anomalies() }
 
@@ -360,13 +409,20 @@ const offsetWindowPolls = 100
 const offUnset = ^uint64(0)
 
 func NewReceiverTracker(eng *sim.Engine, src InfoSource, interval units.Duration) *ReceiverTracker {
-	if interval <= 0 {
-		interval = DefaultInterval
-	}
-	t := &ReceiverTracker{eng: eng, san: newSanitizer(src), interval: interval}
+	return NewReceiverTrackerOpts(eng, src, TrackerOptions{Interval: interval})
+}
+
+// NewReceiverTrackerOpts is NewReceiverTracker with full construction
+// options.
+func NewReceiverTrackerOpts(eng *sim.Engine, src InfoSource, opts TrackerOptions) *ReceiverTracker {
+	opts = opts.normalize()
+	t := &ReceiverTracker{eng: eng, san: newSanitizer(src), interval: opts.Interval}
+	t.list.cap = opts.RecordCap
 	t.lastGrowth = eng.Now()
 	t.offWinMin = [2]uint64{offUnset, offUnset}
-	t.schedule()
+	if !opts.Detached {
+		t.schedule()
+	}
 	return t
 }
 
@@ -428,7 +484,15 @@ func (t *ReceiverTracker) poll() {
 		}
 		t.prev = best
 		t.lastGrowth = now
-		t.list.push(record{bytes: best, at: now, slack: slack, stall: t.stallCum})
+		if _, evicted := t.list.push(record{bytes: best, at: now, slack: slack, stall: t.stallCum}); evicted {
+			// The application stopped reading long enough for the record
+			// list to hit its cap: the evicted arrival's eventual read will
+			// match a younger record (underestimating its wait), so flag
+			// the episode as an anomaly.
+			t.san.counts.Evictions++
+			t.lastAnomaly = t.polls
+			t.prevAnomTot = t.san.counts.Total()
+		}
 	} else if !t.list.empty() {
 		// Arrivals stalled while claimed bytes wait unmatched. If the front
 		// record is inflation (duplicate segments), its eventual sample
@@ -582,11 +646,21 @@ func (t *ReceiverTracker) grade(cumBytes uint64, recSlack, rstall units.Duration
 	return ConfidenceHigh, bound
 }
 
+// PollOnce runs a single tracking-thread iteration immediately. Detached
+// trackers (fleet supervision, tests) are driven entirely through it.
+func (t *ReceiverTracker) PollOnce() { t.poll() }
+
 // Estimates exposes the tracker's delay series.
 func (t *ReceiverTracker) Estimates() *Estimates { return &t.est }
 
 // Polls reports how many TCP_INFO polls have run.
 func (t *ReceiverTracker) Polls() int { return t.polls }
+
+// Pending reports the number of unmatched receive records.
+func (t *ReceiverTracker) Pending() int { return t.list.len() }
+
+// Interval reports the tracker's polling period.
+func (t *ReceiverTracker) Interval() units.Duration { return t.interval }
 
 // Anomalies reports the tracker's hostile-input audit trail.
 func (t *ReceiverTracker) Anomalies() AnomalyCounts { return t.san.Anomalies() }

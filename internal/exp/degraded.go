@@ -5,7 +5,6 @@ import (
 
 	"element/internal/core"
 	"element/internal/faults"
-	"element/internal/stats"
 	"element/internal/units"
 )
 
@@ -14,143 +13,22 @@ import (
 // within its self-reported error bound of trace ground truth or is
 // explicitly marked low-confidence — degraded input must never produce a
 // silently-wrong estimate.
-
-// boundEps absorbs ground-truth interpolation fuzz when comparing a
-// sample against the trace series.
-const boundEps = units.Millisecond
-
-// receiverWindow is the ground-truth lookback for receiver samples.
-// Algorithm 2's samples track the *oldest* waiting bytes during a lag
-// episode, while the trace series at the same instant is bimodal (hole
-// bytes ≈ 0, queued bytes the full wait) — so receiver samples compare
-// against the maximum true wait in a recent window, exactly like the
-// receiver accuracy test in internal/core.
-const receiverWindow = 150 * units.Millisecond
+//
+// The checkers themselves live in internal/core (core/bounds.go) so the
+// fleet supervisor and the soak harness can reconcile per-connection
+// results without importing this package; the exp names are kept as
+// aliases.
 
 // BoundCheck tallies the bounded-or-flagged evaluation of one estimator
-// log against ground truth.
-type BoundCheck struct {
-	Samples    int // graded samples seen
-	Flagged    int // explicitly low-confidence (exempt from the bound)
-	Checked    int // non-flagged samples with comparable ground truth
-	Violations int // checked samples outside their reported bound
-	// WorstExcess is the largest distance beyond the reported bound seen
-	// across violations (diagnostics).
-	WorstExcess units.Duration
-}
+// log against ground truth (alias of core.BoundCheck).
+type BoundCheck = core.BoundCheck
 
-// FlaggedFraction reports Flagged/Samples (0 when empty).
-func (b BoundCheck) FlaggedFraction() float64 {
-	if b.Samples == 0 {
-		return 0
-	}
-	return float64(b.Flagged) / float64(b.Samples)
-}
-
-// gtBand computes the [min, max] envelope of truth over (from, to],
-// including values interpolated at both endpoints. ok is false when the
-// window holds no comparable ground truth.
-func gtBand(truth stats.Series, from, to units.Time) (lo, hi units.Duration, ok bool) {
-	first := true
-	add := func(d units.Duration) {
-		if first {
-			lo, hi, first = d, d, false
-			return
-		}
-		if d < lo {
-			lo = d
-		}
-		if d > hi {
-			hi = d
-		}
-	}
-	if d, within := truth.At(from); within {
-		add(d)
-	}
-	if d, within := truth.At(to); within {
-		add(d)
-	}
-	for _, s := range truth {
-		if s.At > from && s.At <= to {
-			add(s.Delay)
-		}
-	}
-	return lo, hi, !first
-}
-
-// CheckSenderBounds evaluates the sender log: a non-flagged sample
-// violates the contract when its delay is farther than ErrBound from the
-// ground-truth envelope over the sample's own timestamp-quantization
-// window. Ground-truth samples are stamped at transmit time while the
-// estimator stamps at match time, and under stalled TCP_INFO a match
-// runs late by up to the staleness folded into the sample's bound — so
-// the lookback window is two polling intervals plus the sample's own
-// ErrBound (tight samples keep a tight window; only samples that already
-// admit lateness look further back).
-func CheckSenderBounds(log []core.Measurement, truth stats.Series, interval units.Duration) BoundCheck {
-	if interval <= 0 {
-		interval = core.DefaultInterval
-	}
-	var bc BoundCheck
-	for _, m := range log {
-		bc.Samples++
-		if m.Confidence == core.ConfidenceLow {
-			bc.Flagged++
-			continue
-		}
-		lo, hi, ok := gtBand(truth, m.At.Add(-2*interval-m.ErrBound), m.At)
-		if !ok {
-			continue
-		}
-		bc.Checked++
-		var dist units.Duration
-		if m.Delay < lo {
-			dist = lo - m.Delay
-		} else if m.Delay > hi {
-			dist = m.Delay - hi
-		}
-		if excess := dist - m.ErrBound - boundEps; excess > 0 {
-			bc.Violations++
-			if excess > bc.WorstExcess {
-				bc.WorstExcess = excess
-			}
-		}
-	}
-	return bc
-}
-
-// CheckReceiverBounds evaluates the receiver log. The contract is
-// one-sided: a non-flagged sample must not report more waiting than the
-// maximum true wait in the recent window plus its bound (phantom delay).
-// Underestimates are inherent to Algorithm 2 — a sample can legitimately
-// match bytes younger than the oldest waiting range — so they do not
-// count as violations.
-func CheckReceiverBounds(log []core.Measurement, truth stats.Series) BoundCheck {
-	var bc BoundCheck
-	for _, m := range log {
-		bc.Samples++
-		if m.Confidence == core.ConfidenceLow {
-			bc.Flagged++
-			continue
-		}
-		window := receiverWindow
-		if m.ErrBound > window {
-			window = m.ErrBound
-		}
-		_, hi, ok := gtBand(truth, m.At.Add(-window), m.At)
-		if !ok {
-			continue
-		}
-		bc.Checked++
-		if excess := m.Delay - hi - m.ErrBound - boundEps; excess > 0 {
-			bc.Violations++
-			if excess > bc.WorstExcess {
-				bc.WorstExcess = excess
-			}
-		}
-	}
-	return bc
-}
+// CheckSenderBounds and CheckReceiverBounds evaluate estimator logs
+// against trace ground truth; see core/bounds.go.
+var (
+	CheckSenderBounds   = core.CheckSenderBounds
+	CheckReceiverBounds = core.CheckReceiverBounds
+)
 
 // DegradedRun is the outcome of one fault profile's scenario.
 type DegradedRun struct {
@@ -192,19 +70,8 @@ func RunDegraded(profile string, seed int64, duration units.Duration) (*Degraded
 		Receiver:   CheckReceiverBounds(fr.Receiver.Estimates().Log(), fr.GT.ReceiverDelay()),
 		FaultCount: s.Inj.Counts(),
 	}
-	sa := fr.Sender.Tracker.Anomalies()
-	ra := fr.Receiver.Tracker.Anomalies()
-	run.Anomalies = core.AnomalyCounts{
-		Backwards:       sa.Backwards + ra.Backwards,
-		BestRegressions: sa.BestRegressions + ra.BestRegressions,
-		MSSChanges:      sa.MSSChanges + ra.MSSChanges,
-		ZeroFields:      sa.ZeroFields + ra.ZeroFields,
-		StalledPolls:    sa.StalledPolls + ra.StalledPolls,
-		FallbackPolls:   sa.FallbackPolls + ra.FallbackPolls,
-		Overruns:        sa.Overruns + ra.Overruns,
-		Lags:            sa.Lags + ra.Lags,
-		Resyncs:         sa.Resyncs + ra.Resyncs,
-	}
+	run.Anomalies = fr.Sender.Tracker.Anomalies()
+	run.Anomalies.Add(fr.Receiver.Tracker.Anomalies())
 	return run, nil
 }
 

@@ -51,6 +51,8 @@ var Registry = []Experiment{
 		"tracker CPU/memory cost per connection", Overhead},
 	{"degraded", "Estimator robustness under fault injection",
 		"every fault profile vs ground truth: flagged fractions, bound violations, anomaly counts", Degraded},
+	{"fleet", "Supervised monitoring fleet vs single-connection ground truth",
+		"churning multi-connection fleet with crash/restore supervision reconciled against an unchurned baseline", Fleet},
 }
 
 // Lookup finds an experiment by ID.

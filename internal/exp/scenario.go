@@ -5,6 +5,8 @@
 package exp
 
 import (
+	"context"
+
 	"element/internal/aqm"
 	"element/internal/cc"
 	"element/internal/core"
@@ -289,24 +291,69 @@ func Build(cfg ScenarioConfig) *Scenario {
 
 // Run executes the scenario for its configured duration and fills in
 // per-flow goodput.
-func (s *Scenario) Run() {
-	s.Eng.RunUntil(units.Time(s.cfg.Duration))
-	for _, f := range s.Flows {
-		active := s.cfg.Duration - f.Spec.StartAt
-		if f.Spec.StopAt > 0 {
-			active = f.Spec.StopAt - f.Spec.StartAt
+func (s *Scenario) Run() { s.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: virtual time advances
+// in slices so an interrupted run (Ctrl-C in the commands) stops at the
+// next boundary with every collector, telemetry ring and waterfall
+// recorder intact — partial results still export. It reports whether the
+// run completed its configured duration.
+func (s *Scenario) RunContext(ctx context.Context) bool {
+	end := units.Time(s.cfg.Duration)
+	slice := s.cfg.Duration / 64
+	if slice <= 0 {
+		slice = 100 * units.Millisecond
+	}
+	for s.Eng.Now() < end && ctx.Err() == nil {
+		next := s.Eng.Now().Add(slice)
+		if next > end {
+			next = end
 		}
+		s.Eng.RunUntil(next)
+	}
+	s.finish()
+	return s.Eng.Now() >= end
+}
+
+// finish fills in per-flow goodput over the time actually simulated and
+// terminates all parked processes.
+func (s *Scenario) finish() {
+	ran := units.Duration(s.Eng.Now())
+	for _, f := range s.Flows {
+		stop := s.cfg.Duration
+		if f.Spec.StopAt > 0 && f.Spec.StopAt < stop {
+			stop = f.Spec.StopAt
+		}
+		if stop > ran {
+			stop = ran
+		}
+		active := stop - f.Spec.StartAt
 		if active <= 0 {
-			active = s.cfg.Duration
+			active = ran
 		}
 		f.GoodputBps = float64(f.Conn.Receiver.ReadCum()) * 8 / active.Seconds()
 	}
 	s.Eng.Shutdown()
 }
 
-// RunScenario builds and runs cfg in one call.
+// DefaultContext, when non-nil, bounds every RunScenario call — the
+// pre-registered experiments build their own configs, so cmd/elembench
+// sets this around a sweep to make Ctrl-C stop the current experiment at
+// the next slice boundary while keeping its partial results exportable.
+var DefaultContext context.Context
+
+// RunScenario builds and runs cfg in one call, honoring DefaultContext.
 func RunScenario(cfg ScenarioConfig) *Scenario {
+	ctx := DefaultContext
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return RunScenarioContext(ctx, cfg)
+}
+
+// RunScenarioContext is RunScenario with cooperative cancellation.
+func RunScenarioContext(ctx context.Context, cfg ScenarioConfig) *Scenario {
 	s := Build(cfg)
-	s.Run()
+	s.RunContext(ctx)
 	return s
 }

@@ -1,0 +1,414 @@
+// Package fleet is the supervision layer that runs ELEMENT monitors over
+// many concurrent connections on one deterministic engine. Each
+// connection gets a monitor — the Algorithm 1 sender tracker, the
+// Algorithm 2 receiver tracker and optionally the Algorithm 3 minimizer —
+// driven poll-by-poll by the supervisor so every poll runs under a
+// panic-recovery wrapper. A crashed monitor is restarted with capped
+// exponential backoff plus jitter; a wedged monitor (no poll progress
+// within the watchdog deadline) is recycled. Restarts resume from the
+// last persisted JSON checkpoint, so the estimate series continues with
+// bounds widened over the outage window instead of starting over — the
+// connection itself keeps carrying traffic throughout; a monitor failure
+// never kills the flow it watches.
+//
+// Everything is deterministic for a fixed seed: churn schedules, crash
+// times, backoff jitter and therefore the restart/eviction counters are
+// identical across runs, which is what lets the soak harness assert on
+// them.
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"element/internal/core"
+	"element/internal/faults"
+	"element/internal/netem"
+	"element/internal/sim"
+	"element/internal/stack"
+	"element/internal/telemetry"
+	"element/internal/trace"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultConnections = 8
+	DefaultDuration    = 10 * units.Second
+	DefaultRate        = 4 * units.Mbps
+	DefaultRTT         = 40 * units.Millisecond
+
+	// DefaultCheckpointEvery is the periodic JSON checkpoint cadence; it
+	// bounds how much estimator state a crash can lose.
+	DefaultCheckpointEvery = 500 * units.Millisecond
+)
+
+// BackoffConfig is the restart policy for crashed monitors: capped
+// exponential backoff with multiplicative jitter so a correlated crash
+// burst does not restart in lockstep.
+type BackoffConfig struct {
+	Initial units.Duration // first restart delay (default 50 ms)
+	Max     units.Duration // delay cap (default 2 s)
+	Factor  float64        // growth per consecutive crash (default 2)
+	Jitter  float64        // uniform extra fraction of the delay (default 0.2)
+}
+
+func (b BackoffConfig) normalize() BackoffConfig {
+	if b.Initial <= 0 {
+		b.Initial = 50 * units.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * units.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// ChurnConfig describes the connection/monitor churn schedule. All draws
+// come from the fleet's seeded RNG in connection order, so the schedule
+// is a pure function of the seed.
+type ChurnConfig struct {
+	// OpenWindow staggers connection opens uniformly over [0, OpenWindow]
+	// (0 = all connections open at t=0).
+	OpenWindow units.Duration
+	// CloseFrac is the fraction of connections that close early,
+	// somewhere in the middle of the run. The monitor keeps polling a
+	// closed connection until the fleet drains — draining matched records
+	// is part of its job.
+	CloseFrac float64
+	// CrashFrac is the fraction of monitors that panic mid-poll at a
+	// scheduled time. The supervisor recovers, backs off, and restores
+	// from the last checkpoint.
+	CrashFrac float64
+	// StallFrac is the fraction of monitors that silently wedge (their
+	// poll loop stops making progress). The watchdog detects and recycles
+	// them.
+	StallFrac float64
+}
+
+// Config describes a fleet run.
+type Config struct {
+	Seed        int64
+	Connections int
+	Duration    units.Duration
+	// Rate/RTT shape each connection's private path.
+	Rate units.Rate
+	RTT  units.Duration
+	// Interval is the TCP_INFO polling period per monitor (0 = 10 ms).
+	Interval units.Duration
+	// RecordCap bounds each tracker FIFO (0 = core.DefaultRecordCap,
+	// negative = unlimited).
+	RecordCap int
+	// Minimize runs the Algorithm 3 minimizer on every monitor.
+	Minimize bool
+
+	Backoff BackoffConfig
+	// Watchdog is the no-poll-progress deadline after which a monitor is
+	// recycled (0 = max(10 polling intervals, 100 ms)).
+	Watchdog units.Duration
+	// CheckpointEvery is the periodic serialization cadence (0 =
+	// DefaultCheckpointEvery, negative disables checkpoints — restarts
+	// then begin a fresh series).
+	CheckpointEvery units.Duration
+
+	Churn ChurnConfig
+
+	// Faults composes a fault-injection profile over the whole fleet:
+	// every monitor polls a degraded TCP_INFO view and every path gets
+	// the profile's chaos.
+	Faults *faults.Profile
+	// Telem publishes fleet health gauges and restart/eviction/checkpoint
+	// counters under the "fleet" component (nil disables).
+	Telem *telemetry.Telemetry
+	// Waterfall attaches per-byte-range delay attribution to every
+	// connection (nil disables).
+	Waterfall *waterfall.Waterfall
+}
+
+func (c Config) normalize() Config {
+	if c.Connections <= 0 {
+		c.Connections = DefaultConnections
+	}
+	if c.Duration <= 0 {
+		c.Duration = DefaultDuration
+	}
+	if c.Rate <= 0 {
+		c.Rate = DefaultRate
+	}
+	if c.RTT <= 0 {
+		c.RTT = DefaultRTT
+	}
+	if c.Interval <= 0 {
+		c.Interval = core.DefaultInterval
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 10 * c.Interval
+		if c.Watchdog < 100*units.Millisecond {
+			c.Watchdog = 100 * units.Millisecond
+		}
+	}
+	switch {
+	case c.CheckpointEvery == 0:
+		c.CheckpointEvery = DefaultCheckpointEvery
+	case c.CheckpointEvery < 0:
+		c.CheckpointEvery = 0
+	}
+	c.Backoff = c.Backoff.normalize()
+	return c
+}
+
+// Fleet is a built supervision run ready to execute.
+type Fleet struct {
+	Eng      *sim.Engine
+	cfg      Config
+	monitors []*Monitor
+	inj      *faults.Injector
+
+	draining bool
+
+	// Fleet-wide health accounting (also mirrored into telemetry).
+	restarts    int
+	crashes     int
+	recycles    int
+	checkpoints int
+
+	// Telemetry handles (nil when Config.Telem is nil).
+	ctrRestarts    *telemetry.Counter
+	ctrCrashes     *telemetry.Counter
+	ctrRecycles    *telemetry.Counter
+	ctrCheckpoints *telemetry.Counter
+	gRunning       *telemetry.Gauge
+	gBackingOff    *telemetry.Gauge
+	gOpen          *telemetry.Gauge
+}
+
+// New builds the fleet: engine, per-connection paths and sockets, churn
+// plans, supervisor timers. Nothing runs until Run.
+func New(cfg Config) *Fleet {
+	cfg = cfg.normalize()
+	eng := sim.New(cfg.Seed)
+	cfg.Telem.SetClock(eng.Now)
+	cfg.Waterfall.SetClock(eng.Now)
+	f := &Fleet{Eng: eng, cfg: cfg}
+
+	if cfg.Telem != nil {
+		sc := cfg.Telem.Scope("fleet")
+		f.ctrRestarts = sc.Counter("restarts")
+		f.ctrCrashes = sc.Counter("crashes")
+		f.ctrRecycles = sc.Counter("watchdog_recycles")
+		f.ctrCheckpoints = sc.Counter("checkpoints")
+		f.gRunning = sc.Gauge("monitors_running")
+		f.gBackingOff = sc.Gauge("monitors_backing_off")
+		f.gOpen = sc.Gauge("connections_open")
+	}
+
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		f.inj = faults.New(eng, *cfg.Faults, cfg.Seed+0x6661756c74) // "fault"
+	}
+
+	// Churn plans draw from the engine RNG in connection order at build
+	// time, so the whole schedule is fixed before any event runs.
+	rng := eng.Rand()
+	for i := 0; i < cfg.Connections; i++ {
+		m := &Monitor{ID: i, fl: f, backoffCur: cfg.Backoff.Initial}
+		m.plan = drawPlan(cfg, rng)
+		f.monitors = append(f.monitors, m)
+		if m.plan.openAt > 0 {
+			at := m.plan.openAt
+			eng.Schedule(at, func() { m.open() })
+		} else {
+			m.open()
+		}
+	}
+
+	// Fleet-level supervisor timers.
+	f.scheduleWatchdog()
+	if cfg.CheckpointEvery > 0 {
+		f.scheduleCheckpoints()
+	}
+	return f
+}
+
+func (f *Fleet) scheduleWatchdog() {
+	f.Eng.Schedule(f.cfg.Watchdog, func() {
+		if f.draining {
+			return
+		}
+		for _, m := range f.monitors {
+			m.watchdogCheck()
+		}
+		f.updateGauges()
+		f.scheduleWatchdog()
+	})
+}
+
+func (f *Fleet) scheduleCheckpoints() {
+	f.Eng.Schedule(f.cfg.CheckpointEvery, func() {
+		if f.draining {
+			return
+		}
+		for _, m := range f.monitors {
+			m.checkpoint()
+		}
+		f.scheduleCheckpoints()
+	})
+}
+
+func (f *Fleet) updateGauges() {
+	if f.gRunning == nil {
+		return
+	}
+	running, backing, open := 0, 0, 0
+	for _, m := range f.monitors {
+		switch m.state {
+		case stateRunning:
+			running++
+		case stateBackoff:
+			backing++
+		}
+		if m.connOpen {
+			open++
+		}
+	}
+	f.gRunning.Set(float64(running))
+	f.gBackingOff.Set(float64(backing))
+	f.gOpen.Set(float64(open))
+}
+
+// buildConn constructs one connection's private path, net, ground-truth
+// collector and socket pair.
+func (f *Fleet) buildConn(m *Monitor) {
+	eng := f.Eng
+	cfg := f.cfg
+	path := netem.NewPath(eng, netem.PathConfig{
+		Forward: netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2},
+		Reverse: netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2},
+	})
+	if f.inj != nil {
+		f.inj.ApplyPath(path)
+	}
+	cfg.Waterfall.TapLink(path.Forward)
+	cfg.Waterfall.TapLink(path.Reverse)
+	net := stack.NewNet(eng, path)
+	m.gt = trace.New(eng)
+	sndHooks, rcvHooks := m.gt.SenderHooks(), m.gt.ReceiverHooks()
+	if cfg.Waterfall != nil {
+		rec := cfg.Waterfall.NewFlow()
+		sndHooks = stack.MergeTraceHooks(sndHooks, rec.SenderHooks())
+		rcvHooks = stack.MergeTraceHooks(rcvHooks, rec.ReceiverHooks())
+		m.wf = rec
+	}
+	m.conn = stack.Dial(net, stack.ConnConfig{
+		SenderHooks:   sndHooks,
+		ReceiverHooks: rcvHooks,
+		Telem:         cfg.Telem,
+	})
+	if m.wf != nil {
+		cfg.Waterfall.Bind(m.conn.FlowID, m.wf)
+	}
+	m.sndSrc = core.InfoSource(m.conn.Sender)
+	m.rcvSrc = core.InfoSource(m.conn.Receiver)
+	if f.inj != nil {
+		m.sndSrc = f.inj.WrapInfo(m.conn.Sender)
+		m.rcvSrc = f.inj.WrapInfo(m.conn.Receiver)
+	}
+}
+
+// Run executes the fleet to its configured duration, drains, and
+// reconciles. Equivalent to RunContext(context.Background()).
+func (f *Fleet) Run() *Result { return f.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: virtual time advances
+// in slices and a canceled context stops the run early — the fleet still
+// drains, so partial series, telemetry and waterfall state are intact.
+func (f *Fleet) RunContext(ctx context.Context) *Result {
+	end := units.Time(f.cfg.Duration)
+	slice := f.cfg.Duration / 64
+	if slice < f.cfg.Interval {
+		slice = f.cfg.Interval
+	}
+	for f.Eng.Now() < end {
+		if ctx.Err() != nil {
+			break
+		}
+		next := f.Eng.Now().Add(slice)
+		if next > end {
+			next = end
+		}
+		f.Eng.RunUntil(next)
+	}
+	return f.drain(ctx.Err() != nil)
+}
+
+// drain is the graceful shutdown: every live monitor takes a final poll
+// (so in-flight records get their last chance to match), flushes its
+// series, and stops; parked processes are terminated so no goroutine
+// outlives the run.
+func (f *Fleet) drain(interrupted bool) *Result {
+	f.draining = true
+	res := &Result{Config: f.cfg, Interrupted: interrupted}
+	for _, m := range f.monitors {
+		cr := m.drain()
+		res.Conns = append(res.Conns, cr)
+		res.Sender.Merge(cr.Sender)
+		res.Receiver.Merge(cr.Receiver)
+		res.Evictions += cr.Anomalies.Evictions
+		res.Restores += cr.Anomalies.Restores
+	}
+	res.Restarts = f.restarts
+	res.Crashes = f.crashes
+	res.Recycles = f.recycles
+	res.Checkpoints = f.checkpoints
+	f.updateGauges()
+	f.Eng.Shutdown()
+	return res
+}
+
+// Result is the reconciled outcome of a fleet run.
+type Result struct {
+	Config      Config
+	Conns       []*ConnResult
+	Sender      core.BoundCheck // merged across connections
+	Receiver    core.BoundCheck
+	Restarts    int
+	Crashes     int
+	Recycles    int
+	Checkpoints int
+	Evictions   int
+	Restores    int
+	Interrupted bool
+}
+
+// ConnResult is one connection's reconciliation against its own ground
+// truth.
+type ConnResult struct {
+	ID         int
+	Sender     core.BoundCheck
+	Receiver   core.BoundCheck
+	Anomalies  core.AnomalyCounts
+	Restarts   int
+	Crashes    int
+	Recycles   int
+	GoodputBps float64
+	Closed     bool // closed early by churn
+	// SndLog/RcvLog are the full per-connection estimate series stitched
+	// across monitor incarnations.
+	SndLog []core.Measurement
+	RcvLog []core.Measurement
+}
+
+// Violations is the fleet-wide bounded-or-flagged violation count.
+func (r *Result) Violations() int {
+	return r.Sender.Violations + r.Receiver.Violations
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("fleet{conns=%d restarts=%d crashes=%d recycles=%d checkpoints=%d evictions=%d restores=%d violations=%d}",
+		len(r.Conns), r.Restarts, r.Crashes, r.Recycles, r.Checkpoints, r.Evictions, r.Restores, r.Violations())
+}

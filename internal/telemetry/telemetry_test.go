@@ -9,10 +9,12 @@ import (
 	"strings"
 	"testing"
 
+	"element/internal/testutil"
 	"element/internal/units"
 )
 
 func TestNilSafety(t *testing.T) {
+	testutil.NoLeaks(t)
 	var tel *Telemetry
 	tel.SetClock(func() units.Time { return 0 })
 	sc := tel.Scope("tcp").WithFlow(3)
@@ -157,6 +159,7 @@ func TestTracerSeverityAndComponentMask(t *testing.T) {
 }
 
 func TestChromeTraceExport(t *testing.T) {
+	testutil.NoLeaks(t)
 	tel := New()
 	var now units.Time = 1500 * units.Time(units.Microsecond)
 	tel.SetClock(func() units.Time { return now })

@@ -1,0 +1,64 @@
+// Package testutil holds zero-dependency test helpers shared across the
+// repository's packages.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// NoLeaks snapshots the goroutine count and registers a cleanup that
+// fails the test if goroutines outlive it. The simulation engine promises
+// that Shutdown terminates every parked process; this is the check that
+// keeps that promise honest wherever tests spin up engines, telemetry
+// pipelines or fleets.
+//
+// Call it first thing in the test:
+//
+//	func TestX(t *testing.T) {
+//	    testutil.NoLeaks(t)
+//	    ...
+//	}
+//
+// The checker retries with backoff before failing so goroutines that are
+// already returning (runtime bookkeeping, closing channels) get a moment
+// to finish; on failure it dumps all stacks so the leaked goroutine is
+// identifiable.
+func NoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var after int
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, stacks())
+		}
+	})
+}
+
+// stacks returns all goroutine stacks, trimmed to a sane size for test
+// logs.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	const max = 16 << 10
+	if len(s) > max {
+		if i := strings.LastIndex(s[:max], "\n\ngoroutine "); i > 0 {
+			s = s[:i] + "\n\n... (truncated)"
+		} else {
+			s = s[:max] + "\n... (truncated)"
+		}
+	}
+	return s
+}

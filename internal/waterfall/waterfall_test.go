@@ -9,6 +9,7 @@ import (
 	"element/internal/aqm"
 	"element/internal/exp"
 	"element/internal/telemetry"
+	"element/internal/testutil"
 	"element/internal/units"
 	"element/internal/waterfall"
 )
@@ -36,6 +37,7 @@ func fig2Scenario(t *testing.T, wf *waterfall.Waterfall, telem *telemetry.Teleme
 // 1%, the sndbuf stage dominates, and the three-component grouping
 // reconciles against the ground-truth trace.
 func TestFig2Attribution(t *testing.T) {
+	testutil.NoLeaks(t)
 	wf := waterfall.New()
 	telem := telemetry.New()
 	s := fig2Scenario(t, wf, telem)
@@ -260,6 +262,7 @@ func TestDeterministicBreakdown(t *testing.T) {
 // TestZeroCostWhenDetached asserts a scenario without a waterfall attaches
 // no recorders (the zero-cost discipline shared with telemetry).
 func TestZeroCostWhenDetached(t *testing.T) {
+	testutil.NoLeaks(t)
 	s := exp.RunScenario(exp.ScenarioConfig{
 		Seed:     1,
 		Rate:     50 * units.Mbps,
