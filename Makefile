@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke soak soak-short
+.PHONY: check fmt vet build test bench bench-smoke bench-baseline bench-gate soak soak-short
 
 ## check: the full local gate — format, vet, build, race-enabled tests.
 check: fmt vet build test
@@ -26,13 +26,15 @@ test:
 ## soak: the fleet churn soak — ≥1000 supervised connections with
 ## open/close/crash/stall churn under the race detector, asserting zero
 ## goroutine leaks, zero bounded-or-flagged violations, and identical
-## restart/eviction counters across two same-seed runs (~2 min).
+## restart/eviction counters across two same-seed runs (~2 min). The
+## first run executes sharded (FLEET_SOAK_SHARDS workers), the second
+## single-shard, so the soak also proves shard-count invariance at scale.
 soak:
-	FLEET_SOAK_CONNS=1000 $(GO) test -race -timeout 30m -run TestFleetSoak -v ./internal/fleet/
+	FLEET_SOAK_CONNS=1000 FLEET_SOAK_SHARDS=4 $(GO) test -race -timeout 30m -run TestFleetSoak -v ./internal/fleet/
 
 ## soak-short: the CI-sized soak (~100 connections, ~20 s).
 soak-short:
-	FLEET_SOAK_CONNS=100 $(GO) test -race -timeout 10m -run TestFleetSoak -v ./internal/fleet/
+	FLEET_SOAK_CONNS=100 FLEET_SOAK_SHARDS=4 $(GO) test -race -timeout 10m -run TestFleetSoak -v ./internal/fleet/
 
 ## bench: every table/figure benchmark plus the overhead ablations.
 bench:
@@ -42,3 +44,16 @@ bench:
 ## machine-readable BENCH_<date>.json snapshot for before/after diffs.
 bench-smoke:
 	$(GO) run ./cmd/benchsmoke
+
+## bench-baseline: regenerate the committed benchmark baseline the gate
+## compares against. Run on the reference machine after intentional
+## performance changes, and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/benchsmoke -o BENCH_baseline.json
+
+## bench-gate: the benchmark-regression gate — rerun every benchmark and
+## fail on any regression against BENCH_baseline.json (allocs/op gated
+## tightly since it is machine-independent; ns/op only against
+## order-of-magnitude blowups — see internal/benchgate).
+bench-gate:
+	$(GO) run ./cmd/benchsmoke -gate BENCH_baseline.json

@@ -4,61 +4,50 @@
 // `make bench-smoke`: a full `make bench` takes minutes, this takes
 // seconds, and the JSON diffs cleanly across commits.
 //
+// With -gate, benchsmoke instead compares the fresh run against a
+// committed baseline snapshot (see internal/benchgate for the tolerance
+// contract: allocs/op is gated tightly because it is machine-independent,
+// ns/op only against order-of-magnitude blowups) and exits non-zero on
+// any regression. `make bench-gate` wires this against BENCH_baseline.json.
+//
 // Usage:
 //
-//	benchsmoke                 # writes BENCH_2006-01-02.json in the cwd
-//	benchsmoke -o smoke.json   # explicit output path
-//	benchsmoke -benchtime 5x   # more iterations, same format
+//	benchsmoke                         # writes BENCH_2006-01-02.json in the cwd
+//	benchsmoke -o smoke.json           # explicit output path
+//	benchsmoke -benchtime 5x           # more iterations, same format
+//	benchsmoke -gate BENCH_baseline.json   # regression gate, no snapshot written
 package main
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
+
+	"element/internal/benchgate"
 )
-
-// Result is one benchmark line from `go test -bench`.
-type Result struct {
-	Pkg        string  `json:"pkg"`
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	// BytesPerOp/AllocsPerOp are present only when the benchmark
-	// reports allocations (-benchmem is always passed).
-	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
-}
-
-// Snapshot is the whole BENCH_<date>.json document.
-type Snapshot struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	Benchtime  string   `json:"benchtime"`
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 func main() {
 	var (
-		out       = flag.String("o", "", "output path (default BENCH_<date>.json)")
+		out       = flag.String("o", "", "output path (default BENCH_<date>.json; ignored with -gate)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
 		pattern   = flag.String("bench", ".", "go test -bench pattern")
+		gate      = flag.String("gate", "", "baseline snapshot to gate against instead of writing a snapshot")
 	)
 	flag.Parse()
 
-	path := *out
-	if path == "" {
-		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	var baseline *benchgate.Snapshot
+	if *gate != "" {
+		// Load before the (slow) benchmark run so a bad path fails fast.
+		var err error
+		baseline, err = benchgate.Load(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsmoke: baseline: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	// -run '^$' skips the unit tests; benchmarks still run.
@@ -72,7 +61,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	benchmarks, err := parse(&buf)
+	benchmarks, err := benchgate.ParseGoBench(&buf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsmoke: parsing bench output: %v\n", err)
 		os.Exit(1)
@@ -85,7 +74,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	snap := Snapshot{
+	snap := &benchgate.Snapshot{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -94,14 +83,33 @@ func main() {
 		Benchmarks: benchmarks,
 	}
 
+	if baseline != nil {
+		if baseline.GOOS != snap.GOOS || baseline.GOARCH != snap.GOARCH {
+			fmt.Fprintf(os.Stderr, "benchsmoke: note: baseline is %s/%s, this host is %s/%s — ns/op limits are cross-machine\n",
+				baseline.GOOS, baseline.GOARCH, snap.GOOS, snap.GOARCH)
+		}
+		regs := benchgate.Compare(baseline, snap, benchgate.Tolerance{})
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchsmoke: %d benchmark regression(s) against %s:\n", len(regs), *gate)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchsmoke: %d benchmarks within tolerance of %s\n", len(snap.Benchmarks), *gate)
+		return
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err == nil {
+	if err := snap.Write(f); err == nil {
 		err = f.Close()
 	} else {
 		f.Close()
@@ -111,93 +119,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchsmoke: %d benchmarks written to %s\n", len(snap.Benchmarks), path)
-}
-
-// parse walks the `go test -bench` text output. Benchmark result lines
-// look like
-//
-//	BenchmarkFig2-8   1   123456789 ns/op   4096 B/op   12 allocs/op
-//
-// and each package's results are preceded by a "pkg: <import path>"
-// context line (or followed by an "ok <import path> ..." summary, which
-// is used as a fallback when no pkg line appeared).
-func parse(buf *bytes.Buffer) ([]Result, error) {
-	var (
-		results []Result
-		pkg     string
-		pending int // results[pending:] still need a package name
-	)
-	sc := bufio.NewScanner(buf)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
-			for i := pending; i < len(results); i++ {
-				results[i].Pkg = pkg
-			}
-		case strings.HasPrefix(line, "ok ") || strings.HasPrefix(line, "ok\t"):
-			// "ok  element/internal/exp  12.3s" closes the package:
-			// name any still-unlabelled results (covers GOFLAGS
-			// configurations that omit the pkg: header).
-			fields := strings.Fields(line)
-			if len(fields) >= 2 {
-				for i := pending; i < len(results); i++ {
-					if results[i].Pkg == "" {
-						results[i].Pkg = fields[1]
-					}
-				}
-			}
-			pending = len(results)
-			pkg = ""
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseLine(line); ok {
-				r.Pkg = pkg
-				results = append(results, r)
-			}
-		}
-	}
-	// A scanner error (e.g. a line beyond the 1 MiB buffer) silently
-	// truncates the walk; surface it instead of snapshotting a subset.
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
-}
-
-// parseLine decodes one benchmark result line: the name, the iteration
-// count, then (value, unit) pairs.
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Iterations: iters}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			r.NsPerOp = v
-		case "B/op":
-			val := v
-			r.BytesPerOp = &val
-		case "allocs/op":
-			val := v
-			r.AllocsPerOp = &val
-		default:
-			if r.Extra == nil {
-				r.Extra = make(map[string]float64)
-			}
-			r.Extra[unit] = v
-		}
-	}
-	return r, true
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -99,16 +100,25 @@ func main() {
 		if *waterfal {
 			exp.DefaultWaterfall = waterfall.New()
 		}
+		var memBefore runtime.MemStats
+		if *metrics {
+			runtime.ReadMemStats(&memBefore)
+		}
 		start := time.Now()
 		res := e.Run(*seed, duration)
+		elapsed := time.Since(start)
 		if *markdown {
 			fmt.Print(res.Markdown())
 		} else {
 			fmt.Print(res.Render())
-			fmt.Printf("(%s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s wall-clock)\n\n", elapsed.Round(time.Millisecond))
 		}
 		if *metrics {
+			var memAfter runtime.MemStats
+			runtime.ReadMemStats(&memAfter)
 			fmt.Printf("--- metrics (%s) ---\n", e.ID)
+			printCost(elapsed, memAfter.Mallocs-memBefore.Mallocs,
+				memAfter.TotalAlloc-memBefore.TotalAlloc, pollCount(exp.DefaultTelemetry))
 			if err := exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText); err != nil {
 				failed++
 				fmt.Fprintf(os.Stderr, "elembench: metrics export (%s): %v\n", e.ID, err)
@@ -149,6 +159,38 @@ func main() {
 		run(e)
 	}
 	exitIfFailed(failed)
+}
+
+// pollCount sums the tracker poll counters out of a run's telemetry, the
+// natural "op" to normalize the run's cost by: one poll is one iteration
+// of the Algorithm 1/2 tracking thread, the hot path the paper's
+// overhead argument is about.
+func pollCount(telem *telemetry.Telemetry) uint64 {
+	if telem == nil {
+		return 0
+	}
+	var polls float64
+	for _, c := range telem.Registry().Counters() {
+		if c.Name == "snd_polls" || c.Name == "rcv_polls" {
+			polls += c.Value()
+		}
+	}
+	return uint64(polls)
+}
+
+// printCost reports the run's measured cost as ns/op and allocs/op —
+// benchmark-style, normalized per tracker poll — so a metrics summary
+// doubles as an overhead check without rerunning `make bench`.
+func printCost(elapsed time.Duration, mallocs, bytes, polls uint64) {
+	if polls == 0 {
+		fmt.Printf("cost: %d allocs, %d B total (%s wall-clock, no tracker polls to normalize by)\n",
+			mallocs, bytes, elapsed.Round(time.Millisecond))
+		return
+	}
+	fmt.Printf("cost: %.0f ns/op, %.1f allocs/op, %.0f B/op over %d tracker polls\n",
+		float64(elapsed.Nanoseconds())/float64(polls),
+		float64(mallocs)/float64(polls),
+		float64(bytes)/float64(polls), polls)
 }
 
 // exitIfFailed turns mid-sweep failures into a non-zero exit so CI and

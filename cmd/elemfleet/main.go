@@ -9,6 +9,7 @@
 //
 //	elemfleet                          # 8 connections, default churn
 //	elemfleet -conns 100 -dur 10       # a bigger fleet
+//	elemfleet -conns 1000 -shards 4    # sharded across 4 workers, same results
 //	elemfleet -crash-frac 1            # crash every monitor once
 //	elemfleet -faults stale-info       # degrade TCP_INFO fleet-wide
 //	elemfleet -metrics -waterfall      # export telemetry and attribution
@@ -46,6 +47,7 @@ func main() {
 		recordCap = flag.Int("record-cap", 0, "tracker record FIFO cap (0 = default, negative = unlimited)")
 		minimize  = flag.Bool("minimize", false, "run the Algorithm 3 minimizer on every monitor")
 		cpEvery   = flag.Float64("checkpoint-every", 500, "checkpoint cadence in ms (negative disables)")
+		shards    = flag.Int("shards", 0, "parallel shard count (0 = one per core, 1 = single-threaded); results are identical for any value")
 
 		openWindow = flag.Float64("open-window", 1, "stagger connection opens over this many seconds")
 		closeFrac  = flag.Float64("close-frac", 0.25, "fraction of connections closing early")
@@ -68,6 +70,7 @@ func main() {
 		Interval:        units.DurationFromSeconds(*interval / 1e3),
 		RecordCap:       *recordCap,
 		Minimize:        *minimize,
+		Shards:          *shards,
 		CheckpointEvery: units.DurationFromSeconds(*cpEvery / 1e3),
 		Churn: fleet.ChurnConfig{
 			OpenWindow: units.DurationFromSeconds(*openWindow),

@@ -1,0 +1,102 @@
+package benchgate
+
+import "fmt"
+
+// Tolerance is the gate's noise budget per metric.
+type Tolerance struct {
+	// NsFactor is the multiplicative slack on ns/op: the current run may
+	// be up to NsFactor times the baseline before it counts as a
+	// regression (0 = DefaultNsFactor). Wall time is machine- and
+	// load-dependent, so the default only catches blowups no plausible
+	// host difference explains.
+	NsFactor float64
+	// AllocFrac is the fractional slack on allocs/op (0 = DefaultAllocFrac).
+	// Allocation counts are machine-independent, so the budget is small —
+	// and a baseline of zero allocs/op admits zero, exactly: the
+	// allocation-free hot paths are the regression this gate exists to
+	// protect.
+	AllocFrac float64
+	// AllocSlack is an additional absolute allocs/op allowance on top of
+	// AllocFrac (default 0; it is never applied to zero-alloc baselines).
+	AllocSlack float64
+}
+
+// Default tolerances.
+const (
+	DefaultNsFactor  = 4.0
+	DefaultAllocFrac = 0.25
+)
+
+func (t Tolerance) normalize() Tolerance {
+	if t.NsFactor <= 0 {
+		t.NsFactor = DefaultNsFactor
+	}
+	if t.AllocFrac <= 0 {
+		t.AllocFrac = DefaultAllocFrac
+	}
+	return t
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Pkg    string
+	Name   string
+	Metric string // "ns/op", "allocs/op", or "missing"
+	// Baseline/Current/Limit are the committed value, the fresh value,
+	// and the largest fresh value the tolerance would have admitted.
+	Baseline float64
+	Current  float64
+	Limit    float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s %s: in baseline but not in this run", r.Pkg, r.Name)
+	}
+	return fmt.Sprintf("%s %s: %s %.6g exceeds limit %.6g (baseline %.6g)",
+		r.Pkg, r.Name, r.Metric, r.Current, r.Limit, r.Baseline)
+}
+
+// Compare gates current against baseline and returns every violation,
+// sorted baseline-order. Benchmarks are matched by (pkg, name); a
+// benchmark the baseline records but the current run lacks is itself a
+// regression (a silently deleted benchmark would otherwise retire its
+// own gate), while benchmarks new in the current run pass freely — they
+// enter the gate when the baseline is next regenerated.
+func Compare(baseline, current *Snapshot, tol Tolerance) []Regression {
+	tol = tol.normalize()
+	cur := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.Pkg+" "+r.Name] = r
+	}
+	var regs []Regression
+	for _, base := range baseline.Benchmarks {
+		now, ok := cur[base.Pkg+" "+base.Name]
+		if !ok {
+			regs = append(regs, Regression{Pkg: base.Pkg, Name: base.Name, Metric: "missing"})
+			continue
+		}
+		if base.NsPerOp > 0 {
+			limit := base.NsPerOp * tol.NsFactor
+			if now.NsPerOp > limit {
+				regs = append(regs, Regression{
+					Pkg: base.Pkg, Name: base.Name, Metric: "ns/op",
+					Baseline: base.NsPerOp, Current: now.NsPerOp, Limit: limit,
+				})
+			}
+		}
+		if base.AllocsPerOp != nil && now.AllocsPerOp != nil {
+			limit := *base.AllocsPerOp * (1 + tol.AllocFrac)
+			if *base.AllocsPerOp > 0 {
+				limit += tol.AllocSlack
+			}
+			if *now.AllocsPerOp > limit {
+				regs = append(regs, Regression{
+					Pkg: base.Pkg, Name: base.Name, Metric: "allocs/op",
+					Baseline: *base.AllocsPerOp, Current: *now.AllocsPerOp, Limit: limit,
+				})
+			}
+		}
+	}
+	return regs
+}

@@ -147,7 +147,10 @@ func RestoreSenderTracker(eng *sim.Engine, src InfoSource, cp SenderCheckpoint, 
 	}
 	t := NewSenderTrackerOpts(eng, src, opts)
 	t.san.restore(cp.Sanitizer)
-	restoreRecords(&t.list, cp.Records)
+	if cp.StallCum < 0 {
+		cp.StallCum = 0
+	}
+	restoreRecords(&t.list, cp.Records, eng.Now(), cp.StallCum)
 	t.cumWritten = cp.CumWritten
 	t.bestCache = cp.BestCache
 	t.lastBest = cp.LastBest
@@ -263,7 +266,10 @@ func RestoreReceiverTracker(eng *sim.Engine, src InfoSource, cp ReceiverCheckpoi
 	}
 	t := NewReceiverTrackerOpts(eng, src, opts)
 	t.san.restore(cp.Sanitizer)
-	restoreRecords(&t.list, cp.Records)
+	if cp.StallCum < 0 {
+		cp.StallCum = 0
+	}
+	restoreRecords(&t.list, cp.Records, eng.Now(), cp.StallCum)
 	t.prev = cp.Prev
 	t.polls = cp.Polls
 	t.lastGrowth = cp.LastGrowth
@@ -353,8 +359,18 @@ func RestoreMinimizer(eng *sim.Engine, tracker *SenderTracker, cp MinimizerCheck
 	m.davg = cp.Davg
 	m.starget = cp.Starget
 	m.confWin = cp.ConfWin
+	// A corrupted checkpoint must not index outside the confidence window:
+	// the cursor and fill count are clamped into the window's range.
 	m.confN = cp.ConfN
+	if m.confN < 0 {
+		m.confN = 0
+	} else if m.confN > safeWindow {
+		m.confN = safeWindow
+	}
 	m.confIdx = cp.ConfIdx
+	if m.confIdx < 0 || m.confIdx >= safeWindow {
+		m.confIdx = 0
+	}
 	m.safe = cp.Safe
 	m.safeEntries = cp.SafeEntries
 	m.sleeps = cp.Sleeps
@@ -369,11 +385,13 @@ func RestoreMinimizer(eng *sim.Engine, tracker *SenderTracker, cp MinimizerCheck
 
 // checkpointRecords snapshots a fifo's live records oldest-first.
 func checkpointRecords(f *fifo) []RecordCheckpoint {
-	if f.len() == 0 {
+	n := f.len()
+	if n == 0 {
 		return nil
 	}
-	out := make([]RecordCheckpoint, 0, f.len())
-	for _, r := range f.items[f.head:] {
+	out := make([]RecordCheckpoint, 0, n)
+	for i := 0; i < n; i++ {
+		r := f.at(i)
 		out = append(out, RecordCheckpoint{Bytes: r.bytes, At: r.at, Slack: r.slack, Stall: r.stall})
 	}
 	return out
@@ -382,9 +400,34 @@ func checkpointRecords(f *fifo) []RecordCheckpoint {
 // restoreRecords refills a fresh fifo from checkpointed records,
 // re-applying the cap (a restore with a tighter cap evicts the oldest
 // records immediately; the counts stay in the restored sanitizer, so the
-// evictions are deliberately not re-counted here).
-func restoreRecords(f *fifo, recs []RecordCheckpoint) {
+// evictions are deliberately not re-counted here). Records are by
+// contract cumulative byte counts; a hand-edited or corrupted checkpoint
+// with decreasing counts is clamped monotone here so the ring's sorted
+// invariant — which the binary-search matcher relies on — survives
+// arbitrary input. The remaining fields are clamped into the ranges the
+// matcher's arithmetic assumes: a push timestamp after the restore
+// instant would produce a negative delay at match time, and a negative
+// slack — or a stall debt above the tracker's restored total — would
+// subtract from the error bound instead of widening it, quietly breaking
+// the bounded-or-flagged contract on corrupted input.
+func restoreRecords(f *fifo, recs []RecordCheckpoint, now units.Time, maxStall units.Duration) {
+	var floor uint64
 	for _, r := range recs {
+		if r.Bytes < floor {
+			r.Bytes = floor
+		}
+		floor = r.Bytes
+		if r.At > now {
+			r.At = now
+		}
+		if r.Slack < 0 {
+			r.Slack = 0
+		}
+		if r.Stall < 0 {
+			r.Stall = 0
+		} else if r.Stall > maxStall {
+			r.Stall = maxStall
+		}
 		f.push(record{bytes: r.Bytes, at: r.At, slack: r.Slack, stall: r.Stall})
 	}
 }

@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"slices"
 
 	"element/internal/stats"
 	"element/internal/tcpinfo"
@@ -69,46 +70,6 @@ type record struct {
 // above anything a healthy connection accumulates at a 10 ms poll.
 const DefaultRecordCap = 1 << 16
 
-// fifo is the paper's singly-linked list, backed by a slice. cap, when
-// positive, bounds the number of live records: pushing onto a full fifo
-// evicts the oldest record first.
-type fifo struct {
-	items []record
-	head  int
-	cap   int
-}
-
-// push appends r, evicting the oldest record when the fifo is at its cap.
-// It returns the evicted record and whether an eviction happened.
-func (f *fifo) push(r record) (record, bool) {
-	var ev record
-	evicted := false
-	if f.cap > 0 && f.len() >= f.cap {
-		ev = f.pop()
-		evicted = true
-	}
-	f.items = append(f.items, r)
-	return ev, evicted
-}
-
-func (f *fifo) empty() bool { return f.head >= len(f.items) }
-
-func (f *fifo) front() record { return f.items[f.head] }
-
-func (f *fifo) pop() record {
-	r := f.items[f.head]
-	f.items[f.head] = record{}
-	f.head++
-	if f.head > 128 && f.head*2 >= len(f.items) {
-		n := copy(f.items, f.items[f.head:])
-		f.items = f.items[:n]
-		f.head = 0
-	}
-	return r
-}
-
-func (f *fifo) len() int { return len(f.items) - f.head }
-
 // Measurement is what ELEMENT reports alongside each delay sample — the
 // columns the paper's trackers print (elapsed time, delay, cwnd, ssthresh,
 // rtt).
@@ -136,6 +97,22 @@ type Estimates struct {
 func (e *Estimates) add(m Measurement, bytes int) {
 	e.samples = append(e.samples, stats.Sample{At: m.At, Delay: m.Delay, Bytes: bytes})
 	e.log = append(e.log, m)
+}
+
+// Grow pre-reserves capacity for n further samples, so a caller that
+// knows its horizon (a benchmark, a fixed-duration monitor) can take the
+// append amortization off the poll hot path and run allocation-free.
+func (e *Estimates) Grow(n int) {
+	e.samples = slices.Grow(e.samples, n)
+	e.log = slices.Grow(e.log, n)
+}
+
+// Reset drops every sample while keeping the backing capacity. For
+// callers that have fully consumed the series (benchmark harnesses
+// recycling one tracker); the series restarts empty, not a window.
+func (e *Estimates) Reset() {
+	e.samples = e.samples[:0]
+	e.log = e.log[:0]
 }
 
 // Series returns the delay estimates as a stats series.

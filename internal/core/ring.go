@@ -1,0 +1,112 @@
+package core
+
+// The paper's "linked list" of records, rebuilt as a power-of-two ring
+// buffer so the always-on hot path (one push per write, one match sweep
+// per poll) allocates nothing in steady state:
+//
+//   - head and tail are absolute 64-bit positions; the live records are
+//     [head, tail) taken modulo len(buf), so push, pop and len are plain
+//     index arithmetic with a mask — no compaction copies, ever.
+//   - the backing array doubles lazily up to pow2ceil(cap) and then stays
+//     put: a capped fifo reaches its steady-state footprint once and the
+//     eviction path (push onto a full ring) is a head increment, O(1).
+//   - records hold no pointers (a compile-time assertion in ring_test.go
+//     keeps it that way), so vacated slots are not zeroed — stale values
+//     keep nothing alive and the pop path stays store-free.
+//
+// Both trackers push cumulative byte counts, so the ring is sorted
+// (non-decreasing) in record.bytes and the match sweep binary-searches
+// for its boundary instead of comparing record-by-record; the discard
+// half of a sweep (receiver reads skipping already-read records) is then
+// a single head advance rather than n pops.
+
+// ringMinAlloc is the initial backing-array size of a non-empty ring:
+// small enough that idle monitors stay cheap, large enough that a healthy
+// tracker (a handful of in-flight records) never grows twice.
+const ringMinAlloc = 16
+
+// fifo is the record ring. cap, when positive, bounds the number of live
+// records: pushing onto a full fifo evicts the oldest record first.
+type fifo struct {
+	buf  []record // power-of-two length, lazily allocated
+	head uint64   // absolute position of the oldest live record
+	tail uint64   // absolute position one past the newest
+	cap  int
+}
+
+func (f *fifo) len() int { return int(f.tail - f.head) }
+
+func (f *fifo) empty() bool { return f.head == f.tail }
+
+func (f *fifo) mask() uint64 { return uint64(len(f.buf) - 1) }
+
+// at returns the i-th live record, oldest-first. i must be < len().
+func (f *fifo) at(i int) record { return f.buf[(f.head+uint64(i))&f.mask()] }
+
+func (f *fifo) front() record { return f.buf[f.head&f.mask()] }
+
+// push appends r, evicting the oldest record when the fifo is at its cap.
+// It returns the evicted record and whether an eviction happened. Callers
+// push non-decreasing cumulative byte counts; searchAbove relies on that
+// ordering.
+func (f *fifo) push(r record) (record, bool) {
+	var ev record
+	evicted := false
+	if f.cap > 0 && f.len() >= f.cap {
+		ev = f.pop()
+		evicted = true
+	}
+	if f.len() == len(f.buf) {
+		f.grow()
+	}
+	f.buf[f.tail&f.mask()] = r
+	f.tail++
+	return ev, evicted
+}
+
+// pop removes and returns the oldest record. The vacated slot is not
+// zeroed: records are pointer-free, so the stale value pins no memory.
+func (f *fifo) pop() record {
+	r := f.buf[f.head&f.mask()]
+	f.head++
+	return r
+}
+
+// discard drops the n oldest records in O(1) — the bulk half of a match
+// sweep needs no per-record work.
+func (f *fifo) discard(n int) { f.head += uint64(n) }
+
+// searchAbove returns the number of leading records with bytes <= limit,
+// i.e. the offset of the first record strictly above it. Binary search
+// over the (sorted, cumulative) ring; written as a plain loop so the hot
+// path stays closure- and allocation-free.
+func (f *fifo) searchAbove(limit uint64) int {
+	lo, hi := 0, f.len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.at(mid).bytes <= limit {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// grow doubles the backing array (allocating ringMinAlloc the first
+// time) and relocates the live records to their positions under the new
+// mask. With a positive cap the array doubles at most up to pow2ceil(cap)
+// and never again — steady state is allocation-free.
+func (f *fifo) grow() {
+	n := 2 * len(f.buf)
+	if n == 0 {
+		n = ringMinAlloc
+	}
+	nb := make([]record, n)
+	nmask := uint64(n - 1)
+	for i, cnt := 0, f.len(); i < cnt; i++ {
+		p := f.head + uint64(i)
+		nb[p&nmask] = f.buf[p&f.mask()]
+	}
+	f.buf = nb
+}

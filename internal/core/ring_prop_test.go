@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"element/internal/units"
+)
+
+// sliceFifo is the pre-ring record FIFO — the slice-backed, compacting
+// implementation the trackers shipped with — kept verbatim as the oracle
+// for the ring: under any operation sequence the ring must report the
+// same matches, the same evictions and the same survivors.
+type sliceFifo struct {
+	items []record
+	head  int
+	cap   int
+}
+
+func (f *sliceFifo) push(r record) (record, bool) {
+	var ev record
+	evicted := false
+	if f.cap > 0 && f.len() >= f.cap {
+		ev = f.pop()
+		evicted = true
+	}
+	f.items = append(f.items, r)
+	return ev, evicted
+}
+
+func (f *sliceFifo) empty() bool { return f.head >= len(f.items) }
+
+func (f *sliceFifo) front() record { return f.items[f.head] }
+
+func (f *sliceFifo) pop() record {
+	r := f.items[f.head]
+	f.items[f.head] = record{}
+	f.head++
+	if f.head > 128 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return r
+}
+
+func (f *sliceFifo) len() int { return len(f.items) - f.head }
+
+// matchSweep is the old trackers' linear match loop: pop records while
+// the front is at or below the limit, returning them oldest-first.
+func (f *sliceFifo) matchSweep(limit uint64) []record {
+	var out []record
+	for !f.empty() && f.front().bytes <= limit {
+		out = append(out, f.pop())
+	}
+	return out
+}
+
+// TestRingMatchesSliceOracle drives the ring and the old slice FIFO
+// through identical randomized poll/evict sequences — pushes of
+// cumulative byte counts, binary-search match sweeps, bulk discards,
+// single pops — across a spread of caps, and requires identical match
+// results, eviction records and eviction counts at every step.
+func TestRingMatchesSliceOracle(t *testing.T) {
+	for _, cap := range []int{0, 1, 7, 64, 1000} {
+		rng := rand.New(rand.NewSource(int64(0xe1e + cap)))
+		ring := fifo{cap: cap}
+		oracle := sliceFifo{cap: cap}
+		evictions := 0
+		oracleEvictions := 0
+
+		cum := uint64(0)
+		maxSeen := uint64(0) // highest cumulative count ever pushed
+		for step := 0; step < 20_000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // push a (possibly repeated) cumulative count
+				if rng.Intn(4) > 0 {
+					cum += uint64(rng.Intn(3000))
+				}
+				r := record{bytes: cum, at: units.Time(step), stall: units.Duration(step)}
+				gotEv, gotOK := ring.push(r)
+				wantEv, wantOK := oracle.push(r)
+				if gotOK != wantOK || gotEv != wantEv {
+					t.Fatalf("cap %d step %d: push eviction = (%+v, %v), oracle (%+v, %v)",
+						cap, step, gotEv, gotOK, wantEv, wantOK)
+				}
+				if gotOK {
+					evictions++
+				}
+				if wantOK {
+					oracleEvictions++
+				}
+				maxSeen = cum
+			case op < 8: // match sweep: sample every record up to a limit
+				limit := uint64(0)
+				if maxSeen > 0 {
+					limit = uint64(rng.Int63n(int64(maxSeen) + 1))
+				}
+				want := oracle.matchSweep(limit)
+				n := ring.searchAbove(limit)
+				if n != len(want) {
+					t.Fatalf("cap %d step %d: searchAbove(%d) = %d, oracle matched %d",
+						cap, step, limit, n, len(want))
+				}
+				for i := 0; i < n; i++ {
+					if got := ring.pop(); got != want[i] {
+						t.Fatalf("cap %d step %d: match %d = %+v, oracle %+v",
+							cap, step, i, got, want[i])
+					}
+				}
+			case op < 9: // bulk discard: the receiver's skip-read path
+				limit := uint64(0)
+				if maxSeen > 0 {
+					limit = uint64(rng.Int63n(int64(maxSeen) + 1))
+				}
+				want := oracle.matchSweep(limit)
+				n := ring.searchAbove(limit)
+				if n != len(want) {
+					t.Fatalf("cap %d step %d: discard count %d, oracle %d", cap, step, n, len(want))
+				}
+				ring.discard(n)
+			default: // single pop
+				if ring.empty() != oracle.empty() {
+					t.Fatalf("cap %d step %d: empty = %v, oracle %v", cap, step, ring.empty(), oracle.empty())
+				}
+				if !ring.empty() {
+					if got, want := ring.pop(), oracle.pop(); got != want {
+						t.Fatalf("cap %d step %d: pop = %+v, oracle %+v", cap, step, got, want)
+					}
+				}
+			}
+			if ring.len() != oracle.len() {
+				t.Fatalf("cap %d step %d: len = %d, oracle %d", cap, step, ring.len(), oracle.len())
+			}
+		}
+		if evictions != oracleEvictions {
+			t.Fatalf("cap %d: %d evictions, oracle %d", cap, evictions, oracleEvictions)
+		}
+		// Drain both: the survivors must agree record-for-record.
+		for !oracle.empty() {
+			if got, want := ring.pop(), oracle.pop(); got != want {
+				t.Fatalf("cap %d drain: pop = %+v, oracle %+v", cap, got, want)
+			}
+		}
+		if !ring.empty() {
+			t.Fatalf("cap %d: ring has %d leftover records after oracle drained", cap, ring.len())
+		}
+	}
+}

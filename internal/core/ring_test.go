@@ -1,0 +1,167 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"element/internal/units"
+)
+
+// TestRingOrderAndGrowth drives push/pop interleavings across several
+// doublings and checks that no record is lost or reordered and that the
+// backing array stays at the steady-state power of two rather than
+// tracking the total number of records ever seen.
+func TestRingOrderAndGrowth(t *testing.T) {
+	var f fifo
+	next := uint64(1) // next value to push
+	want := uint64(1) // next value expected from pop
+
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			f.push(record{bytes: next, at: units.Time(next)})
+			next++
+		}
+	}
+	pop := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if f.empty() {
+				t.Fatalf("ring empty, want record %d", want)
+			}
+			if got := f.front(); got.bytes != want {
+				t.Fatalf("front = %d, want %d", got.bytes, want)
+			}
+			r := f.pop()
+			if r.bytes != want || r.at != units.Time(want) {
+				t.Fatalf("pop = {%d %d}, want {%d %d}", r.bytes, r.at, want, want)
+			}
+			want++
+		}
+	}
+
+	// Wrap the head/tail positions around the array many times.
+	push(200)
+	pop(128)
+	for round := 0; round < 50; round++ {
+		push(37)
+		pop(29)
+	}
+	pop(f.len())
+	if !f.empty() {
+		t.Fatalf("ring not empty after full drain, len = %d", f.len())
+	}
+	if want != next {
+		t.Fatalf("popped through %d, pushed through %d", want-1, next-1)
+	}
+	if len(f.buf)&(len(f.buf)-1) != 0 {
+		t.Fatalf("backing array length %d is not a power of two", len(f.buf))
+	}
+
+	// Memory stays bounded: a steady-state workload that pops as much as
+	// it pushes must never grow the backing array past the high-water
+	// power of two (100 live records → 128 slots, forever).
+	f = fifo{}
+	next, want = 1, 1
+	push(100)
+	for i := 0; i < 100_000; i++ {
+		push(1)
+		pop(1)
+	}
+	if c := len(f.buf); c != 128 {
+		t.Fatalf("backing array is %d slots under a 100-record steady state, want 128", c)
+	}
+	pop(f.len())
+	if !f.empty() {
+		t.Fatal("ring not empty after final drain")
+	}
+}
+
+// TestRingEviction checks the capped ring: pushing onto a full ring
+// evicts exactly the oldest record, keeps FIFO order, and never grows
+// the backing array past pow2ceil(cap).
+func TestRingEviction(t *testing.T) {
+	f := fifo{cap: 5}
+	for i := 1; i <= 5; i++ {
+		if _, ev := f.push(record{bytes: uint64(i)}); ev {
+			t.Fatalf("push %d evicted below cap", i)
+		}
+	}
+	for i := 6; i <= 100; i++ {
+		ev, evicted := f.push(record{bytes: uint64(i)})
+		if !evicted {
+			t.Fatalf("push %d onto full ring did not evict", i)
+		}
+		if wantEv := uint64(i - 5); ev.bytes != wantEv {
+			t.Fatalf("push %d evicted %d, want oldest %d", i, ev.bytes, wantEv)
+		}
+		if f.len() != 5 {
+			t.Fatalf("len = %d after capped push, want 5", f.len())
+		}
+	}
+	if len(f.buf) != ringMinAlloc {
+		t.Fatalf("backing array is %d slots for cap 5, want the %d-slot floor", len(f.buf), ringMinAlloc)
+	}
+	for i := 96; i <= 100; i++ {
+		if r := f.pop(); r.bytes != uint64(i) {
+			t.Fatalf("pop = %d, want %d", r.bytes, i)
+		}
+	}
+}
+
+// TestRingSearchAbove exercises the binary-search boundary against a
+// linear scan, including duplicates, wrap-around and the empty ring.
+func TestRingSearchAbove(t *testing.T) {
+	var f fifo
+	if got := f.searchAbove(0); got != 0 {
+		t.Fatalf("searchAbove on empty ring = %d, want 0", got)
+	}
+	// Wrap the ring: advance head by 11 first so the live window straddles
+	// the array boundary once grown.
+	for i := 0; i < 11; i++ {
+		f.push(record{bytes: 0})
+		f.pop()
+	}
+	vals := []uint64{2, 2, 4, 4, 4, 7, 9, 9, 12, 15, 15, 15, 20}
+	for _, v := range vals {
+		f.push(record{bytes: v})
+	}
+	for limit := uint64(0); limit <= 22; limit++ {
+		want := 0
+		for _, v := range vals {
+			if v <= limit {
+				want++
+			} else {
+				break
+			}
+		}
+		if got := f.searchAbove(limit); got != want {
+			t.Fatalf("searchAbove(%d) = %d, want %d", limit, got, want)
+		}
+	}
+	// discard is the bulk half of the sweep: dropping the matched prefix
+	// leaves the first record above the limit at the front.
+	n := f.searchAbove(9)
+	f.discard(n)
+	if got := f.front().bytes; got != 12 {
+		t.Fatalf("front after discard(searchAbove(9)) = %d, want 12", got)
+	}
+}
+
+// TestRecordIsPointerFree pins the property the ring's no-zeroing pop
+// relies on: a record must not contain pointers (or slices, maps,
+// strings, channels...), otherwise stale values in vacated slots would
+// keep heap objects alive indefinitely.
+func TestRecordIsPointerFree(t *testing.T) {
+	var r record
+	rt := reflect.TypeOf(r)
+	for i := 0; i < rt.NumField(); i++ {
+		switch k := rt.Field(i).Type.Kind(); k {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64, reflect.Bool:
+		default:
+			t.Fatalf("record field %s has kind %v; pop does not zero slots, so records must stay pointer-free",
+				rt.Field(i).Name, k)
+		}
+	}
+}

@@ -169,6 +169,11 @@ func (s *sanitizer) instrument(sc *telemetry.Scope) {
 // counted, never fatal.
 func (s *sanitizer) GetsockoptTCPInfo() tcpinfo.TCPInfo {
 	ti := s.src.GetsockoptTCPInfo()
+	// Clamp before the first-snapshot shortcut: a negative packets_out is
+	// nonsense on any poll, including the very first.
+	if ti.Unacked < 0 {
+		ti.Unacked = 0
+	}
 	if !s.seen {
 		s.seen = true
 		s.trackMSS(ti)
@@ -211,9 +216,6 @@ func (s *sanitizer) GetsockoptTCPInfo() tcpinfo.TCPInfo {
 	if back {
 		s.counts.Backwards++
 		s.backwardsC.Inc()
-	}
-	if ti.Unacked < 0 {
-		ti.Unacked = 0
 	}
 	s.trackMSS(ti)
 	s.probeCap(ti)

@@ -238,7 +238,10 @@ func (t *SenderTracker) poll() {
 	}
 
 	now := t.eng.Now()
-	for !t.list.empty() && t.list.front().bytes <= best {
+	// One binary search finds the whole matched prefix (records carry
+	// cumulative counts, so the ring is sorted); the loop then pops exactly
+	// those records without re-comparing each one.
+	for n := t.list.searchAbove(best); n > 0; n-- {
 		r := t.list.pop()
 		d := now.Sub(r.at)
 		rstall := t.stallCum - r.stall
@@ -382,6 +385,7 @@ type ReceiverTracker struct {
 	// Telemetry handles (nil when uninstrumented).
 	telem    *telemetry.Scope
 	matchH   *telemetry.Histogram
+	pollsC   *telemetry.Counter
 	matchesC *telemetry.Counter
 	lowC     *telemetry.Counter
 	delayS   *telemetry.Sampler
@@ -391,6 +395,7 @@ type ReceiverTracker struct {
 func (t *ReceiverTracker) Instrument(sc *telemetry.Scope) {
 	t.telem = sc
 	t.matchH = sc.Histogram("rcv_match_delay_seconds")
+	t.pollsC = sc.Counter("rcv_polls")
 	t.matchesC = sc.Counter("rcv_matches")
 	t.lowC = sc.Counter("rcv_low_confidence_samples")
 	t.delayS = sc.Sampler("rcv_buffer_delay", telemetry.DefaultSampleGap, "seconds")
@@ -444,6 +449,7 @@ func (t *ReceiverTracker) schedule() {
 // samples it produces say so.
 func (t *ReceiverTracker) poll() {
 	t.polls++
+	t.pollsC.Inc()
 	if t.polls-t.offWinStart >= offsetWindowPolls {
 		t.offWinMin[1] = t.offWinMin[0]
 		t.offWinMin[0] = offUnset
@@ -570,11 +576,14 @@ func (t *ReceiverTracker) OnRead(cumBytes uint64, readBytes int, drained bool) {
 			}
 		}
 	}
-	for !t.list.empty() {
-		if t.list.front().bytes <= cumBytes {
-			t.list.pop()
-			continue
-		}
+	// Records at or below seq were read before this call reached us: one
+	// binary search locates the boundary and the whole prefix is discarded
+	// with a single head advance — the common case for a reader that fell
+	// behind is thousands of records dropped in O(log n).
+	if n := t.list.searchAbove(cumBytes); n > 0 {
+		t.list.discard(n)
+	}
+	if !t.list.empty() {
 		r := t.list.front()
 		ti := t.san.GetsockoptTCPInfo()
 		d := now.Sub(r.at)
@@ -600,7 +609,6 @@ func (t *ReceiverTracker) OnRead(cumBytes uint64, readBytes int, drained bool) {
 				t.lowC.Inc()
 			}
 		}
-		break
 	}
 }
 

@@ -22,8 +22,12 @@ type InfoTap struct {
 	inj *Injector
 	src Source
 
-	frozen     tcpinfo.TCPInfo // snapshot served during a stale window
-	freezeLeft int             // polls left in the current stale window
+	// frozen is the snapshot served during a stale window, leased from
+	// the tcpinfo pool only while a window is open (taps are per-tracker
+	// and long-lived; the pool keeps idle taps from each pinning a
+	// snapshot-sized allocation per window).
+	frozen     *tcpinfo.TCPInfo
+	freezeLeft int // polls left in the current stale window
 
 	shownSegsIn int // SegsIn as reported after coalescing holdback
 	mssOffset   int // accumulated MSS drift
@@ -46,11 +50,17 @@ func (t *InfoTap) SetSndBuf(bytes int) { t.src.SetSndBuf(bytes) }
 func (t *InfoTap) GetsockoptTCPInfo() tcpinfo.TCPInfo {
 	inj, f := t.inj, t.inj.prof.Info
 
-	// Stale windows: serve the frozen snapshot for the rest of the window.
+	// Stale windows: serve the frozen snapshot for the rest of the window,
+	// returning it to the pool when the window closes.
 	if t.freezeLeft > 0 {
 		t.freezeLeft--
 		inj.counts.StaleServed++
-		return t.frozen
+		served := *t.frozen
+		if t.freezeLeft == 0 {
+			tcpinfo.Put(t.frozen)
+			t.frozen = nil
+		}
+		return served
 	}
 	ti := t.src.GetsockoptTCPInfo()
 
@@ -111,6 +121,11 @@ func (t *InfoTap) GetsockoptTCPInfo() tcpinfo.TCPInfo {
 		inj.emit("backwards_jump", fmt.Sprintf("bytes_acked -%d", jump))
 	}
 
-	t.frozen = ti
+	if t.freezeLeft > 0 {
+		// A stale window opened on this poll: retain the snapshot just
+		// served so the whole window replays it verbatim.
+		t.frozen = tcpinfo.Get()
+		*t.frozen = ti
+	}
 	return ti
 }

@@ -1,25 +1,34 @@
 // Package fleet is the supervision layer that runs ELEMENT monitors over
-// many concurrent connections on one deterministic engine. Each
-// connection gets a monitor — the Algorithm 1 sender tracker, the
-// Algorithm 2 receiver tracker and optionally the Algorithm 3 minimizer —
-// driven poll-by-poll by the supervisor so every poll runs under a
-// panic-recovery wrapper. A crashed monitor is restarted with capped
-// exponential backoff plus jitter; a wedged monitor (no poll progress
-// within the watchdog deadline) is recycled. Restarts resume from the
-// last persisted JSON checkpoint, so the estimate series continues with
-// bounds widened over the outage window instead of starting over — the
-// connection itself keeps carrying traffic throughout; a monitor failure
-// never kills the flow it watches.
+// many concurrent connections. Each connection gets a monitor — the
+// Algorithm 1 sender tracker, the Algorithm 2 receiver tracker and
+// optionally the Algorithm 3 minimizer — driven poll-by-poll by the
+// supervisor so every poll runs under a panic-recovery wrapper. A crashed
+// monitor is restarted with capped exponential backoff plus jitter; a
+// wedged monitor (no poll progress within the watchdog deadline) is
+// recycled. Restarts resume from the last persisted JSON checkpoint, so
+// the estimate series continues with bounds widened over the outage
+// window instead of starting over — the connection itself keeps carrying
+// traffic throughout; a monitor failure never kills the flow it watches.
 //
-// Everything is deterministic for a fixed seed: churn schedules, crash
-// times, backoff jitter and therefore the restart/eviction counters are
-// identical across runs, which is what lets the soak harness assert on
-// them.
+// Execution is sharded: the fleet splits its connections across worker
+// shards, each owning a private deterministic engine, and advances all
+// shards in parallel between barrier points. Every source of randomness a
+// connection can observe — churn plan, backoff jitter, fault injection —
+// is drawn from a per-connection RNG stream derived from the seed and the
+// connection ID, never from a shared engine RNG, so a run's results are a
+// pure function of the seed regardless of shard count or interleaving:
+// same-seed runs produce identical per-connection series and counters
+// whether they execute on one shard or sixteen. Per-shard telemetry and
+// waterfall buffers keep the hot paths single-threaded and are merged
+// into the caller's instances when the run drains.
 package fleet
 
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
 
 	"element/internal/core"
 	"element/internal/faults"
@@ -71,8 +80,9 @@ func (b BackoffConfig) normalize() BackoffConfig {
 }
 
 // ChurnConfig describes the connection/monitor churn schedule. All draws
-// come from the fleet's seeded RNG in connection order, so the schedule
-// is a pure function of the seed.
+// come from each connection's private seeded RNG stream, so the schedule
+// is a pure function of (seed, connection ID) — independent of shard
+// count and of every other connection.
 type ChurnConfig struct {
 	// OpenWindow staggers connection opens uniformly over [0, OpenWindow]
 	// (0 = all connections open at t=0).
@@ -108,6 +118,13 @@ type Config struct {
 	// Minimize runs the Algorithm 3 minimizer on every monitor.
 	Minimize bool
 
+	// Shards is the number of worker shards the connections are split
+	// across, each advancing its own engine on its own goroutine between
+	// barrier points (0 = GOMAXPROCS, capped at Connections; 1 = fully
+	// inline single-threaded execution). Results are byte-identical
+	// across shard counts for a fixed seed.
+	Shards int
+
 	Backoff BackoffConfig
 	// Watchdog is the no-poll-progress deadline after which a monitor is
 	// recycled (0 = max(10 polling intervals, 100 ms)).
@@ -121,13 +138,16 @@ type Config struct {
 
 	// Faults composes a fault-injection profile over the whole fleet:
 	// every monitor polls a degraded TCP_INFO view and every path gets
-	// the profile's chaos.
+	// the profile's chaos, each connection drawing from its own derived
+	// fault stream.
 	Faults *faults.Profile
 	// Telem publishes fleet health gauges and restart/eviction/checkpoint
-	// counters under the "fleet" component (nil disables).
+	// counters under the "fleet" component (nil disables). Shards record
+	// into private buffers that merge into this instance at drain time.
 	Telem *telemetry.Telemetry
 	// Waterfall attaches per-byte-range delay attribution to every
-	// connection (nil disables).
+	// connection (nil disables). Per-shard waterfalls are absorbed into
+	// this instance at drain time.
 	Waterfall *waterfall.Waterfall
 }
 
@@ -163,22 +183,39 @@ func (c Config) normalize() Config {
 	return c
 }
 
-// Fleet is a built supervision run ready to execute.
-type Fleet struct {
-	Eng      *sim.Engine
-	cfg      Config
+// connSeed derives the RNG stream seed for one connection (or, with
+// negative ids, one shard engine) from the run seed: a splitmix64
+// finalizer over seed+id, so neighbouring ids get decorrelated streams
+// and the mapping never depends on shard layout.
+func connSeed(seed int64, id int) int64 {
+	z := uint64(seed) + uint64(int64(id)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// shard is one worker: a private engine plus the monitors pinned to it.
+// Everything a shard touches while the clock advances — engine, sockets,
+// telemetry, waterfall, supervisor timers — is shard-local, so shards
+// never synchronize between barriers.
+type shard struct {
+	id       int
+	fl       *Fleet
+	eng      *sim.Engine
 	monitors []*Monitor
-	inj      *faults.Injector
 
-	draining bool
+	// Per-shard observability buffers (nil when the fleet's are nil),
+	// merged into Config.Telem / Config.Waterfall at drain.
+	telem *telemetry.Telemetry
+	wf    *waterfall.Waterfall
 
-	// Fleet-wide health accounting (also mirrored into telemetry).
+	// Shard-local health accounting (summed into the Result at drain;
+	// also mirrored into the shard telemetry).
 	restarts    int
 	crashes     int
 	recycles    int
 	checkpoints int
 
-	// Telemetry handles (nil when Config.Telem is nil).
 	ctrRestarts    *telemetry.Counter
 	ctrCrashes     *telemetry.Counter
 	ctrRecycles    *telemetry.Counter
@@ -188,84 +225,117 @@ type Fleet struct {
 	gOpen          *telemetry.Gauge
 }
 
-// New builds the fleet: engine, per-connection paths and sockets, churn
-// plans, supervisor timers. Nothing runs until Run.
+// Fleet is a built supervision run ready to execute.
+type Fleet struct {
+	cfg      Config
+	shards   []*shard
+	monitors []*Monitor // all monitors in connection-ID order
+
+	draining bool
+}
+
+// New builds the fleet: shard engines, per-connection paths and sockets,
+// churn plans, supervisor timers. Nothing runs until Run.
 func New(cfg Config) *Fleet {
 	cfg = cfg.normalize()
-	eng := sim.New(cfg.Seed)
-	cfg.Telem.SetClock(eng.Now)
-	cfg.Waterfall.SetClock(eng.Now)
-	f := &Fleet{Eng: eng, cfg: cfg}
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	if nshards > cfg.Connections {
+		nshards = cfg.Connections
+	}
+	f := &Fleet{cfg: cfg}
 
-	if cfg.Telem != nil {
-		sc := cfg.Telem.Scope("fleet")
-		f.ctrRestarts = sc.Counter("restarts")
-		f.ctrCrashes = sc.Counter("crashes")
-		f.ctrRecycles = sc.Counter("watchdog_recycles")
-		f.ctrCheckpoints = sc.Counter("checkpoints")
-		f.gRunning = sc.Gauge("monitors_running")
-		f.gBackingOff = sc.Gauge("monitors_backing_off")
-		f.gOpen = sc.Gauge("connections_open")
+	for s := 0; s < nshards; s++ {
+		sh := &shard{id: s, fl: f, eng: sim.New(connSeed(cfg.Seed, -1-s))}
+		if cfg.Telem != nil {
+			sh.telem = telemetry.New()
+			sh.telem.SetClock(sh.eng.Now)
+			sc := sh.telem.Scope("fleet")
+			sh.ctrRestarts = sc.Counter("restarts")
+			sh.ctrCrashes = sc.Counter("crashes")
+			sh.ctrRecycles = sc.Counter("watchdog_recycles")
+			sh.ctrCheckpoints = sc.Counter("checkpoints")
+			sh.gRunning = sc.Gauge("monitors_running")
+			sh.gBackingOff = sc.Gauge("monitors_backing_off")
+			sh.gOpen = sc.Gauge("connections_open")
+		}
+		if cfg.Waterfall != nil {
+			sh.wf = waterfall.New()
+			sh.wf.SetClock(sh.eng.Now)
+			sh.wf.Instrument(sh.telem.Scope("waterfall"))
+		}
+		f.shards = append(f.shards, sh)
 	}
 
-	if cfg.Faults != nil && cfg.Faults.Active() {
-		f.inj = faults.New(eng, *cfg.Faults, cfg.Seed+0x6661756c74) // "fault"
-	}
-
-	// Churn plans draw from the engine RNG in connection order at build
-	// time, so the whole schedule is fixed before any event runs.
-	rng := eng.Rand()
+	// Churn plans draw from each connection's private stream at build
+	// time, so the whole schedule is fixed before any event runs and is
+	// identical however the connections are sharded.
+	injectFaults := cfg.Faults != nil && cfg.Faults.Active()
 	for i := 0; i < cfg.Connections; i++ {
-		m := &Monitor{ID: i, fl: f, backoffCur: cfg.Backoff.Initial}
-		m.plan = drawPlan(cfg, rng)
+		sh := f.shards[i%nshards]
+		m := &Monitor{
+			ID:         i,
+			fl:         f,
+			sh:         sh,
+			rng:        rand.New(rand.NewSource(connSeed(cfg.Seed, i))),
+			backoffCur: cfg.Backoff.Initial,
+		}
+		if injectFaults {
+			m.inj = faults.New(sh.eng, *cfg.Faults, connSeed(cfg.Seed, i)+0x6661756c74) // "fault"
+		}
+		m.plan = drawPlan(cfg, m.rng)
 		f.monitors = append(f.monitors, m)
+		sh.monitors = append(sh.monitors, m)
 		if m.plan.openAt > 0 {
-			at := m.plan.openAt
-			eng.Schedule(at, func() { m.open() })
+			sh.eng.At(units.Time(m.plan.openAt), func() { m.open() })
 		} else {
 			m.open()
 		}
 	}
 
-	// Fleet-level supervisor timers.
-	f.scheduleWatchdog()
-	if cfg.CheckpointEvery > 0 {
-		f.scheduleCheckpoints()
+	// Per-shard supervisor timers.
+	for _, sh := range f.shards {
+		sh.scheduleWatchdog()
+		if cfg.CheckpointEvery > 0 {
+			sh.scheduleCheckpoints()
+		}
 	}
 	return f
 }
 
-func (f *Fleet) scheduleWatchdog() {
-	f.Eng.Schedule(f.cfg.Watchdog, func() {
-		if f.draining {
+func (sh *shard) scheduleWatchdog() {
+	sh.eng.Schedule(sh.fl.cfg.Watchdog, func() {
+		if sh.fl.draining {
 			return
 		}
-		for _, m := range f.monitors {
+		for _, m := range sh.monitors {
 			m.watchdogCheck()
 		}
-		f.updateGauges()
-		f.scheduleWatchdog()
+		sh.updateGauges()
+		sh.scheduleWatchdog()
 	})
 }
 
-func (f *Fleet) scheduleCheckpoints() {
-	f.Eng.Schedule(f.cfg.CheckpointEvery, func() {
-		if f.draining {
+func (sh *shard) scheduleCheckpoints() {
+	sh.eng.Schedule(sh.fl.cfg.CheckpointEvery, func() {
+		if sh.fl.draining {
 			return
 		}
-		for _, m := range f.monitors {
+		for _, m := range sh.monitors {
 			m.checkpoint()
 		}
-		f.scheduleCheckpoints()
+		sh.scheduleCheckpoints()
 	})
 }
 
-func (f *Fleet) updateGauges() {
-	if f.gRunning == nil {
+func (sh *shard) updateGauges() {
+	if sh.gRunning == nil {
 		return
 	}
 	running, backing, open := 0, 0, 0
-	for _, m := range f.monitors {
+	for _, m := range sh.monitors {
 		switch m.state {
 		case stateRunning:
 			running++
@@ -276,30 +346,30 @@ func (f *Fleet) updateGauges() {
 			open++
 		}
 	}
-	f.gRunning.Set(float64(running))
-	f.gBackingOff.Set(float64(backing))
-	f.gOpen.Set(float64(open))
+	sh.gRunning.Set(float64(running))
+	sh.gBackingOff.Set(float64(backing))
+	sh.gOpen.Set(float64(open))
 }
 
 // buildConn constructs one connection's private path, net, ground-truth
-// collector and socket pair.
-func (f *Fleet) buildConn(m *Monitor) {
-	eng := f.Eng
-	cfg := f.cfg
+// collector and socket pair on this shard's engine.
+func (sh *shard) buildConn(m *Monitor) {
+	eng := sh.eng
+	cfg := sh.fl.cfg
 	path := netem.NewPath(eng, netem.PathConfig{
 		Forward: netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2},
 		Reverse: netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2},
 	})
-	if f.inj != nil {
-		f.inj.ApplyPath(path)
+	if m.inj != nil {
+		m.inj.ApplyPath(path)
 	}
-	cfg.Waterfall.TapLink(path.Forward)
-	cfg.Waterfall.TapLink(path.Reverse)
+	sh.wf.TapLink(path.Forward)
+	sh.wf.TapLink(path.Reverse)
 	net := stack.NewNet(eng, path)
 	m.gt = trace.New(eng)
 	sndHooks, rcvHooks := m.gt.SenderHooks(), m.gt.ReceiverHooks()
-	if cfg.Waterfall != nil {
-		rec := cfg.Waterfall.NewFlow()
+	if sh.wf != nil {
+		rec := sh.wf.NewFlow()
 		sndHooks = stack.MergeTraceHooks(sndHooks, rec.SenderHooks())
 		rcvHooks = stack.MergeTraceHooks(rcvHooks, rec.ReceiverHooks())
 		m.wf = rec
@@ -307,16 +377,16 @@ func (f *Fleet) buildConn(m *Monitor) {
 	m.conn = stack.Dial(net, stack.ConnConfig{
 		SenderHooks:   sndHooks,
 		ReceiverHooks: rcvHooks,
-		Telem:         cfg.Telem,
+		Telem:         sh.telem,
 	})
 	if m.wf != nil {
-		cfg.Waterfall.Bind(m.conn.FlowID, m.wf)
+		sh.wf.Bind(m.conn.FlowID, m.wf)
 	}
 	m.sndSrc = core.InfoSource(m.conn.Sender)
 	m.rcvSrc = core.InfoSource(m.conn.Receiver)
-	if f.inj != nil {
-		m.sndSrc = f.inj.WrapInfo(m.conn.Sender)
-		m.rcvSrc = f.inj.WrapInfo(m.conn.Receiver)
+	if m.inj != nil {
+		m.sndSrc = m.inj.WrapInfo(m.conn.Sender)
+		m.rcvSrc = m.inj.WrapInfo(m.conn.Receiver)
 	}
 }
 
@@ -325,31 +395,57 @@ func (f *Fleet) buildConn(m *Monitor) {
 func (f *Fleet) Run() *Result { return f.RunContext(context.Background()) }
 
 // RunContext is Run with cooperative cancellation: virtual time advances
-// in slices and a canceled context stops the run early — the fleet still
-// drains, so partial series, telemetry and waterfall state are intact.
+// in slices — all shards in parallel up to each slice barrier — and a
+// canceled context stops the run early; the fleet still drains, so
+// partial series, telemetry and waterfall state are intact.
 func (f *Fleet) RunContext(ctx context.Context) *Result {
 	end := units.Time(f.cfg.Duration)
 	slice := f.cfg.Duration / 64
 	if slice < f.cfg.Interval {
 		slice = f.cfg.Interval
 	}
-	for f.Eng.Now() < end {
+	now := units.Time(0)
+	for now < end {
 		if ctx.Err() != nil {
 			break
 		}
-		next := f.Eng.Now().Add(slice)
+		next := now.Add(slice)
 		if next > end {
 			next = end
 		}
-		f.Eng.RunUntil(next)
+		f.advance(next)
+		now = next
 	}
 	return f.drain(ctx.Err() != nil)
 }
 
+// advance runs every shard engine up to the barrier time. A single shard
+// runs inline on the calling goroutine; multiple shards run in parallel
+// and join before returning, so everything outside advance is
+// single-threaded.
+func (f *Fleet) advance(next units.Time) {
+	if len(f.shards) == 1 {
+		f.shards[0].eng.RunUntil(next)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range f.shards {
+		sh := sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.eng.RunUntil(next)
+		}()
+	}
+	wg.Wait()
+}
+
 // drain is the graceful shutdown: every live monitor takes a final poll
 // (so in-flight records get their last chance to match), flushes its
-// series, and stops; parked processes are terminated so no goroutine
-// outlives the run.
+// series, and stops; per-shard telemetry and waterfalls merge into the
+// caller's instances; parked processes are terminated so no goroutine
+// outlives the run. Drain runs entirely on the calling goroutine, after
+// the last barrier.
 func (f *Fleet) drain(interrupted bool) *Result {
 	f.draining = true
 	res := &Result{Config: f.cfg, Interrupted: interrupted}
@@ -361,12 +457,16 @@ func (f *Fleet) drain(interrupted bool) *Result {
 		res.Evictions += cr.Anomalies.Evictions
 		res.Restores += cr.Anomalies.Restores
 	}
-	res.Restarts = f.restarts
-	res.Crashes = f.crashes
-	res.Recycles = f.recycles
-	res.Checkpoints = f.checkpoints
-	f.updateGauges()
-	f.Eng.Shutdown()
+	for _, sh := range f.shards {
+		sh.updateGauges()
+		res.Restarts += sh.restarts
+		res.Crashes += sh.crashes
+		res.Recycles += sh.recycles
+		res.Checkpoints += sh.checkpoints
+		f.cfg.Telem.Merge(sh.telem)
+		f.cfg.Waterfall.Absorb(sh.wf)
+		sh.eng.Shutdown()
+	}
 	return res
 }
 

@@ -188,8 +188,10 @@ func TestFleetInterruptDrainsGracefully(t *testing.T) {
 // TestFleetSoak is the churn soak harness: FLEET_SOAK_CONNS connections
 // with full churn under -race, asserting zero goroutine leaks, zero
 // bound violations, and counter-for-counter determinism across two
-// same-seed runs. `make soak-short` runs ~100 connections, `make soak`
-// ≥1000.
+// same-seed runs. FLEET_SOAK_SHARDS sets the worker count for the first
+// run; the second run always executes single-shard, so the determinism
+// check doubles as a shard-count-invariance check at soak scale.
+// `make soak-short` runs ~100 connections, `make soak` ≥1000.
 func TestFleetSoak(t *testing.T) {
 	connsEnv := os.Getenv("FLEET_SOAK_CONNS")
 	if connsEnv == "" {
@@ -199,6 +201,12 @@ func TestFleetSoak(t *testing.T) {
 	if err != nil || conns <= 0 {
 		t.Fatalf("bad FLEET_SOAK_CONNS %q", connsEnv)
 	}
+	shards := 0 // default: one shard per core
+	if shardsEnv := os.Getenv("FLEET_SOAK_SHARDS"); shardsEnv != "" {
+		if shards, err = strconv.Atoi(shardsEnv); err != nil || shards < 0 {
+			t.Fatalf("bad FLEET_SOAK_SHARDS %q", shardsEnv)
+		}
+	}
 	testutil.NoLeaks(t)
 	cfg := Config{
 		Seed:        23,
@@ -207,9 +215,10 @@ func TestFleetSoak(t *testing.T) {
 		Rate:        2 * units.Mbps,
 		Interval:    20 * units.Millisecond,
 		Churn:       churnAll,
+		Shards:      shards,
 	}
 	a := New(cfg).Run()
-	t.Logf("soak run: %v", a)
+	t.Logf("soak run (%d shards): %v", shards, a)
 	if v := a.Violations(); v != 0 {
 		t.Fatalf("soak bound violations: %d (sender %+v receiver %+v)", v, a.Sender, a.Receiver)
 	}
@@ -221,9 +230,10 @@ func TestFleetSoak(t *testing.T) {
 			t.Errorf("conn %d produced no samples at all", c.ID)
 		}
 	}
+	cfg.Shards = 1
 	b := New(cfg).Run()
 	if a.Restarts != b.Restarts || a.Crashes != b.Crashes || a.Recycles != b.Recycles ||
 		a.Evictions != b.Evictions || a.Restores != b.Restores {
-		t.Fatalf("soak runs diverge for fixed seed:\n  a %v\n  b %v", a, b)
+		t.Fatalf("sharded and single-shard soak runs diverge for fixed seed:\n  a %v\n  b %v", a, b)
 	}
 }

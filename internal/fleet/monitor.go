@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"element/internal/core"
+	"element/internal/faults"
 	"element/internal/sim"
 	"element/internal/stack"
 	"element/internal/trace"
@@ -29,8 +30,9 @@ type churnPlan struct {
 	stallAt units.Duration
 }
 
-// drawPlan consumes the fleet RNG in a fixed order so the schedule is a
-// pure function of the seed regardless of which events later fire.
+// drawPlan consumes the connection's private RNG in a fixed order so the
+// schedule is a pure function of (seed, connection ID), independent of
+// every other connection and of the shard layout.
 func drawPlan(cfg Config, rng *rand.Rand) churnPlan {
 	var p churnPlan
 	if w := cfg.Churn.OpenWindow; w > 0 {
@@ -59,11 +61,21 @@ func drawPlan(cfg Config, rng *rand.Rand) churnPlan {
 
 // Monitor supervises one connection's ELEMENT instance: it owns the
 // trackers (and minimizer), drives every poll under panic recovery, and
-// keeps the crash-safe checkpoint the supervisor restores from.
+// keeps the crash-safe checkpoint the supervisor restores from. A monitor
+// lives entirely on one shard; its RNG stream and fault injector are
+// derived from the connection ID so its behaviour never depends on which
+// shard runs it.
 type Monitor struct {
 	ID   int
 	fl   *Fleet
+	sh   *shard
 	plan churnPlan
+	// rng is the connection's private stream: churn plan (at build time)
+	// and backoff jitter draw here, never from a shared engine RNG.
+	rng *rand.Rand
+	// inj is the connection's private fault injector (nil when the fleet
+	// has no fault profile).
+	inj *faults.Injector
 
 	conn     *stack.Conn
 	gt       *trace.Collector
@@ -107,19 +119,19 @@ type Monitor struct {
 
 // open builds the connection, starts traffic, and starts the monitor.
 func (m *Monitor) open() {
-	f := m.fl
-	f.buildConn(m)
+	sh := m.sh
+	sh.buildConn(m)
 	m.connOpen = true
 	m.startTraffic()
 	m.startFresh()
 	if at := m.plan.crashAt; at > 0 {
-		f.Eng.At(units.Time(at), func() { m.crashNext = true })
+		sh.eng.At(units.Time(at), func() { m.crashNext = true })
 	}
 	if at := m.plan.stallAt; at > 0 {
-		f.Eng.At(units.Time(at), func() { m.wedged = true })
+		sh.eng.At(units.Time(at), func() { m.wedged = true })
 	}
 	if at := m.plan.closeAt; at > 0 {
-		f.Eng.At(units.Time(at), func() {
+		sh.eng.At(units.Time(at), func() {
 			if m.connOpen {
 				m.closed = true
 				m.connOpen = false
@@ -127,25 +139,24 @@ func (m *Monitor) open() {
 			}
 		})
 	}
-	f.updateGauges()
+	sh.updateGauges()
 }
 
 // startTraffic spawns the writer/reader pair. The app feeds the trackers
 // only while the monitor is alive — a crashed monitor misses writes and
 // reads, and the restored one picks the cumulative counters back up.
 func (m *Monitor) startTraffic() {
-	f := m.fl
 	conn := m.conn
-	stop := units.Time(f.cfg.Duration)
-	f.Eng.Spawn("fleet-writer", func(p *sim.Proc) {
+	stop := units.Time(m.fl.cfg.Duration)
+	m.sh.eng.Spawn("fleet-writer", func(p *sim.Proc) {
 		const chunk = 8 << 10
 		for p.Now() < stop {
 			size := chunk
-			if f.inj != nil {
-				if d := f.inj.WriteStall(); d > 0 {
+			if m.inj != nil {
+				if d := m.inj.WriteStall(); d > 0 {
 					p.Sleep(d)
 				}
-				size = f.inj.WriteSize(chunk)
+				size = m.inj.WriteSize(chunk)
 			}
 			n := conn.Sender.Write(p, size)
 			if n == 0 {
@@ -160,11 +171,11 @@ func (m *Monitor) startTraffic() {
 			}
 		}
 	})
-	f.Eng.Spawn("fleet-reader", func(p *sim.Proc) {
+	m.sh.eng.Spawn("fleet-reader", func(p *sim.Proc) {
 		for {
 			max := 1 << 20
-			if f.inj != nil {
-				max = f.inj.ReadSize(max)
+			if m.inj != nil {
+				max = m.inj.ReadSize(max)
 			}
 			n := conn.Receiver.Read(p, max)
 			if n == 0 {
@@ -180,19 +191,19 @@ func (m *Monitor) startTraffic() {
 // startFresh brings up a brand-new monitor incarnation (first start, or a
 // restart with no checkpoint to restore).
 func (m *Monitor) startFresh() {
-	f := m.fl
-	opts := core.TrackerOptions{Interval: f.cfg.Interval, RecordCap: f.cfg.RecordCap, Detached: true}
-	m.snd = core.NewSenderTrackerOpts(f.Eng, m.sndSrc, opts)
-	m.rcv = core.NewReceiverTrackerOpts(f.Eng, m.rcvSrc, opts)
-	if f.cfg.Minimize {
-		m.min = core.NewMinimizerDetached(f.Eng, m.sndSrc, m.snd, core.MinimizerConfig{})
+	cfg := m.fl.cfg
+	opts := core.TrackerOptions{Interval: cfg.Interval, RecordCap: cfg.RecordCap, Detached: true}
+	m.snd = core.NewSenderTrackerOpts(m.sh.eng, m.sndSrc, opts)
+	m.rcv = core.NewReceiverTrackerOpts(m.sh.eng, m.rcvSrc, opts)
+	if cfg.Minimize {
+		m.min = core.NewMinimizerDetached(m.sh.eng, m.sndSrc, m.snd, core.MinimizerConfig{})
 	}
 	m.becomeRunning()
 }
 
 // restore brings up an incarnation from the last persisted checkpoint.
 func (m *Monitor) restore() {
-	f := m.fl
+	cfg := m.fl.cfg
 	scp, err := core.UnmarshalSenderCheckpoint(m.sndCP)
 	if err != nil {
 		m.startFresh()
@@ -203,17 +214,17 @@ func (m *Monitor) restore() {
 		m.startFresh()
 		return
 	}
-	opts := core.TrackerOptions{Interval: f.cfg.Interval, RecordCap: f.cfg.RecordCap, Detached: true}
-	m.snd = core.RestoreSenderTracker(f.Eng, m.sndSrc, scp, opts)
-	m.rcv = core.RestoreReceiverTracker(f.Eng, m.rcvSrc, rcp, opts)
-	if f.cfg.Minimize && m.minCP != nil {
+	opts := core.TrackerOptions{Interval: cfg.Interval, RecordCap: cfg.RecordCap, Detached: true}
+	m.snd = core.RestoreSenderTracker(m.sh.eng, m.sndSrc, scp, opts)
+	m.rcv = core.RestoreReceiverTracker(m.sh.eng, m.rcvSrc, rcp, opts)
+	if cfg.Minimize && m.minCP != nil {
 		if mcp, err := core.UnmarshalMinimizerCheckpoint(m.minCP); err == nil {
-			m.min = core.RestoreMinimizer(f.Eng, m.snd, mcp, true)
+			m.min = core.RestoreMinimizer(m.sh.eng, m.snd, mcp, true)
 		} else {
-			m.min = core.NewMinimizerDetached(f.Eng, m.sndSrc, m.snd, core.MinimizerConfig{})
+			m.min = core.NewMinimizerDetached(m.sh.eng, m.sndSrc, m.snd, core.MinimizerConfig{})
 		}
-	} else if f.cfg.Minimize {
-		m.min = core.NewMinimizerDetached(f.Eng, m.sndSrc, m.snd, core.MinimizerConfig{})
+	} else if cfg.Minimize {
+		m.min = core.NewMinimizerDetached(m.sh.eng, m.sndSrc, m.snd, core.MinimizerConfig{})
 	}
 	m.becomeRunning()
 }
@@ -227,7 +238,7 @@ func (m *Monitor) becomeRunning() {
 }
 
 func (m *Monitor) scheduleTick() {
-	m.fl.Eng.Schedule(m.fl.cfg.Interval, func() { m.tick() })
+	m.sh.eng.Schedule(m.fl.cfg.Interval, func() { m.tick() })
 }
 
 // tick is one supervised poll: the only place tracker code runs, wrapped
@@ -285,28 +296,29 @@ func (m *Monitor) flush() {
 }
 
 // onCrash handles a recovered panic: count it, drop the incarnation, and
-// schedule a restart after backoff with jitter.
+// schedule a restart after backoff with jitter drawn from the monitor's
+// private stream.
 func (m *Monitor) onCrash() {
-	f := m.fl
+	sh := m.sh
 	m.crashes++
-	f.crashes++
-	if f.ctrCrashes != nil {
-		f.ctrCrashes.Inc()
+	sh.crashes++
+	if sh.ctrCrashes != nil {
+		sh.ctrCrashes.Inc()
 	}
 	m.dropIncarnation()
 	m.state = stateBackoff
 	delay := m.backoffCur
-	if j := f.cfg.Backoff.Jitter; j > 0 {
-		delay += units.Duration(float64(delay) * j * f.Eng.Rand().Float64())
+	if j := m.fl.cfg.Backoff.Jitter; j > 0 {
+		delay += units.Duration(float64(delay) * j * m.rng.Float64())
 	}
-	next := units.Duration(float64(m.backoffCur) * f.cfg.Backoff.Factor)
-	if next > f.cfg.Backoff.Max {
-		next = f.cfg.Backoff.Max
+	next := units.Duration(float64(m.backoffCur) * m.fl.cfg.Backoff.Factor)
+	if next > m.fl.cfg.Backoff.Max {
+		next = m.fl.cfg.Backoff.Max
 	}
 	m.backoffCur = next
-	f.updateGauges()
-	f.Eng.Schedule(delay, func() {
-		if m.state != stateBackoff || f.draining {
+	sh.updateGauges()
+	sh.eng.Schedule(delay, func() {
+		if m.state != stateBackoff || m.fl.draining {
 			return
 		}
 		m.doRestart()
@@ -337,11 +349,10 @@ func (m *Monitor) watchdogCheck() {
 		m.pollMark = progress
 		return
 	}
-	f := m.fl
 	m.recycles++
-	f.recycles++
-	if f.ctrRecycles != nil {
-		f.ctrRecycles.Inc()
+	m.sh.recycles++
+	if m.sh.ctrRecycles != nil {
+		m.sh.ctrRecycles.Inc()
 	}
 	m.wedged = false
 	m.dropIncarnation()
@@ -364,18 +375,17 @@ func (m *Monitor) dropIncarnation() {
 }
 
 func (m *Monitor) doRestart() {
-	f := m.fl
 	m.restarts++
-	f.restarts++
-	if f.ctrRestarts != nil {
-		f.ctrRestarts.Inc()
+	m.sh.restarts++
+	if m.sh.ctrRestarts != nil {
+		m.sh.ctrRestarts.Inc()
 	}
 	if m.haveCP {
 		m.restore()
 	} else {
 		m.startFresh()
 	}
-	f.updateGauges()
+	m.sh.updateGauges()
 }
 
 // checkpoint serializes the live trackers to JSON. The bytes, not the
@@ -402,9 +412,9 @@ func (m *Monitor) checkpoint() {
 	}
 	m.sndCP, m.rcvCP = scp, rcp
 	m.haveCP = true
-	m.fl.checkpoints++
-	if m.fl.ctrCheckpoints != nil {
-		m.fl.ctrCheckpoints.Inc()
+	m.sh.checkpoints++
+	if m.sh.ctrCheckpoints != nil {
+		m.sh.ctrCheckpoints.Inc()
 	}
 }
 

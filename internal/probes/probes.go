@@ -14,6 +14,8 @@
 package probes
 
 import (
+	"sync"
+
 	"element/internal/pkt"
 	"element/internal/sim"
 	"element/internal/stack"
@@ -26,6 +28,12 @@ type probePayload struct {
 	id     int
 	sentAt units.Time
 }
+
+// payloadPool recycles probe payloads between send and echo receipt, so
+// an always-on prober stops allocating one boxed payload per probe (the
+// same snapshot-reuse discipline as tcpinfo.Get/Put). A payload lost
+// with its packet simply falls to the GC — it is never double-referenced.
+var payloadPool = sync.Pool{New: func() any { return new(probePayload) }}
 
 // RTTProber is the common machinery of tcpping/paping/hping3: send a small
 // TCP control packet, wait for the peer's immediate response, record the
@@ -69,12 +77,15 @@ func newRTTProber(name string, net *stack.Net, interval units.Duration) *RTTProb
 		net.Path().SendBtoA(resp)
 	})
 	net.RegisterA(p.flowID, func(q *pkt.Packet) {
-		pl, ok := q.Payload.(probePayload)
+		pl, ok := q.Payload.(*probePayload)
 		if !ok {
 			return
 		}
-		if sentAt, ok := p.inFlight[pl.id]; ok {
-			delete(p.inFlight, pl.id)
+		id := pl.id
+		q.Payload = nil
+		payloadPool.Put(pl)
+		if sentAt, ok := p.inFlight[id]; ok {
+			delete(p.inFlight, id)
 			p.rtts = append(p.rtts, stats.Sample{
 				At: p.eng.Now(), Delay: p.eng.Now().Sub(sentAt), Bytes: 0,
 			})
@@ -114,12 +125,14 @@ func (p *RTTProber) sendProbe() {
 	id := p.nextID
 	now := p.eng.Now()
 	p.inFlight[id] = now
+	pl := payloadPool.Get().(*probePayload)
+	pl.id, pl.sentAt = id, now
 	p.net.Path().SendAtoB(&pkt.Packet{
 		FlowID:    p.flowID,
 		Flags:     pkt.FlagSYN,
 		HeaderLen: pkt.DefaultHeaderLen,
 		SentAt:    now,
-		Payload:   probePayload{id: id, sentAt: now},
+		Payload:   pl,
 	})
 }
 

@@ -1,0 +1,28 @@
+package tcpinfo
+
+import "sync"
+
+// Snapshot pooling. TCPInfo is passed by value on the poll path, but
+// components that *retain* snapshots — fault taps holding a frozen view
+// through a stale window, probers parking per-probe state in packets,
+// future batched kernel pollers — would otherwise heap-allocate one per
+// retention. Get/Put recycle those snapshots through a sync.Pool so
+// retention is allocation-free in steady state and safe across
+// goroutines (the sharded fleet's monitors retain concurrently).
+
+var pool = sync.Pool{New: func() any { return new(TCPInfo) }}
+
+// Get returns a zeroed snapshot from the pool.
+func Get() *TCPInfo {
+	ti := pool.Get().(*TCPInfo)
+	*ti = TCPInfo{}
+	return ti
+}
+
+// Put recycles a snapshot obtained from Get. The caller must not touch
+// ti afterwards; nil is ignored.
+func Put(ti *TCPInfo) {
+	if ti != nil {
+		pool.Put(ti)
+	}
+}

@@ -1,0 +1,30 @@
+package tcpinfo
+
+import "testing"
+
+// TestPoolZeroesAndRecycles checks the two contract points: a Get after
+// a Put of a dirtied snapshot hands back a zeroed struct, and a
+// Get/Put cycle is allocation-free in steady state.
+func TestPoolZeroesAndRecycles(t *testing.T) {
+	ti := Get()
+	ti.BytesAcked = 1 << 40
+	ti.SegsIn = 7
+	Put(ti)
+	if got := Get(); *got != (TCPInfo{}) {
+		t.Fatalf("Get returned a dirty snapshot: %+v", *got)
+	}
+
+	// Warm the pool, then demand zero allocations per retention cycle.
+	for i := 0; i < 64; i++ {
+		Put(Get())
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		s := Get()
+		s.SegsIn++
+		Put(s)
+	}); avg != 0 {
+		t.Fatalf("Get/Put cycle allocates %.2f times, want 0", avg)
+	}
+
+	Put(nil) // must be a no-op
+}
