@@ -17,11 +17,13 @@ import (
 	"element/internal/cc"
 	"element/internal/core"
 	"element/internal/exp"
+	"element/internal/fleet"
 	"element/internal/netem"
 	"element/internal/sim"
 	"element/internal/stack"
 	"element/internal/tcpinfo"
 	"element/internal/telemetry"
+	"element/internal/telemetry/stream"
 	"element/internal/trace"
 	"element/internal/units"
 )
@@ -324,6 +326,63 @@ func BenchmarkTrackerOverhead(b *testing.B) {
 			// The comparison above is the payload; nothing per-iteration.
 		}
 	})
+}
+
+// BenchmarkStreamOverhead times the identical seeded fleet with the
+// streaming telemetry pipeline on and off, the same alternating-pair
+// second-smallest-ratio protocol as scenario-overhead above. This is the
+// -stream flag's end-to-end cost: tracker estimates drained into
+// windowed quantile sketches, merged at every barrier, windows sealed
+// and exported — all of which must stay within the ~5% budget the
+// telemetry-overhead contract set. (Stream mode also drops the
+// per-connection ground-truth collectors, so the measured ratio is
+// usually below 1; the gate catches the streaming hot path ever growing
+// into something per-sample expensive.)
+func BenchmarkStreamOverhead(b *testing.B) {
+	fleetRun := func(seed int64, streaming bool) {
+		cfg := fleet.Config{
+			Seed: seed, Connections: 32, Duration: 2 * units.Second,
+			Rate: 2 * units.Mbps, Interval: 20 * units.Millisecond, Shards: 1,
+		}
+		if streaming {
+			cfg.Stream = &fleet.StreamConfig{
+				Window: 250 * units.Millisecond,
+				Sink:   stream.SinkFunc(func([]string, *stream.Window) error { return nil }),
+			}
+		}
+		fleet.New(cfg).Run()
+	}
+	fleetRun(1, false) // warm both paths
+	fleetRun(1, true)
+	var ratios []float64
+	for rep := 0; rep < 7; rep++ {
+		var base, instr float64
+		timed := func(streaming bool) float64 {
+			start := time.Now()
+			fleetRun(int64(rep+1), streaming)
+			return time.Since(start).Seconds()
+		}
+		if rep%2 == 0 {
+			base = timed(false)
+			instr = timed(true)
+		} else {
+			instr = timed(true)
+			base = timed(false)
+		}
+		ratios = append(ratios, instr/base)
+	}
+	sort.Float64s(ratios)
+	pct := (ratios[1] - 1) * 100
+	if pct < 0 {
+		pct = 0 // streaming is cheaper than exit-export ground truth
+	}
+	b.ReportMetric(pct, "overhead-%")
+	if pct > 5 {
+		b.Errorf("streaming overhead %.1f%% exceeds the ~5%% budget", pct)
+	}
+	for i := 0; i < b.N; i++ {
+		// The comparison above is the payload; nothing per-iteration.
+	}
 }
 
 // staticInfo is a fixed TCP_INFO source for micro-benchmarks.

@@ -28,6 +28,7 @@ import (
 	"element/internal/exp"
 	"element/internal/faults"
 	"element/internal/telemetry"
+	"element/internal/telemetry/stream"
 	"element/internal/units"
 	"element/internal/waterfall"
 )
@@ -117,8 +118,11 @@ func main() {
 			var memAfter runtime.MemStats
 			runtime.ReadMemStats(&memAfter)
 			fmt.Printf("--- metrics (%s) ---\n", e.ID)
-			printCost(elapsed, memAfter.Mallocs-memBefore.Mallocs,
+			trackerNs := printCost(elapsed, memAfter.Mallocs-memBefore.Mallocs,
 				memAfter.TotalAlloc-memBefore.TotalAlloc, pollCount(exp.DefaultTelemetry))
+			if !printStreamCost(trackerNs) {
+				failed++
+			}
 			if err := exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText); err != nil {
 				failed++
 				fmt.Fprintf(os.Stderr, "elembench: metrics export (%s): %v\n", e.ID, err)
@@ -180,17 +184,64 @@ func pollCount(telem *telemetry.Telemetry) uint64 {
 
 // printCost reports the run's measured cost as ns/op and allocs/op —
 // benchmark-style, normalized per tracker poll — so a metrics summary
-// doubles as an overhead check without rerunning `make bench`.
-func printCost(elapsed time.Duration, mallocs, bytes, polls uint64) {
+// doubles as an overhead check without rerunning `make bench`. It
+// returns the per-poll nanoseconds (0 when there were no polls) so the
+// streaming cost line can express itself as a fraction of it.
+func printCost(elapsed time.Duration, mallocs, bytes, polls uint64) float64 {
 	if polls == 0 {
 		fmt.Printf("cost: %d allocs, %d B total (%s wall-clock, no tracker polls to normalize by)\n",
 			mallocs, bytes, elapsed.Round(time.Millisecond))
-		return
+		return 0
 	}
+	ns := float64(elapsed.Nanoseconds()) / float64(polls)
 	fmt.Printf("cost: %.0f ns/op, %.1f allocs/op, %.0f B/op over %d tracker polls\n",
-		float64(elapsed.Nanoseconds())/float64(polls),
-		float64(mallocs)/float64(polls),
-		float64(bytes)/float64(polls), polls)
+		ns, float64(mallocs)/float64(polls), float64(bytes)/float64(polls), polls)
+	return ns
+}
+
+// printStreamCost micro-measures the streaming pipeline — sketch
+// observation plus tumbling-window rotation and drain, the exact hot
+// path a -stream fleet adds per estimate sample — and prints it
+// benchmark-style alongside the per-poll tracker line. Expressed as a
+// fraction of one tracker poll, it must stay under the same ~5% budget
+// the telemetry-overhead contract enforces; returns false when it
+// doesn't.
+func printStreamCost(trackerNs float64) bool {
+	st := stream.New(stream.Config{Width: units.Millisecond, Retain: 4})
+	se := st.Series("cost")
+	const (
+		samples   = 1 << 20
+		perWindow = 256 // samples per 1 ms window before it rotates
+	)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	at := units.Time(0)
+	for i := 0; i < samples; i++ {
+		if i%perWindow == 0 {
+			at = at.Add(units.Millisecond)
+			st.AdvanceTo(at)
+			st.Drain(func(*stream.Window) {})
+		}
+		se.Observe(at, float64(i&1023)*1e-4)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / samples
+	bOp := float64(after.TotalAlloc-before.TotalAlloc) / samples
+	line := fmt.Sprintf("stream cost: %.1f ns/op, %.2f B/op per sample over %d samples across %d windows",
+		ns, bOp, samples, samples/perWindow)
+	if trackerNs > 0 {
+		pct := 100 * ns / trackerNs
+		line += fmt.Sprintf(" (%.2f%% of a tracker poll)", pct)
+		if pct > 5 {
+			fmt.Println(line)
+			fmt.Fprintf(os.Stderr, "elembench: streaming adds %.1f%% per sample — exceeds the ~5%% overhead budget\n", pct)
+			return false
+		}
+	}
+	fmt.Println(line)
+	return true
 }
 
 // exitIfFailed turns mid-sweep failures into a non-zero exit so CI and

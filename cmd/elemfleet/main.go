@@ -13,6 +13,16 @@
 //	elemfleet -crash-frac 1            # crash every monitor once
 //	elemfleet -faults stale-info       # degrade TCP_INFO fleet-wide
 //	elemfleet -metrics -waterfall      # export telemetry and attribution
+//	elemfleet -stream                  # windowed quantile sketches, O(1) memory
+//	elemfleet -stream -escalate 200    # + waterfall escalation at p99 > 200 ms
+//	elemfleet -stream -stream-format jsonl -stream-budget 65536
+//
+// With -stream the fleet keeps no per-sample state: tracker estimates
+// drain into mergeable per-shard quantile sketches over tumbling windows,
+// and each sealed window is exported as it closes (Prometheus text or
+// remote-write-shaped JSONL under a byte budget). -escalate arms the
+// sketch-driven triggers that flip individual flows to full tracker
+// series + waterfall granularity and back after clean windows.
 //
 // Interrupting a run (Ctrl-C) drains gracefully: monitors take a final
 // poll, partial series are reconciled, and telemetry/waterfall exports
@@ -32,6 +42,7 @@ import (
 	"element/internal/faults"
 	"element/internal/fleet"
 	"element/internal/telemetry"
+	"element/internal/telemetry/stream"
 	"element/internal/units"
 	"element/internal/waterfall"
 )
@@ -58,6 +69,13 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print a telemetry export after the run")
 		waterfal = flag.Bool("waterfall", false, "print per-stage delay attribution after the run")
 		perConn  = flag.Bool("per-conn", true, "print the per-connection table")
+
+		streamOn  = flag.Bool("stream", false, "streaming telemetry: windowed quantile sketches, memory independent of sample count")
+		windowMs  = flag.Float64("window-ms", 1000, "tumbling window width in ms")
+		waterMs   = flag.Float64("watermark-ms", 0, "lateness allowance in ms (0 = one window)")
+		escalate  = flag.Float64("escalate", 0, "escalate a flow to full waterfall tracing when its windowed p99 sndbuf delay exceeds this many ms (0 = never)")
+		streamFmt = flag.String("stream-format", "text", "window export format: text|jsonl")
+		streamCap = flag.Int("stream-budget", 0, "hard byte budget for jsonl window export (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -96,9 +114,32 @@ func main() {
 		cfg.Telem = telem
 	}
 	var wf *waterfall.Waterfall
-	if *waterfal {
+	if *waterfal || (*streamOn && *escalate > 0) {
+		// Escalation without -waterfall still needs the recorders: they
+		// stay gated off until a flow escalates.
 		wf = waterfall.New()
 		cfg.Waterfall = wf
+	}
+	var jsonl *stream.BatchExporter
+	if *streamOn {
+		sc := &fleet.StreamConfig{
+			Window:    units.DurationFromSeconds(*windowMs / 1e3),
+			Watermark: units.DurationFromSeconds(*waterMs / 1e3),
+		}
+		switch *streamFmt {
+		case "text":
+			sc.Sink = stream.NewTextExporter(os.Stdout)
+		case "jsonl":
+			jsonl = stream.NewBatchExporter(os.Stdout, *streamCap)
+			sc.Sink = jsonl
+		default:
+			fmt.Fprintf(os.Stderr, "elemfleet: unknown -stream-format %q (text|jsonl)\n", *streamFmt)
+			os.Exit(1)
+		}
+		if *escalate > 0 {
+			sc.Rules = stream.Rules{P99Above: units.DurationFromSeconds(*escalate / 1e3)}
+		}
+		cfg.Stream = sc
 	}
 
 	// Ctrl-C stops the virtual clock at the next slice boundary; the
@@ -122,6 +163,18 @@ func main() {
 		}
 	}
 	fmt.Println(res)
+	if *streamOn {
+		fmt.Printf("stream{windows=%d late=%d dropped=%d escalations=%d demotions=%d escalated=%d}\n",
+			res.StreamWindows, res.StreamLate, res.StreamDropped,
+			res.Escalations, res.Demotions, res.Escalated)
+		if jsonl != nil {
+			fmt.Printf("stream export: %d bytes, %d windows written, %d dropped for budget\n",
+				jsonl.BytesWritten(), jsonl.Windows, jsonl.Dropped)
+		}
+		if res.StreamErr != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: stream sink:", res.StreamErr)
+		}
+	}
 
 	if telem != nil {
 		fmt.Println("--- metrics ---")
@@ -129,7 +182,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "elemfleet: metrics export:", err)
 		}
 	}
-	if wf != nil {
+	if wf != nil && *waterfal {
 		agg := wf.Aggregate()
 		fmt.Printf("--- waterfall: %d flows, %d byte ranges ---\n", len(wf.Flows()), agg.Ranges)
 		agg.WriteTable(os.Stdout)

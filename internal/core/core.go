@@ -115,6 +115,18 @@ func (e *Estimates) Reset() {
 	e.log = e.log[:0]
 }
 
+// DrainLog hands every retained measurement to fn in production order,
+// then empties the series keeping the backing capacity — the streaming
+// consumers' primitive: a monitor that drains after every poll holds
+// O(poll batch) samples instead of O(run).
+func (e *Estimates) DrainLog(fn func(Measurement)) {
+	for _, m := range e.log {
+		fn(m)
+	}
+	e.samples = e.samples[:0]
+	e.log = e.log[:0]
+}
+
 // Series returns the delay estimates as a stats series.
 func (e *Estimates) Series() stats.Series { return e.samples }
 

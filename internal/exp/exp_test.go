@@ -262,10 +262,43 @@ func TestFig18Shape(t *testing.T) {
 	}
 }
 
+func TestStreamShape(t *testing.T) {
+	r := Stream(1, 8*units.Second)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	get := func(row, col int) float64 { return cellFloat(t, r.Rows[row][col]) }
+	// The bufferbloated fleet escalates at least one flow to full
+	// waterfall tracing; the minimized fleet stays entirely lightweight.
+	if get(0, 4) < 1 {
+		t.Fatalf("bufferbloat fleet escalated %v flows, want ≥ 1", get(0, 4))
+	}
+	if get(0, 7) == 0 {
+		t.Fatal("escalated flows recorded no waterfall byte ranges")
+	}
+	if get(1, 4) != 0 {
+		t.Fatalf("minimized fleet escalated %v times, want 0", get(1, 4))
+	}
+	if get(1, 7) != 0 {
+		t.Fatalf("minimized fleet recorded %v byte ranges with no escalations", get(1, 7))
+	}
+	// The trigger threshold separates the two regimes.
+	if p99 := get(0, 3); p99 <= 200 {
+		t.Fatalf("bufferbloat worst windowed p99 %vms not above the 200ms trigger", p99)
+	}
+	if p99 := get(1, 3); p99 >= 200 {
+		t.Fatalf("minimized worst windowed p99 %vms not below the 200ms trigger", p99)
+	}
+	// Both fleets export the same window count for the same duration.
+	if get(0, 1) != get(1, 1) || get(0, 1) == 0 {
+		t.Fatalf("window counts diverge: %v vs %v", get(0, 1), get(1, 1))
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "tab1", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig13", "fig14", "fig15", "fig16", "fig18", "tab_cpu", "degraded",
-		"fleet"}
+		"fleet", "stream"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}

@@ -53,6 +53,8 @@ var Registry = []Experiment{
 		"every fault profile vs ground truth: flagged fractions, bound violations, anomaly counts", Degraded},
 	{"fleet", "Supervised monitoring fleet vs single-connection ground truth",
 		"churning multi-connection fleet with crash/restore supervision reconciled against an unchurned baseline", Fleet},
+	{"stream", "Sketch-driven escalation: bufferbloat vs delay-minimized fleet",
+		"windowed quantile sketches escalate bufferbloated flows to full waterfall tracing and stay lightweight on the clean fleet", Stream},
 }
 
 // Lookup finds an experiment by ID.

@@ -30,12 +30,14 @@ import (
 	"runtime"
 	"sync"
 
+	"element/internal/aqm"
 	"element/internal/core"
 	"element/internal/faults"
 	"element/internal/netem"
 	"element/internal/sim"
 	"element/internal/stack"
 	"element/internal/telemetry"
+	"element/internal/telemetry/stream"
 	"element/internal/trace"
 	"element/internal/units"
 	"element/internal/waterfall"
@@ -147,8 +149,31 @@ type Config struct {
 	Telem *telemetry.Telemetry
 	// Waterfall attaches per-byte-range delay attribution to every
 	// connection (nil disables). Per-shard waterfalls are absorbed into
-	// this instance at drain time.
+	// this instance at drain time. With Stream escalation rules enabled,
+	// recorders exist but stay detached until a flow escalates.
 	Waterfall *waterfall.Waterfall
+
+	// Stream enables the bounded-memory streaming telemetry pipeline
+	// (nil disables): per-shard windowed sketches merged at barriers,
+	// bounded export, and optional sketch-driven escalation.
+	Stream *StreamConfig
+
+	// QueuePackets overrides each connection's bottleneck queue depth in
+	// packets (0 = the discipline's default — for the standard FIFO the
+	// paper's bufferbloat-deep 1000 packets).
+	QueuePackets int
+	// Disc selects the bottleneck AQM discipline ("" = pfifo_fast).
+	Disc aqm.Kind
+}
+
+// slice is the barrier interval: shards advance in parallel between
+// barriers of this length.
+func (c Config) slice() units.Duration {
+	s := c.Duration / 64
+	if s < c.Interval {
+		s = c.Interval
+	}
+	return s
 }
 
 func (c Config) normalize() Config {
@@ -223,6 +248,16 @@ type shard struct {
 	gRunning       *telemetry.Gauge
 	gBackingOff    *telemetry.Gauge
 	gOpen          *telemetry.Gauge
+
+	// Streaming pipeline (nil when Config.Stream is nil): the shard's
+	// windowed sketches plus the tracker delay series handles, and the
+	// Evictions-style escalation transition accounting.
+	stream         *stream.Stream
+	seSnd, seRcv   *stream.Series
+	escalations    int
+	demotions      int
+	ctrEscalations *telemetry.Counter
+	ctrDemotions   *telemetry.Counter
 }
 
 // Fleet is a built supervision run ready to execute.
@@ -230,6 +265,14 @@ type Fleet struct {
 	cfg      Config
 	shards   []*shard
 	monitors []*Monitor // all monitors in connection-ID order
+
+	// Streaming merge state (unused when cfg.Stream is nil): the
+	// reusable fleet-level merge window, the series names shared by
+	// every shard stream, and export accounting.
+	fwin          stream.Window
+	streamNames   []string
+	streamWindows uint64
+	streamErr     error
 
 	draining bool
 }
@@ -266,7 +309,14 @@ func New(cfg Config) *Fleet {
 			sh.wf.SetClock(sh.eng.Now)
 			sh.wf.Instrument(sh.telem.Scope("waterfall"))
 		}
+		if cfg.Stream != nil {
+			sh.buildStream(cfg)
+		}
 		f.shards = append(f.shards, sh)
+	}
+	if cfg.Stream != nil {
+		f.streamNames = f.shards[0].stream.Names()
+		f.fwin.Sketches = make([]stream.Sketch, len(f.streamNames))
 	}
 
 	// Churn plans draw from each connection's private stream at build
@@ -284,6 +334,12 @@ func New(cfg Config) *Fleet {
 		}
 		if injectFaults {
 			m.inj = faults.New(sh.eng, *cfg.Faults, connSeed(cfg.Seed, i)+0x6661756c74) // "fault"
+		}
+		if cfg.Stream != nil && cfg.Stream.Rules.Enabled() {
+			m.esc = stream.NewEscalator(cfg.Stream.Rules, cfg.streamCfg().Width)
+			if sh.wf != nil {
+				m.gate = &hookGate{}
+			}
 		}
 		m.plan = drawPlan(cfg, m.rng)
 		f.monitors = append(f.monitors, m)
@@ -356,8 +412,14 @@ func (sh *shard) updateGauges() {
 func (sh *shard) buildConn(m *Monitor) {
 	eng := sh.eng
 	cfg := sh.fl.cfg
+	fwd := netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2}
+	if cfg.QueuePackets > 0 || cfg.Disc != "" {
+		// The discipline draws from the connection's private stream, so
+		// AQM randomness (PIE) never couples connections across shards.
+		fwd.Discipline = aqm.MustNew(cfg.Disc, aqm.Config{LimitPackets: cfg.QueuePackets}, m.rng)
+	}
 	path := netem.NewPath(eng, netem.PathConfig{
-		Forward: netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2},
+		Forward: fwd,
 		Reverse: netem.LinkConfig{Rate: cfg.Rate, Delay: cfg.RTT / 2},
 	})
 	if m.inj != nil {
@@ -366,20 +428,37 @@ func (sh *shard) buildConn(m *Monitor) {
 	sh.wf.TapLink(path.Forward)
 	sh.wf.TapLink(path.Reverse)
 	net := stack.NewNet(eng, path)
-	m.gt = trace.New(eng)
-	sndHooks, rcvHooks := m.gt.SenderHooks(), m.gt.ReceiverHooks()
+	var sndHooks, rcvHooks stack.TraceHooks
+	if cfg.Stream == nil {
+		// Ground truth costs O(samples) per connection; stream mode's
+		// whole point is memory independent of sample count, so the
+		// collector only exists in the exit-export mode.
+		m.gt = trace.New(eng)
+		sndHooks, rcvHooks = m.gt.SenderHooks(), m.gt.ReceiverHooks()
+	}
 	if sh.wf != nil {
 		rec := sh.wf.NewFlow()
-		sndHooks = stack.MergeTraceHooks(sndHooks, rec.SenderHooks())
-		rcvHooks = stack.MergeTraceHooks(rcvHooks, rec.ReceiverHooks())
+		recSnd, recRcv := rec.SenderHooks(), rec.ReceiverHooks()
+		if m.gate != nil {
+			// Escalation mode: the recorder's hooks are installed but
+			// gated off until the flow escalates.
+			recSnd, recRcv = m.gate.wrap(recSnd), m.gate.wrap(recRcv)
+		}
+		sndHooks = stack.MergeTraceHooks(sndHooks, recSnd)
+		rcvHooks = stack.MergeTraceHooks(rcvHooks, recRcv)
 		m.wf = rec
 	}
 	m.conn = stack.Dial(net, stack.ConnConfig{
+		// Every connection runs its own private Net, whose flow counter
+		// would hand out the same ID fleet-wide; pin the globally unique
+		// connection ID instead so the shard waterfall's by-flow link-tap
+		// dispatch never aliases two connections.
+		FlowID:        m.ID + 1,
 		SenderHooks:   sndHooks,
 		ReceiverHooks: rcvHooks,
 		Telem:         sh.telem,
 	})
-	if m.wf != nil {
+	if m.wf != nil && m.gate == nil {
 		sh.wf.Bind(m.conn.FlowID, m.wf)
 	}
 	m.sndSrc = core.InfoSource(m.conn.Sender)
@@ -400,10 +479,7 @@ func (f *Fleet) Run() *Result { return f.RunContext(context.Background()) }
 // partial series, telemetry and waterfall state are intact.
 func (f *Fleet) RunContext(ctx context.Context) *Result {
 	end := units.Time(f.cfg.Duration)
-	slice := f.cfg.Duration / 64
-	if slice < f.cfg.Interval {
-		slice = f.cfg.Interval
-	}
+	slice := f.cfg.slice()
 	now := units.Time(0)
 	for now < end {
 		if ctx.Err() != nil {
@@ -414,6 +490,7 @@ func (f *Fleet) RunContext(ctx context.Context) *Result {
 			next = end
 		}
 		f.advance(next)
+		f.streamAdvance(next)
 		now = next
 	}
 	return f.drain(ctx.Err() != nil)
@@ -456,13 +533,23 @@ func (f *Fleet) drain(interrupted bool) *Result {
 		res.Receiver.Merge(cr.Receiver)
 		res.Evictions += cr.Anomalies.Evictions
 		res.Restores += cr.Anomalies.Restores
+		if cr.Escalated {
+			res.Escalated++
+		}
+		res.Escalations += cr.Escalations
+		res.Demotions += cr.Demotions
 	}
+	f.streamDrain()
+	res.StreamWindows = f.streamWindows
+	res.StreamErr = f.streamErr
 	for _, sh := range f.shards {
 		sh.updateGauges()
 		res.Restarts += sh.restarts
 		res.Crashes += sh.crashes
 		res.Recycles += sh.recycles
 		res.Checkpoints += sh.checkpoints
+		res.StreamLate += sh.stream.Late()
+		res.StreamDropped += sh.stream.DroppedWindows()
 		f.cfg.Telem.Merge(sh.telem)
 		f.cfg.Waterfall.Absorb(sh.wf)
 		sh.eng.Shutdown()
@@ -483,6 +570,15 @@ type Result struct {
 	Evictions   int
 	Restores    int
 	Interrupted bool
+
+	// Streaming pipeline accounting (zero when Config.Stream is nil).
+	Escalations   int    // lightweight → full transitions across the fleet
+	Demotions     int    // full → lightweight transitions
+	Escalated     int    // flows still escalated at drain
+	StreamWindows uint64 // merged fleet windows exported
+	StreamLate    uint64 // samples beyond the watermark (anomalies)
+	StreamDropped uint64 // windows lost to sealed-queue overflow
+	StreamErr     error  // first sink error, if any
 }
 
 // ConnResult is one connection's reconciliation against its own ground
@@ -497,6 +593,10 @@ type ConnResult struct {
 	Recycles   int
 	GoodputBps float64
 	Closed     bool // closed early by churn
+	// Escalation state (zero without stream escalation rules).
+	Escalations int
+	Demotions   int
+	Escalated   bool // still escalated at drain
 	// SndLog/RcvLog are the full per-connection estimate series stitched
 	// across monitor incarnations.
 	SndLog []core.Measurement

@@ -8,6 +8,7 @@ import (
 
 	"element/internal/faults"
 	"element/internal/telemetry"
+	"element/internal/telemetry/stream"
 	"element/internal/testutil"
 	"element/internal/units"
 )
@@ -235,5 +236,34 @@ func TestFleetSoak(t *testing.T) {
 	if a.Restarts != b.Restarts || a.Crashes != b.Crashes || a.Recycles != b.Recycles ||
 		a.Evictions != b.Evictions || a.Restores != b.Restores {
 		t.Fatalf("sharded and single-shard soak runs diverge for fixed seed:\n  a %v\n  b %v", a, b)
+	}
+
+	// Stream-mode soak: the same churning fleet through the windowed
+	// sketch pipeline with escalation rules. Retention must stay bounded —
+	// no sealed-queue overflow, and per-connection series only on flows
+	// that actually escalated — and the NoLeaks guard covers the whole
+	// run, so a leaked stream goroutine or timer fails the test.
+	cfg.Shards = shards
+	cfg.Stream = &StreamConfig{
+		Window: 250 * units.Millisecond,
+		Rules:  stream.Rules{P99Above: 200 * units.Millisecond},
+	}
+	c := New(cfg).Run()
+	t.Logf("stream soak: windows=%d late=%d escalations=%d demotions=%d",
+		c.StreamWindows, c.StreamLate, c.Escalations, c.Demotions)
+	if c.StreamWindows == 0 {
+		t.Fatal("stream soak exported no windows")
+	}
+	if c.StreamDropped != 0 {
+		t.Fatalf("stream soak dropped %d windows — retention not bounded by drains", c.StreamDropped)
+	}
+	if c.StreamErr != nil {
+		t.Fatalf("stream soak sink error: %v", c.StreamErr)
+	}
+	for _, conn := range c.Conns {
+		if conn.Escalations == 0 && conn.Demotions == 0 && (len(conn.SndLog) != 0 || len(conn.RcvLog) != 0) {
+			t.Fatalf("conn %d never escalated yet retained %d/%d samples",
+				conn.ID, len(conn.SndLog), len(conn.RcvLog))
+		}
 	}
 }

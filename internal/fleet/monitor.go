@@ -7,6 +7,7 @@ import (
 	"element/internal/faults"
 	"element/internal/sim"
 	"element/internal/stack"
+	"element/internal/telemetry/stream"
 	"element/internal/trace"
 	"element/internal/units"
 	"element/internal/waterfall"
@@ -104,9 +105,17 @@ type Monitor struct {
 	sndCP, rcvCP, minCP []byte
 	haveCP              bool
 
-	// Series stitched across incarnations, flushed after every poll.
+	// Series stitched across incarnations, flushed after every poll. In
+	// stream mode these stay empty except while the flow is escalated.
 	sndLog, rcvLog []core.Measurement
 	sndOff, rcvOff int
+
+	// Streaming state (nil/zero without Config.Stream): the per-flow
+	// escalation state machine, the waterfall hook gate it drives, and
+	// the anomaly-total mark for per-poll deltas.
+	esc      *stream.Escalator
+	gate     *hookGate
+	anomMark int
 
 	// Watchdog progress mark: total polls at the last check.
 	pollMark int
@@ -233,7 +242,8 @@ func (m *Monitor) becomeRunning() {
 	m.state = stateRunning
 	m.alive = true
 	m.sndOff, m.rcvOff = 0, 0
-	m.pollMark = -1 // grace: the first watchdog pass after a start never fires
+	m.anomMark = m.anomalyTotal() // restored counts are not new anomalies
+	m.pollMark = -1               // grace: the first watchdog pass after a start never fires
 	m.scheduleTick()
 }
 
@@ -281,8 +291,14 @@ func (m *Monitor) protectedPoll() (ok bool) {
 
 // flush streams freshly produced samples into the per-connection series.
 // Exporting incrementally is what makes the series crash-safe: samples
-// already flushed survive the incarnation that produced them.
+// already flushed survive the incarnation that produced them. In stream
+// mode the samples drain into the shard's windowed sketches instead, so
+// per-connection memory stays constant.
 func (m *Monitor) flush() {
+	if m.sh.stream != nil {
+		m.flushStream()
+		return
+	}
 	if m.snd != nil {
 		log := m.snd.Estimates().Log()
 		m.sndLog = append(m.sndLog, log[m.sndOff:]...)
@@ -430,6 +446,16 @@ func (m *Monitor) drain() *ConnResult {
 	if m.snd != nil {
 		cr.Anomalies = m.snd.Anomalies()
 		cr.Anomalies.Add(m.rcv.Anomalies())
+	}
+	if m.esc != nil {
+		// Evaluate the partial last window so a run ending mid-window
+		// still counts its final evidence.
+		if changed := m.esc.Finish(); changed {
+			m.setEscalated(m.esc.Escalated())
+		}
+		cr.Escalations = int(m.esc.Escalations())
+		cr.Demotions = int(m.esc.Demotions())
+		cr.Escalated = m.esc.Escalated()
 	}
 	m.dropIncarnation()
 	m.state = stateDone

@@ -1,0 +1,288 @@
+package fleet
+
+import (
+	"element/internal/core"
+	"element/internal/pkt"
+	"element/internal/stack"
+	"element/internal/telemetry/stream"
+	"element/internal/units"
+)
+
+// StreamConfig enables the bounded-memory streaming telemetry pipeline:
+// per-shard windowed quantile sketches of the tracker delay estimates
+// (plus per-stage waterfall sketches when a Waterfall is configured),
+// merged across shards at every barrier and exported window-by-window
+// through Sink. With Rules enabled, each flow runs the Dapper-style
+// two-phase state machine: lightweight sketch-only observation that
+// escalates to full tracker series + waterfall granularity when a rule
+// trips, and demotes after the configured number of clean windows.
+//
+// In stream mode the fleet does not keep per-connection ground-truth
+// collectors or full estimate series (escalated flows excepted), so a
+// run's memory is O(shards × windows retained), independent of sample
+// count.
+type StreamConfig struct {
+	// Window is the tumbling-window width in virtual time
+	// (0 = stream.DefaultWidth).
+	Window units.Duration
+	// Watermark is the lateness allowance for samples landing in an
+	// already-advanced window (0 = Window).
+	Watermark units.Duration
+	// Retain bounds each shard's sealed-window queue (0 = enough for one
+	// barrier slice plus slack; the fleet drains every barrier).
+	Retain int
+	// Rules is the escalation policy (zero rules = no escalation; every
+	// flow stays lightweight).
+	Rules stream.Rules
+	// Sink receives each merged fleet window as it seals, during the run
+	// (nil = windows are counted and discarded).
+	Sink stream.Sink
+}
+
+// streamCfg derives the per-shard stream configuration. Lag is the
+// barrier slice: shards observe up to a slice past the last AdvanceTo,
+// and sizing the open ring for it means no shard ever force-seals — the
+// sealed index sequence is a pure function of barrier times, which is
+// what makes stream exports byte-identical across shard counts.
+func (c Config) streamCfg() stream.Config {
+	sc := stream.Config{
+		Width:     c.Stream.Window,
+		Watermark: c.Stream.Watermark,
+		Lag:       c.slice(),
+		Retain:    c.Stream.Retain,
+	}
+	if sc.Width <= 0 {
+		sc.Width = stream.DefaultWidth
+	}
+	if sc.Retain <= 0 {
+		// One barrier's worth of sealed windows plus slack, so the
+		// per-barrier drain never drops.
+		sc.Retain = int(c.slice()/sc.Width) + 2
+		if sc.Retain < stream.DefaultRetain {
+			sc.Retain = stream.DefaultRetain
+		}
+	}
+	return sc
+}
+
+// buildStream attaches the streaming pipeline to a freshly built shard:
+// the tracker delay series first, then the waterfall stage series (all
+// registration happens at build time, in a fixed order, on every shard).
+func (sh *shard) buildStream(cfg Config) {
+	sh.stream = stream.New(cfg.streamCfg())
+	sh.seSnd = sh.stream.Series("snd_delay")
+	sh.seRcv = sh.stream.Series("rcv_delay")
+	sh.wf.StreamTo(sh.stream)
+	if sh.telem != nil {
+		sc := sh.telem.Scope("fleet")
+		sh.ctrEscalations = sc.Counter("escalations")
+		sh.ctrDemotions = sc.Counter("demotions")
+	}
+}
+
+// streamAdvance runs at every fleet barrier, after the shards have
+// advanced to now: seal every shard's watermark-expired windows, then
+// merge and export them index-aligned. All shards seal to the same
+// horizon, so they agree on the sealed index sequence (idle shards emit
+// empty windows) and the merged export is shard-count invariant.
+func (f *Fleet) streamAdvance(now units.Time) {
+	if f.cfg.Stream == nil {
+		return
+	}
+	for _, sh := range f.shards {
+		sh.stream.AdvanceTo(now)
+	}
+	f.exportSealed()
+}
+
+// streamDrain is the final flush: seal everything through the window
+// containing the run end on every shard, then merge-export the tail.
+func (f *Fleet) streamDrain() {
+	if f.cfg.Stream == nil {
+		return
+	}
+	final := int64(f.cfg.Duration) / int64(f.shards[0].stream.Width())
+	for _, sh := range f.shards {
+		sh.stream.SealThrough(final)
+	}
+	f.exportSealed()
+}
+
+// exportSealed folds the shards' sealed windows into the fleet's
+// reusable merge window, index by index, and hands each to the sink.
+func (f *Fleet) exportSealed() {
+	s0 := f.shards[0].stream
+	for s0.NextSealed() != nil {
+		f.fwin.Reset()
+		for _, sh := range f.shards {
+			f.fwin.Merge(sh.stream.NextSealed())
+			sh.stream.ReleaseSealed()
+		}
+		f.streamWindows++
+		if sink := f.cfg.Stream.Sink; sink != nil {
+			if err := sink.ExportWindow(f.streamNames, &f.fwin); err != nil && f.streamErr == nil {
+				f.streamErr = err
+			}
+		}
+	}
+}
+
+// --- Escalation glue ------------------------------------------------------
+
+// observeStream feeds one tracker measurement into the shard's stream
+// series and, for sender samples, the flow's escalator. Escalated flows
+// additionally retain the full measurement series, restoring the
+// non-stream granularity for exactly the flows that need diagnosis.
+func (m *Monitor) observeStream(se *stream.Series, mm core.Measurement, sender bool) {
+	flagged := mm.Confidence == core.ConfidenceLow
+	if flagged {
+		se.ObserveFlagged(mm.At, mm.Delay.Seconds())
+	} else {
+		se.Observe(mm.At, mm.Delay.Seconds())
+	}
+	if sender && m.esc != nil {
+		if changed, esc := m.esc.Observe(mm.At, mm.Delay.Seconds(), flagged); changed {
+			m.setEscalated(esc)
+		}
+	}
+	if m.esc.Escalated() {
+		if sender {
+			m.sndLog = append(m.sndLog, mm)
+		} else {
+			m.rcvLog = append(m.rcvLog, mm)
+		}
+	}
+}
+
+// flushStream drains freshly produced samples into the stream instead of
+// the unbounded per-connection series, and credits the poll's sanitizer
+// anomaly delta to the escalator.
+func (m *Monitor) flushStream() {
+	if m.snd != nil {
+		m.snd.Estimates().DrainLog(func(mm core.Measurement) {
+			m.observeStream(m.sh.seSnd, mm, true)
+		})
+	}
+	if m.rcv != nil {
+		m.rcv.Estimates().DrainLog(func(mm core.Measurement) {
+			m.observeStream(m.sh.seRcv, mm, false)
+		})
+	}
+	if m.esc != nil {
+		tot := m.anomalyTotal()
+		if d := tot - m.anomMark; d > 0 {
+			m.esc.Anomalies(uint64(d))
+		}
+		m.anomMark = tot
+	}
+}
+
+func (m *Monitor) anomalyTotal() int {
+	tot := 0
+	if m.snd != nil {
+		tot += m.snd.Anomalies().Total()
+	}
+	if m.rcv != nil {
+		tot += m.rcv.Anomalies().Total()
+	}
+	return tot
+}
+
+// setEscalated applies a state transition decided by the escalator:
+// counters, and — when the fleet has a waterfall — attaching/detaching
+// full per-byte-range tracing for this flow.
+func (m *Monitor) setEscalated(on bool) {
+	sh := m.sh
+	if on {
+		sh.escalations++
+		if sh.ctrEscalations != nil {
+			sh.ctrEscalations.Inc()
+		}
+		if m.gate != nil && m.connOpen {
+			// Attaching mid-flow: ranges below the current write horizon
+			// have already lost their sndbuf-entry stamps, so the gate
+			// only admits ranges written from here on — every forwarded
+			// range has complete boundaries.
+			m.gate.floor = m.conn.Sender.WrittenCum()
+			m.gate.on = true
+			sh.wf.Bind(m.conn.FlowID, m.wf)
+		}
+	} else {
+		sh.demotions++
+		if sh.ctrDemotions != nil {
+			sh.ctrDemotions.Inc()
+		}
+		if m.gate != nil {
+			m.gate.on = false
+			if m.conn != nil {
+				sh.wf.Unbind(m.conn.FlowID)
+			}
+		}
+	}
+}
+
+// hookGate wraps a recorder's trace hooks so waterfall granularity can
+// be switched on per flow at escalation time and off again at demotion.
+// While on, only byte ranges at or above the escalation floor pass — a
+// range that began life before the recorder attached would otherwise
+// surface with zero boundary stamps and a bogus multi-second residency.
+type hookGate struct {
+	on    bool
+	floor uint64
+}
+
+// wrap gates h. Hook fields h does not set stay nil, preserving the
+// hooks' cost-nothing-when-absent contract.
+func (g *hookGate) wrap(h stack.TraceHooks) stack.TraceHooks {
+	var out stack.TraceHooks
+	if fn := h.AppWrite; fn != nil {
+		out.AppWrite = func(endSeq uint64, n int) {
+			if g.on && endSeq-uint64(n) >= g.floor {
+				fn(endSeq, n)
+			}
+		}
+	}
+	if fn := h.TCPTransmit; fn != nil {
+		out.TCPTransmit = func(seq uint64, n int, retx bool) {
+			if g.on && seq >= g.floor {
+				fn(seq, n, retx)
+			}
+		}
+	}
+	if fn := h.TCPReceive; fn != nil {
+		out.TCPReceive = func(seq uint64, n int) {
+			if g.on && seq >= g.floor {
+				fn(seq, n)
+			}
+		}
+	}
+	if fn := h.TCPInOrder; fn != nil {
+		out.TCPInOrder = func(cum uint64) {
+			if g.on && cum > g.floor {
+				fn(cum)
+			}
+		}
+	}
+	if fn := h.AppRead; fn != nil {
+		out.AppRead = func(endSeq uint64, n int) {
+			if g.on && endSeq > g.floor {
+				fn(endSeq, n)
+			}
+		}
+	}
+	if fn := h.PacketRecv; fn != nil {
+		out.PacketRecv = func(p *pkt.Packet) {
+			if g.on && p.Seq >= g.floor {
+				fn(p)
+			}
+		}
+	}
+	if fn := h.SndbufResize; fn != nil {
+		out.SndbufResize = func(from, to int) {
+			if g.on {
+				fn(from, to)
+			}
+		}
+	}
+	return out
+}

@@ -98,6 +98,11 @@ func mergePkt(a, b func(*pkt.Packet)) func(*pkt.Packet) {
 
 // ConnConfig configures one simulated TCP connection.
 type ConnConfig struct {
+	// FlowID pins the connection's flow identifier (0 = allocate from the
+	// Net). Callers running one private Net per connection — the fleet —
+	// set this to keep IDs unique across Nets, so by-flow dispatch
+	// (waterfall link taps, flow-scoped telemetry) never collides.
+	FlowID int
 	// CC selects the congestion-control algorithm (default cubic).
 	CC cc.Kind
 	// MSS is the segment size (default tcp.DefaultMSS).
@@ -145,7 +150,10 @@ func DialReverse(n *Net, cfg ConnConfig) *Conn {
 }
 
 func dial(n *Net, cfg ConnConfig, reverse bool) *Conn {
-	id := n.allocFlowID()
+	id := cfg.FlowID
+	if id == 0 {
+		id = n.allocFlowID()
+	}
 	eng := n.eng
 	mss := cfg.MSS
 	if mss == 0 {

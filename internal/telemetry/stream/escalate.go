@@ -1,0 +1,195 @@
+package stream
+
+import "element/internal/units"
+
+// Rules is the sketch-driven escalation policy (Dapper-style two-phase
+// monitoring): a flow whose per-window summary trips any enabled rule
+// escalates from lightweight sketch-only observation to full tracker +
+// waterfall granularity, and demotes after CleanWindows consecutive
+// clean windows. A zero threshold disables its rule.
+type Rules struct {
+	// P99Above escalates when a window's p99 sender delay exceeds it.
+	P99Above units.Duration
+	// FlaggedFrac escalates when the flagged (low-confidence) fraction
+	// of a window's samples exceeds it — the confidence-collapse signal.
+	FlaggedFrac float64
+	// AnomalyPerSample escalates when sanitizer anomalies per observed
+	// sample exceed it — the anomaly-rate-spike signal.
+	AnomalyPerSample float64
+	// MinSamples guards every rule: windows with fewer samples never
+	// trip (default 4).
+	MinSamples uint64
+	// CleanWindows is how many consecutive clean windows demote an
+	// escalated flow back to lightweight mode (default 3).
+	CleanWindows int
+}
+
+func (r Rules) normalize() Rules {
+	if r.MinSamples == 0 {
+		r.MinSamples = 4
+	}
+	if r.CleanWindows <= 0 {
+		r.CleanWindows = 3
+	}
+	return r
+}
+
+// Enabled reports whether any rule has a live threshold.
+func (r Rules) Enabled() bool {
+	return r.P99Above > 0 || r.FlaggedFrac > 0 || r.AnomalyPerSample > 0
+}
+
+// Escalator is one flow's escalation state machine. It keeps a single
+// window's worth of sketch state (a few KB), evaluates the rules each
+// time virtual time crosses a window boundary, and tracks the
+// escalated/lightweight state plus transition counters. Decisions are a
+// pure function of the flow's own sample sequence, so they are
+// independent of how flows are packed onto shards.
+type Escalator struct {
+	rules Rules
+	width units.Duration
+
+	idx       int64 // current window ordinal
+	sketch    Sketch
+	flagged   uint64
+	anomalies uint64
+
+	escalated bool
+	clean     int // consecutive clean windows while escalated
+
+	escalations uint64
+	demotions   uint64
+}
+
+// NewEscalator returns a flow escalator evaluating rules over tumbling
+// windows of the given width (default DefaultWidth).
+func NewEscalator(rules Rules, width units.Duration) *Escalator {
+	if width <= 0 {
+		width = DefaultWidth
+	}
+	return &Escalator{rules: rules.normalize(), width: width}
+}
+
+// Escalated reports whether the flow is currently escalated.
+func (e *Escalator) Escalated() bool { return e != nil && e.escalated }
+
+// Escalations reports lightweight→full transitions so far.
+func (e *Escalator) Escalations() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.escalations
+}
+
+// Demotions reports full→lightweight transitions so far.
+func (e *Escalator) Demotions() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.demotions
+}
+
+// Anomalies credits n sanitizer anomalies to the current window.
+func (e *Escalator) Anomalies(n uint64) {
+	if e != nil {
+		e.anomalies += n
+	}
+}
+
+// Observe records one sender-delay sample (seconds) at virtual time at,
+// rolling and evaluating any windows the sample's time has passed.
+// changed reports a state transition this call; escalated the state
+// after it. Samples must arrive in non-decreasing time order (monitor
+// polls are monotonic per flow). Allocation-free.
+func (e *Escalator) Observe(at units.Time, delay float64, flagged bool) (changed, escalated bool) {
+	if e == nil {
+		return false, false
+	}
+	changed = e.advance(at)
+	e.sketch.Observe(delay)
+	if flagged {
+		e.flagged++
+	}
+	return changed, e.escalated
+}
+
+// AdvanceTo rolls and evaluates every window boundary passed by virtual
+// time at without recording a sample — for callers whose clock moves
+// even when the flow is quiet.
+func (e *Escalator) AdvanceTo(at units.Time) (changed bool) {
+	if e == nil {
+		return false
+	}
+	return e.advance(at)
+}
+
+// Finish evaluates the in-progress window at drain time so a run that
+// ends mid-window still counts its last evidence. Returns whether the
+// state changed.
+func (e *Escalator) Finish() (changed bool) {
+	if e == nil {
+		return false
+	}
+	if e.sketch.Count() > 0 || e.anomalies > 0 {
+		changed = e.roll()
+	}
+	return changed
+}
+
+// advance rolls every window boundary passed by time at.
+func (e *Escalator) advance(at units.Time) (changed bool) {
+	idx := int64(at) / int64(e.width)
+	if at < 0 {
+		idx = 0
+	}
+	for e.idx < idx {
+		if e.roll() {
+			changed = true
+		}
+		e.idx++
+	}
+	return changed
+}
+
+// roll evaluates the completed window against the rules and resets the
+// window state. One transition at most per window.
+func (e *Escalator) roll() (changed bool) {
+	n := e.sketch.Count()
+	trip := false
+	if n >= e.rules.MinSamples {
+		if e.rules.P99Above > 0 && e.sketch.Quantile(0.99) > e.rules.P99Above.Seconds() {
+			trip = true
+		}
+		if e.rules.FlaggedFrac > 0 && float64(e.flagged) > e.rules.FlaggedFrac*float64(n) {
+			trip = true
+		}
+		if e.rules.AnomalyPerSample > 0 && float64(e.anomalies) > e.rules.AnomalyPerSample*float64(n) {
+			trip = true
+		}
+	}
+	switch {
+	case trip && !e.escalated:
+		e.escalated = true
+		e.escalations++
+		e.clean = 0
+		changed = true
+	case trip:
+		e.clean = 0
+	case e.escalated:
+		// Clean window (or too few samples to judge): count toward
+		// demotion only when the flow actually produced evidence.
+		if n > 0 {
+			e.clean++
+			if e.clean >= e.rules.CleanWindows {
+				e.escalated = false
+				e.demotions++
+				e.clean = 0
+				changed = true
+			}
+		}
+	}
+	e.sketch.Reset()
+	e.flagged = 0
+	e.anomalies = 0
+	return changed
+}

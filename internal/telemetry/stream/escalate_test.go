@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"testing"
+
+	"element/internal/units"
+)
+
+const escWidth = units.Second
+
+// feedWindow pushes n samples of the given delay spread through window
+// idx and returns any state change observed while crossing into idx+1.
+func feedWindow(e *Escalator, idx int64, n int, delay float64, flagged bool) (changed, escalated bool) {
+	base := units.Time(idx) * units.Time(escWidth)
+	for i := 0; i < n; i++ {
+		at := base.Add(units.Duration(i+1) * units.Millisecond)
+		e.Observe(at, delay, flagged)
+	}
+	// Cross into the next window to trigger evaluation.
+	changed = e.AdvanceTo(units.Time(idx+1)*units.Time(escWidth) + 1)
+	return changed, e.Escalated()
+}
+
+func TestEscalatorP99Rule(t *testing.T) {
+	e := NewEscalator(Rules{P99Above: 500 * units.Millisecond, CleanWindows: 2}, escWidth)
+	if _, esc := feedWindow(e, 0, 20, 0.1, false); esc {
+		t.Fatal("escalated on a clean window")
+	}
+	changed, esc := feedWindow(e, 1, 20, 0.9, false)
+	if !changed || !esc {
+		t.Fatalf("p99 rule did not escalate: changed=%v esc=%v", changed, esc)
+	}
+	if e.Escalations() != 1 {
+		t.Fatalf("escalations = %d", e.Escalations())
+	}
+	// One clean window is not enough to demote...
+	if _, esc := feedWindow(e, 2, 20, 0.1, false); !esc {
+		t.Fatal("demoted after a single clean window")
+	}
+	// ...two are.
+	changed, esc = feedWindow(e, 3, 20, 0.1, false)
+	if !changed || esc {
+		t.Fatalf("did not demote after CleanWindows: changed=%v esc=%v", changed, esc)
+	}
+	if e.Demotions() != 1 {
+		t.Fatalf("demotions = %d", e.Demotions())
+	}
+}
+
+func TestEscalatorMinSamplesGuard(t *testing.T) {
+	e := NewEscalator(Rules{P99Above: 500 * units.Millisecond, MinSamples: 10}, escWidth)
+	if _, esc := feedWindow(e, 0, 5, 2.0, false); esc {
+		t.Fatal("escalated below MinSamples")
+	}
+	if _, esc := feedWindow(e, 1, 10, 2.0, false); !esc {
+		t.Fatal("did not escalate at MinSamples")
+	}
+}
+
+func TestEscalatorFlaggedAndAnomalyRules(t *testing.T) {
+	e := NewEscalator(Rules{FlaggedFrac: 0.5}, escWidth)
+	if _, esc := feedWindow(e, 0, 10, 0.1, false); esc {
+		t.Fatal("flagged rule tripped with no flags")
+	}
+	if _, esc := feedWindow(e, 1, 10, 0.1, true); !esc {
+		t.Fatal("confidence collapse did not escalate")
+	}
+
+	a := NewEscalator(Rules{AnomalyPerSample: 0.25}, escWidth)
+	a.Anomalies(100)
+	if _, esc := feedWindow(a, 0, 10, 0.1, false); !esc {
+		t.Fatal("anomaly spike did not escalate")
+	}
+}
+
+func TestEscalatorIdleWindowsDoNotDemote(t *testing.T) {
+	e := NewEscalator(Rules{P99Above: 100 * units.Millisecond, CleanWindows: 2}, escWidth)
+	feedWindow(e, 0, 20, 1.0, false)
+	if !e.Escalated() {
+		t.Fatal("setup: not escalated")
+	}
+	// Skip many empty windows: no evidence either way, stay escalated.
+	if _, esc := feedWindow(e, 50, 20, 1.0, false); !esc {
+		t.Fatal("idle windows demoted the flow without evidence")
+	}
+}
+
+func TestEscalatorFinish(t *testing.T) {
+	e := NewEscalator(Rules{P99Above: 100 * units.Millisecond}, escWidth)
+	base := units.Time(0)
+	for i := 0; i < 20; i++ {
+		e.Observe(base.Add(units.Duration(i+1)*units.Millisecond), 1.0, false)
+	}
+	if e.Escalated() {
+		t.Fatal("mid-window state must not have evaluated yet")
+	}
+	if changed := e.Finish(); !changed || !e.Escalated() {
+		t.Fatal("Finish did not evaluate the partial window")
+	}
+}
+
+func TestRulesEnabled(t *testing.T) {
+	if (Rules{}).Enabled() {
+		t.Fatal("zero rules must be disabled")
+	}
+	if !(Rules{P99Above: units.Second}).Enabled() {
+		t.Fatal("P99Above must enable")
+	}
+	var nilE *Escalator
+	if nilE.Escalated() || nilE.Escalations() != 0 {
+		t.Fatal("nil escalator must no-op")
+	}
+	nilE.Anomalies(1)
+	nilE.Observe(0, 1, false)
+	nilE.Finish()
+}

@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// exportQuantiles is the fixed set of per-window quantile series each
+// exporter emits for every sketch.
+var exportQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Sink consumes sealed windows. names is the stream's series-name slice
+// (one entry per Window.Sketches index); it is identical on every call
+// for a given stream, so sinks may capture derived state on first use.
+type Sink interface {
+	ExportWindow(names []string, w *Window) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(names []string, w *Window) error
+
+// ExportWindow calls f.
+func (f SinkFunc) ExportWindow(names []string, w *Window) error { return f(names, w) }
+
+// TextExporter writes each sealed window as Prometheus text exposition:
+// per-series quantile/count/min/max samples labelled with the window
+// index and its start time. Output depends only on the window contents,
+// so merged fleet windows export byte-identically for any shard count.
+type TextExporter struct {
+	w       io.Writer
+	Windows uint64 // windows exported
+}
+
+// NewTextExporter returns a text Sink writing to w.
+func NewTextExporter(w io.Writer) *TextExporter { return &TextExporter{w: w} }
+
+// ExportWindow writes one window.
+func (t *TextExporter) ExportWindow(names []string, win *Window) error {
+	bw := bufio.NewWriter(t.w)
+	fmt.Fprintf(bw, "# window %d [%s,%s) samples=%d flagged=%d late=%d\n",
+		win.Index, win.Start, win.End, win.Samples, win.Flagged, win.Late)
+	for i, name := range names {
+		sk := &win.Sketches[i]
+		for _, q := range exportQuantiles {
+			fmt.Fprintf(bw, "element_stream_%s{window=\"%d\",quantile=\"%g\"} %g\n",
+				name, win.Index, q, sk.Quantile(q))
+		}
+		fmt.Fprintf(bw, "element_stream_%s_count{window=\"%d\"} %d\n", name, win.Index, sk.Count())
+		fmt.Fprintf(bw, "element_stream_%s_min{window=\"%d\"} %g\n", name, win.Index, sk.Min())
+		fmt.Fprintf(bw, "element_stream_%s_max{window=\"%d\"} %g\n", name, win.Index, sk.Max())
+	}
+	t.Windows++
+	return bw.Flush()
+}
+
+// BatchExporter writes sealed windows as remote-write-shaped JSONL — one
+// batch object per window, each series a timeseries entry with quantile
+// samples stamped at the window end — under a hard byte budget. A window
+// whose encoding would exceed the remaining budget is dropped whole and
+// counted, never truncated mid-record, so the output is always valid
+// JSONL and never exceeds Budget bytes.
+type BatchExporter struct {
+	w      io.Writer
+	budget int
+	spent  int
+	buf    []byte
+
+	Windows uint64 // windows written
+	Dropped uint64 // windows dropped for budget
+}
+
+// NewBatchExporter returns a JSONL Sink writing at most budget bytes to
+// w (budget <= 0 means unlimited).
+func NewBatchExporter(w io.Writer, budget int) *BatchExporter {
+	return &BatchExporter{w: w, budget: budget}
+}
+
+// BytesWritten reports the bytes emitted so far.
+func (b *BatchExporter) BytesWritten() int { return b.spent }
+
+// ExportWindow encodes one window, enforcing the byte budget.
+func (b *BatchExporter) ExportWindow(names []string, win *Window) error {
+	b.buf = b.buf[:0]
+	b.buf = append(b.buf, fmt.Sprintf(`{"window":%d,"start_s":%g,"end_s":%g,"samples":%d,"flagged":%d,"late":%d,"series":[`,
+		win.Index, win.Start.Seconds(), win.End.Seconds(), win.Samples, win.Flagged, win.Late)...)
+	for i, name := range names {
+		sk := &win.Sketches[i]
+		if i > 0 {
+			b.buf = append(b.buf, ',')
+		}
+		b.buf = append(b.buf, fmt.Sprintf(`{"name":%q,"count":%d,"min":%g,"max":%g,"samples":[`,
+			"element_stream_"+name, sk.Count(), sk.Min(), sk.Max())...)
+		for j, q := range exportQuantiles {
+			if j > 0 {
+				b.buf = append(b.buf, ',')
+			}
+			b.buf = append(b.buf, fmt.Sprintf(`{"quantile":%g,"value":%g,"timestamp_s":%g}`,
+				q, sk.Quantile(q), win.End.Seconds())...)
+		}
+		b.buf = append(b.buf, "]}"...)
+	}
+	b.buf = append(b.buf, "]}\n"...)
+	if b.budget > 0 && b.spent+len(b.buf) > b.budget {
+		b.Dropped++
+		return nil
+	}
+	n, err := b.w.Write(b.buf)
+	b.spent += n
+	if err != nil {
+		return err
+	}
+	b.Windows++
+	return nil
+}

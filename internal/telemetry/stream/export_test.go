@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"element/internal/units"
+)
+
+func sealOneWindow(t *testing.T, vals ...float64) (*Stream, *Window) {
+	t.Helper()
+	st := New(Config{Width: units.Second, Retain: 4})
+	se := st.Series("snd_delay")
+	st.Series("rcv_delay")
+	for i, v := range vals {
+		se.Observe(units.Time(i)*units.Time(units.Millisecond), v)
+	}
+	st.SealThrough(0)
+	w := st.NextSealed()
+	if w == nil {
+		t.Fatal("no sealed window")
+	}
+	return st, w
+}
+
+func TestTextExporter(t *testing.T) {
+	st, w := sealOneWindow(t, 0.1, 0.2, 0.3)
+	var buf bytes.Buffer
+	ex := NewTextExporter(&buf)
+	if err := ex.ExportWindow(st.Names(), w); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# window 0 ",
+		`element_stream_snd_delay{window="0",quantile="0.99"}`,
+		`element_stream_snd_delay_count{window="0"} 3`,
+		`element_stream_rcv_delay_count{window="0"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text export missing %q:\n%s", want, out)
+		}
+	}
+	if ex.Windows != 1 {
+		t.Fatalf("Windows = %d", ex.Windows)
+	}
+	// Determinism: exporting the same window twice is byte-identical.
+	var buf2 bytes.Buffer
+	if err := NewTextExporter(&buf2).ExportWindow(st.Names(), w); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Fatal("text export is not deterministic")
+	}
+}
+
+func TestBatchExporterShapeAndBudget(t *testing.T) {
+	st, w := sealOneWindow(t, 0.1, 0.2, 0.3)
+
+	var buf bytes.Buffer
+	ex := NewBatchExporter(&buf, 0) // unlimited
+	if err := ex.ExportWindow(st.Names(), w); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.Bytes()
+	var batch struct {
+		Window  int64  `json:"window"`
+		Samples uint64 `json:"samples"`
+		Series  []struct {
+			Name    string `json:"name"`
+			Count   uint64 `json:"count"`
+			Samples []struct {
+				Quantile   float64 `json:"quantile"`
+				Value      float64 `json:"value"`
+				TimestampS float64 `json:"timestamp_s"`
+			} `json:"samples"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(line, &batch); err != nil {
+		t.Fatalf("batch is not valid JSON: %v\n%s", err, line)
+	}
+	if batch.Samples != 3 || len(batch.Series) != 2 {
+		t.Fatalf("batch shape: samples=%d series=%d", batch.Samples, len(batch.Series))
+	}
+	if batch.Series[0].Name != "element_stream_snd_delay" || batch.Series[0].Count != 3 {
+		t.Fatalf("series 0: %+v", batch.Series[0])
+	}
+	if len(batch.Series[0].Samples) != len(exportQuantiles) {
+		t.Fatalf("quantile samples: %d", len(batch.Series[0].Samples))
+	}
+	if batch.Series[0].Samples[0].TimestampS != w.End.Seconds() {
+		t.Fatal("samples must be stamped at the window end")
+	}
+
+	// Hard budget: a window that doesn't fit is dropped whole, output
+	// stays valid JSONL and under budget.
+	oneLine := buf.Len()
+	var buf2 bytes.Buffer
+	ex2 := NewBatchExporter(&buf2, oneLine+10) // room for one window, not two
+	if err := ex2.ExportWindow(st.Names(), w); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex2.ExportWindow(st.Names(), w); err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Windows != 1 || ex2.Dropped != 1 {
+		t.Fatalf("windows=%d dropped=%d, want 1/1", ex2.Windows, ex2.Dropped)
+	}
+	if ex2.BytesWritten() > oneLine+10 {
+		t.Fatalf("budget exceeded: %d > %d", ex2.BytesWritten(), oneLine+10)
+	}
+	for _, l := range bytes.Split(bytes.TrimSpace(buf2.Bytes()), []byte("\n")) {
+		if !json.Valid(l) {
+			t.Fatalf("invalid JSONL line after drop: %s", l)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package stream
+
+import (
+	"fmt"
+
+	"element/internal/units"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultWidth  = units.Second
+	DefaultRetain = 8
+)
+
+// Config shapes a Stream's windowing.
+type Config struct {
+	// Width is the tumbling-window width in virtual time (default 1 s).
+	// Window k covers [k·Width, (k+1)·Width).
+	Width units.Duration
+	// Watermark is the lateness allowance: window k stays open for
+	// samples until virtual time reaches (k+1)·Width + Watermark, so a
+	// late sample within the watermark still lands in its correct
+	// window. Samples later than that count a Late anomaly and fold into
+	// the live window — the one at the stream's advance horizon —
+	// instead (default = Width).
+	Watermark units.Duration
+	// Lag is extra openness beyond the watermark for callers that seal
+	// in batches (the sharded fleet seals once per barrier slice, not
+	// per sample); it sizes the open-window ring (default = Width).
+	Lag units.Duration
+	// Retain bounds the sealed-windows-awaiting-drain buffer. A window
+	// sealed while the buffer is full is discarded and counted in
+	// DroppedWindows — memory stays O(Retain) no matter how rarely the
+	// caller drains (default DefaultRetain).
+	Retain int
+}
+
+func (c Config) normalize() Config {
+	if c.Width <= 0 {
+		c.Width = DefaultWidth
+	}
+	if c.Watermark <= 0 {
+		c.Watermark = c.Width
+	}
+	if c.Lag <= 0 {
+		c.Lag = c.Width
+	}
+	if c.Retain <= 0 {
+		c.Retain = DefaultRetain
+	}
+	return c
+}
+
+// Window is one sealed (or open) tumbling window: per-series sketches
+// plus sample/anomaly accounting. Sealed windows handed to drain
+// callbacks are only valid for the duration of the callback — their
+// storage is recycled.
+type Window struct {
+	// Index is the window's ordinal: it covers
+	// [Index·Width, (Index+1)·Width) in virtual time.
+	Index int64
+	Start units.Time
+	End   units.Time
+	// Samples counts every observation that landed in the window;
+	// Flagged the low-confidence subset; Late the observations that
+	// missed their true window by more than the watermark and were
+	// folded in here.
+	Samples uint64
+	Flagged uint64
+	Late    uint64
+	// Sketches holds one quantile sketch per registered series, indexed
+	// by Series registration order.
+	Sketches []Sketch
+}
+
+// Reset empties the window in place for reuse (allocation-free once
+// Sketches is sized).
+func (w *Window) Reset() {
+	w.Index, w.Start, w.End = 0, 0, 0
+	w.Samples, w.Flagged, w.Late = 0, 0, 0
+	for i := range w.Sketches {
+		w.Sketches[i].Reset()
+	}
+}
+
+// Merge folds src into w: counters add, sketches merge bucket-wise. The
+// result is independent of merge order (see Sketch.Merge), which is what
+// lets per-shard windows fold at fleet barriers with byte-identical
+// exports for any shard count. Window identity (Index/Start/End) is
+// adopted from src when w is still blank.
+func (w *Window) Merge(src *Window) {
+	if w == nil || src == nil {
+		return
+	}
+	if w.Samples == 0 && w.Late == 0 && w.End == 0 {
+		w.Index, w.Start, w.End = src.Index, src.Start, src.End
+	}
+	w.Samples += src.Samples
+	w.Flagged += src.Flagged
+	w.Late += src.Late
+	for i := range src.Sketches {
+		if i >= len(w.Sketches) {
+			w.Sketches = append(w.Sketches, Sketch{})
+		}
+		w.Sketches[i].Merge(&src.Sketches[i])
+	}
+}
+
+// slot is one open-ring entry: a window plus occupancy.
+type slot struct {
+	used bool
+	win  Window
+}
+
+// Stream is one producer's windowed sketch pipeline (in the fleet: one
+// per shard, so the hot path stays single-threaded). Register every
+// Series before the first observation; the rings are built lazily on
+// first use and never grow after that.
+type Stream struct {
+	cfg   Config
+	names []string
+
+	ready bool
+	open  []slot // ring indexed by window index % len
+	// sealed is the drain queue: a ring of Retain windows.
+	sealed     []Window
+	sealedHead int
+	sealedLen  int
+
+	nextSeal int64      // lowest window index not yet sealed
+	horizon  units.Time // last AdvanceTo time: defines the "live" window
+
+	late    uint64 // samples beyond the watermark (folded into live)
+	dropped uint64 // windows sealed while the drain queue was full
+	sealedN uint64 // windows sealed so far (incl. dropped)
+}
+
+// New returns a Stream with cfg (zero fields take defaults).
+func New(cfg Config) *Stream {
+	return &Stream{cfg: cfg.normalize()}
+}
+
+// Series registers (or finds) the named quantile series and returns its
+// handle. Register all series before the first Observe; registering
+// after the rings are built panics, because the per-window sketch arrays
+// are fixed at build time — that is what keeps rotation allocation-free.
+func (s *Stream) Series(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	for i, n := range s.names {
+		if n == name {
+			return &Series{st: s, idx: i}
+		}
+	}
+	if s.ready {
+		panic(fmt.Sprintf("stream: Series(%q) after the first observation; register every series up front", name))
+	}
+	s.names = append(s.names, name)
+	return &Series{st: s, idx: len(s.names) - 1}
+}
+
+// Names returns the registered series names in registration order — the
+// labels matching each Window.Sketches index.
+func (s *Stream) Names() []string {
+	if s == nil {
+		return nil
+	}
+	return s.names
+}
+
+// Width reports the normalized window width.
+func (s *Stream) Width() units.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.cfg.Width
+}
+
+// Late reports the cumulative count of samples that arrived more than a
+// watermark after their window closed (each was folded into the then-live
+// window and counted there too).
+func (s *Stream) Late() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.late
+}
+
+// DroppedWindows reports sealed windows discarded because the drain
+// queue was full.
+func (s *Stream) DroppedWindows() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// SealedWindows reports the total number of windows sealed so far,
+// including dropped ones.
+func (s *Stream) SealedWindows() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.sealedN
+}
+
+// build allocates the open ring and drain queue — the one-time cold
+// setup after which the hot path never allocates.
+func (s *Stream) build() {
+	span := int((s.cfg.Watermark+s.cfg.Lag)/s.cfg.Width) + 2
+	s.open = make([]slot, span)
+	for i := range s.open {
+		s.open[i].win.Sketches = make([]Sketch, len(s.names))
+	}
+	s.sealed = make([]Window, s.cfg.Retain)
+	for i := range s.sealed {
+		s.sealed[i].Sketches = make([]Sketch, len(s.names))
+	}
+	s.ready = true
+}
+
+// windowIndex maps a virtual time to its window ordinal.
+func (s *Stream) windowIndex(at units.Time) int64 {
+	if at < 0 {
+		return 0
+	}
+	return int64(at) / int64(s.cfg.Width)
+}
+
+// openSlot returns the ring slot for window idx, stamping its identity
+// on first touch. idx must be in [nextSeal, nextSeal+len(open)).
+func (s *Stream) openSlot(idx int64) *Window {
+	sl := &s.open[idx%int64(len(s.open))]
+	if !sl.used {
+		sl.used = true
+		sl.win.Index = idx
+		sl.win.Start = units.Time(idx * int64(s.cfg.Width))
+		sl.win.End = sl.win.Start.Add(s.cfg.Width)
+	}
+	return &sl.win
+}
+
+// observe is the hot path: route the sample to its window, applying the
+// watermark rules. Allocation-free after the first call.
+func (s *Stream) observe(seriesIdx int, at units.Time, v float64, flagged bool) {
+	if !s.ready {
+		s.build()
+	}
+	idx := s.windowIndex(at)
+	late := false
+	if idx < s.nextSeal {
+		// Beyond the watermark: anomaly; fold into the live window — the
+		// one at the stream's advance horizon — so the sample still counts
+		// somewhere. The horizon moves only via AdvanceTo, so the fold
+		// target does not depend on what else this stream observed —
+		// fleet runs stay shard-count invariant.
+		late = true
+		s.late++
+		idx = s.windowIndex(s.horizon)
+		if idx < s.nextSeal {
+			idx = s.nextSeal
+		}
+	}
+	// A sample far ahead of the seal horizon (caller sealing less often
+	// than promised via Config.Lag) force-seals the oldest windows to
+	// make room rather than growing the ring.
+	for idx-s.nextSeal >= int64(len(s.open)) {
+		s.sealNext()
+	}
+	w := s.openSlot(idx)
+	w.Samples++
+	if flagged {
+		w.Flagged++
+	}
+	if late {
+		w.Late++
+	}
+	w.Sketches[seriesIdx].Observe(v)
+}
+
+// sealNext seals window nextSeal into the drain queue (or drops it,
+// counted, when the queue is full). Storage moves by swapping sketch
+// slices, so sealing allocates nothing.
+func (s *Stream) sealNext() {
+	idx := s.nextSeal
+	s.nextSeal++
+	s.sealedN++
+	sl := &s.open[idx%int64(len(s.open))]
+	if s.sealedLen == len(s.sealed) {
+		// Drain queue full: discard, but keep the slot clean for reuse.
+		s.dropped++
+		if sl.used {
+			sl.win.Reset()
+			sl.used = false
+		}
+		return
+	}
+	dst := &s.sealed[(s.sealedHead+s.sealedLen)%len(s.sealed)]
+	s.sealedLen++
+	if !sl.used {
+		// An idle window still seals — every index appears exactly once
+		// in the export, so downstream consumers can align windows across
+		// shards and spot gaps.
+		dst.Reset()
+		dst.Index = idx
+		dst.Start = units.Time(idx * int64(s.cfg.Width))
+		dst.End = dst.Start.Add(s.cfg.Width)
+		return
+	}
+	dst.Sketches, sl.win.Sketches = sl.win.Sketches, dst.Sketches
+	dst.Index, dst.Start, dst.End = sl.win.Index, sl.win.Start, sl.win.End
+	dst.Samples, dst.Flagged, dst.Late = sl.win.Samples, sl.win.Flagged, sl.win.Late
+	sl.win.Reset()
+	for i := range sl.win.Sketches {
+		sl.win.Sketches[i].Reset()
+	}
+	sl.used = false
+}
+
+// AdvanceTo seals every window whose watermark has passed at virtual
+// time now — window k seals once now ≥ (k+1)·Width + Watermark. Sealing
+// is driven by explicit time, not by observations, so idle streams still
+// produce their (empty) windows and independent streams sealed to the
+// same time always agree on the sealed index set — the property the
+// fleet's cross-shard window alignment relies on.
+func (s *Stream) AdvanceTo(now units.Time) {
+	if s == nil {
+		return
+	}
+	if !s.ready {
+		s.build()
+	}
+	if now > s.horizon {
+		s.horizon = now
+	}
+	for units.Time((s.nextSeal+1)*int64(s.cfg.Width)).Add(s.cfg.Watermark) <= now {
+		s.sealNext()
+	}
+}
+
+// SealThrough seals every window up to and including index idx,
+// regardless of watermarks — the final flush at drain time.
+func (s *Stream) SealThrough(idx int64) {
+	if s == nil {
+		return
+	}
+	if !s.ready {
+		s.build()
+	}
+	for s.nextSeal <= idx {
+		s.sealNext()
+	}
+}
+
+// NextSealed peeks the oldest sealed window awaiting drain (nil when
+// none). The window is valid until ReleaseSealed.
+func (s *Stream) NextSealed() *Window {
+	if s == nil || s.sealedLen == 0 {
+		return nil
+	}
+	return &s.sealed[s.sealedHead]
+}
+
+// ReleaseSealed recycles the oldest sealed window's storage.
+func (s *Stream) ReleaseSealed() {
+	if s == nil || s.sealedLen == 0 {
+		return
+	}
+	s.sealed[s.sealedHead].Reset()
+	s.sealedHead = (s.sealedHead + 1) % len(s.sealed)
+	s.sealedLen--
+}
+
+// Drain seals nothing but hands every already-sealed window to fn in
+// index order, recycling each afterwards.
+func (s *Stream) Drain(fn func(*Window)) {
+	if s == nil {
+		return
+	}
+	for s.sealedLen > 0 {
+		fn(&s.sealed[s.sealedHead])
+		s.ReleaseSealed()
+	}
+}
+
+// Series is the per-metric observation handle: one named quantile series
+// within the stream (registered once, observed per sample). A nil Series
+// no-ops, matching the telemetry handle discipline.
+type Series struct {
+	st  *Stream
+	idx int
+}
+
+// Observe records v (a non-negative measurement, typically a delay in
+// seconds) at virtual time at. Allocation-free after the stream's rings
+// are built.
+func (se *Series) Observe(at units.Time, v float64) {
+	if se == nil {
+		return
+	}
+	se.st.observe(se.idx, at, v, false)
+}
+
+// ObserveFlagged is Observe for a low-confidence sample; the window
+// counts it toward its Flagged tally (the escalation rules' confidence-
+// collapse signal).
+func (se *Series) ObserveFlagged(at units.Time, v float64) {
+	if se == nil {
+		return
+	}
+	se.st.observe(se.idx, at, v, true)
+}

@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"testing"
+
+	"element/internal/units"
+)
+
+func TestWindowWatermarkSemantics(t *testing.T) {
+	st := New(Config{Width: units.Second, Watermark: units.Second, Retain: 16})
+	se := st.Series("d")
+
+	se.Observe(units.Time(100*units.Millisecond), 0.1)  // window 0
+	se.Observe(units.Time(1200*units.Millisecond), 0.2) // window 1
+	st.AdvanceTo(units.Time(1500 * units.Millisecond))  // window 0 seals at 2s+watermark → nothing sealed yet
+	if st.NextSealed() != nil {
+		t.Fatal("window 0 sealed before its watermark passed")
+	}
+
+	// Late but within the watermark: lands in window 0.
+	se.Observe(units.Time(900*units.Millisecond), 0.15)
+	st.AdvanceTo(units.Time(2 * units.Second)) // (0+1)·1s + 1s watermark ≤ 2s → seal window 0
+	w := st.NextSealed()
+	if w == nil || w.Index != 0 {
+		t.Fatalf("expected sealed window 0, got %+v", w)
+	}
+	if w.Samples != 2 || w.Late != 0 {
+		t.Fatalf("window 0: samples=%d late=%d, want 2/0", w.Samples, w.Late)
+	}
+	st.ReleaseSealed()
+
+	// Later than the watermark: window 0 is sealed, so the sample is an
+	// anomaly folded into the live window — the one at the advance
+	// horizon (2 s → window 2), independent of what was observed.
+	se.Observe(units.Time(500*units.Millisecond), 0.3)
+	if st.Late() != 1 {
+		t.Fatalf("late = %d, want 1", st.Late())
+	}
+	st.SealThrough(2)
+	w = st.NextSealed()
+	if w == nil || w.Index != 1 {
+		t.Fatalf("expected sealed window 1, got %+v", w)
+	}
+	if w.Samples != 1 || w.Late != 0 {
+		t.Fatalf("window 1: samples=%d late=%d, want 1/0", w.Samples, w.Late)
+	}
+	st.ReleaseSealed()
+	w = st.NextSealed()
+	if w == nil || w.Index != 2 {
+		t.Fatalf("expected sealed window 2, got %+v", w)
+	}
+	if w.Samples != 1 || w.Late != 1 {
+		t.Fatalf("window 2: samples=%d late=%d, want 1/1 (late sample folded into live)", w.Samples, w.Late)
+	}
+	if got := w.Sketches[0].Max(); got != 0.3 {
+		t.Fatalf("late sample value lost: max=%g", got)
+	}
+}
+
+func TestWindowEmptyWindowsSealed(t *testing.T) {
+	st := New(Config{Width: units.Second, Retain: 16})
+	se := st.Series("d")
+	se.Observe(0, 0.1)
+	se.Observe(units.Time(4500*units.Millisecond), 0.2) // windows 1..3 are idle
+	st.SealThrough(4)
+	var idxs []int64
+	var samples []uint64
+	st.Drain(func(w *Window) {
+		idxs = append(idxs, w.Index)
+		samples = append(samples, w.Samples)
+	})
+	wantIdx := []int64{0, 1, 2, 3, 4}
+	wantN := []uint64{1, 0, 0, 0, 1}
+	if len(idxs) != len(wantIdx) {
+		t.Fatalf("sealed %v, want %v", idxs, wantIdx)
+	}
+	for i := range wantIdx {
+		if idxs[i] != wantIdx[i] || samples[i] != wantN[i] {
+			t.Fatalf("window %d: idx=%d n=%d, want idx=%d n=%d", i, idxs[i], samples[i], wantIdx[i], wantN[i])
+		}
+	}
+	// Window identity must be stamped even for idle windows.
+	st.Series("d").Observe(units.Time(10*units.Second), 0.1)
+	st.SealThrough(9)
+	st.Drain(func(w *Window) {
+		if w.End != w.Start.Add(units.Second) {
+			t.Fatalf("window %d bounds unset: [%v,%v)", w.Index, w.Start, w.End)
+		}
+	})
+}
+
+func TestWindowRetainBoundAndDrop(t *testing.T) {
+	st := New(Config{Width: units.Second, Retain: 3})
+	se := st.Series("d")
+	for i := 0; i < 10; i++ {
+		se.Observe(units.Time(i)*units.Time(units.Second), float64(i+1)*0.01)
+	}
+	st.SealThrough(9) // 10 windows into a queue of 3
+	if st.DroppedWindows() != 7 {
+		t.Fatalf("dropped = %d, want 7", st.DroppedWindows())
+	}
+	if st.SealedWindows() != 10 {
+		t.Fatalf("sealed total = %d, want 10", st.SealedWindows())
+	}
+	n := 0
+	st.Drain(func(w *Window) {
+		if w.Index != int64(n) {
+			t.Fatalf("retained window %d has index %d", n, w.Index)
+		}
+		if w.Samples != 1 {
+			t.Fatalf("retained window %d samples=%d", n, w.Samples)
+		}
+		n++
+	})
+	if n != 3 {
+		t.Fatalf("drained %d windows, want 3 (Retain)", n)
+	}
+	// After drain the queue is free again; memory did not grow.
+	se.Observe(units.Time(20*units.Second), 0.5)
+	st.SealThrough(20)
+	if st.NextSealed() == nil {
+		t.Fatal("queue should accept windows again after drain")
+	}
+}
+
+// TestWindowForcedSealKeepsBoundedMemory drives samples far ahead of any
+// AdvanceTo call: the open ring must force-seal rather than grow.
+func TestWindowForcedSealKeepsBoundedMemory(t *testing.T) {
+	st := New(Config{Width: units.Second, Watermark: units.Second, Lag: units.Second, Retain: 4})
+	se := st.Series("d")
+	for i := 0; i < 100; i++ {
+		se.Observe(units.Time(i)*units.Time(units.Second), 0.01)
+	}
+	if got := len(st.open); got != 4 {
+		t.Fatalf("open ring grew to %d", got)
+	}
+	if st.SealedWindows() == 0 {
+		t.Fatal("expected forced seals")
+	}
+}
+
+func TestWindowMergeMatchesUnion(t *testing.T) {
+	// Two shards observe disjoint sample sets of the same window; the
+	// merged window must equal a single stream observing the union.
+	mk := func(vals ...float64) *Stream {
+		st := New(Config{Width: units.Second, Retain: 4})
+		se := st.Series("d")
+		for i, v := range vals {
+			se.Observe(units.Time(i)*units.Time(units.Millisecond), v)
+		}
+		st.SealThrough(0)
+		return st
+	}
+	a := mk(0.1, 0.2)
+	b := mk(0.3, 0.4, 0.5)
+	u := mk(0.1, 0.2, 0.3, 0.4, 0.5)
+
+	var merged Window
+	merged.Sketches = make([]Sketch, 1)
+	merged.Merge(a.NextSealed())
+	merged.Merge(b.NextSealed())
+	uw := u.NextSealed()
+	if merged.Samples != uw.Samples {
+		t.Fatalf("samples %d != %d", merged.Samples, uw.Samples)
+	}
+	if merged.Sketches[0] != uw.Sketches[0] {
+		t.Fatal("merged window sketch differs from union")
+	}
+	// Order invariance.
+	var rev Window
+	rev.Sketches = make([]Sketch, 1)
+	rev.Merge(b.NextSealed())
+	rev.Merge(a.NextSealed())
+	if rev.Sketches[0] != merged.Sketches[0] || rev.Samples != merged.Samples {
+		t.Fatal("window merge is not order-invariant")
+	}
+}
+
+func TestSeriesRegistrationAfterBuildPanics(t *testing.T) {
+	st := New(Config{})
+	st.Series("a")
+	st.Series("a") // re-lookup is fine
+	st.Series("b").Observe(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering a series after first observation")
+		}
+	}()
+	st.Series("c")
+}

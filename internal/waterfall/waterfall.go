@@ -29,6 +29,7 @@ import (
 	"element/internal/pkt"
 	"element/internal/stack"
 	"element/internal/telemetry"
+	"element/internal/telemetry/stream"
 	"element/internal/units"
 )
 
@@ -164,6 +165,11 @@ type Waterfall struct {
 	// Telemetry handles (nil when uninstrumented).
 	stageH [NumStages]*telemetry.Histogram
 	e2eH   *telemetry.Histogram
+
+	// Streaming handles (nil when no stream is attached): per-stage
+	// windowed delay sketches observed at each range's read time.
+	stageS [NumStages]*stream.Series
+	e2eS   *stream.Series
 }
 
 // New returns an empty waterfall.
@@ -194,6 +200,30 @@ func (w *Waterfall) Instrument(sc *telemetry.Scope) {
 		w.stageH[s] = sc.Histogram(s.String() + "_seconds")
 	}
 	w.e2eH = sc.Histogram("e2e_seconds")
+}
+
+// StreamTo registers per-stage windowed delay series (<stage>_delay and
+// e2e_delay) on st, so every finalized byte range feeds the streaming
+// sketches at its read time in addition to the run-wide histograms.
+// Call before the stream's first observation; nil disables.
+func (w *Waterfall) StreamTo(st *stream.Stream) {
+	if w == nil || st == nil {
+		return
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		w.stageS[s] = st.Series(s.String() + "_delay")
+	}
+	w.e2eS = st.Series("e2e_delay")
+}
+
+// Unbind detaches the flow's recorder from link-tap dispatch (the
+// inverse of Bind) — packets of unbound flows are ignored, so a fleet
+// can attach waterfall granularity to a flow only while it is escalated.
+func (w *Waterfall) Unbind(flowID int) {
+	if w == nil {
+		return
+	}
+	delete(w.byID, flowID)
 }
 
 // NewFlow creates a recorder for one connection. Pass its SenderHooks and
@@ -701,6 +731,7 @@ func (r *Recorder) finalize(a arrival, start, end uint64, readAt units.Time) {
 		if r.wf.stageH[s] != nil {
 			r.wf.stageH[s].Observe(d.Seconds())
 		}
+		r.wf.stageS[s].Observe(readAt, d.Seconds())
 	}
 	r.agg.e2eByteSec += e2e.Seconds() * bytes
 	if e2e > r.agg.maxE2E {
@@ -709,6 +740,7 @@ func (r *Recorder) finalize(a arrival, start, end uint64, readAt units.Time) {
 	if r.wf.e2eH != nil {
 		r.wf.e2eH.Observe(e2e.Seconds())
 	}
+	r.wf.e2eS.Observe(readAt, e2e.Seconds())
 	r.agg.ranges++
 	r.agg.bytes += end - start
 	r.retain(rangeRec{start: start, end: end, gen: a.gen, b: b})
