@@ -27,6 +27,7 @@ import (
 
 	"element/internal/exp"
 	"element/internal/faults"
+	"element/internal/reqtrace"
 	"element/internal/telemetry"
 	"element/internal/telemetry/stream"
 	"element/internal/units"
@@ -121,6 +122,9 @@ func main() {
 			trackerNs := printCost(elapsed, memAfter.Mallocs-memBefore.Mallocs,
 				memAfter.TotalAlloc-memBefore.TotalAlloc, pollCount(exp.DefaultTelemetry))
 			if !printStreamCost(trackerNs) {
+				failed++
+			}
+			if !printReqtraceCost(trackerNs) {
 				failed++
 			}
 			if err := exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText); err != nil {
@@ -241,6 +245,61 @@ func printStreamCost(trackerNs float64) bool {
 		}
 	}
 	fmt.Println(line)
+	return true
+}
+
+// printReqtraceCost micro-measures the request-span hot path — Begin,
+// leg declaration, waterfall-range finalization, completion, sketch
+// observation — the per-request cost a fan-out fleet adds on top of the
+// tracker, and prints it benchmark-style. The zero-alloc pin is part of
+// the line: steady-state allocations fail the summary, matching the
+// BenchmarkReqtraceSpan baseline the bench gate enforces.
+func printReqtraceCost(trackerNs float64) bool {
+	tr := reqtrace.New()
+	tr.MaxRecords = 1 << 12
+	var now units.Time
+	tr.SetClock(func() units.Time { return now })
+	f := tr.Flow(0, nil)
+	var seq, next uint64
+	cycle := func() {
+		now = now.Add(1000)
+		r := tr.Begin(seq, 1, nil)
+		seq++
+		start := next
+		next += 1024
+		f.Send(r, start, next)
+		var b waterfall.Bounds
+		for i := range b {
+			b[i] = now.Add(units.Duration(100 * (i + 1)))
+		}
+		f.RecordRange(start, next, 0, b)
+	}
+	const warm, samples = 1 << 13, 1 << 19
+	for i := 0; i < warm; i++ { // past every amortized growth: caps, heap, FIFO compaction
+		cycle()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < samples; i++ {
+		cycle()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / samples
+	allocsOp := float64(after.Mallocs-before.Mallocs) / samples
+	line := fmt.Sprintf("reqtrace cost: %.1f ns/op, %.3f allocs/op per span event over %d request cycles",
+		ns, allocsOp, samples)
+	if trackerNs > 0 {
+		line += fmt.Sprintf(" (%.2f%% of a tracker poll)", 100*ns/trackerNs)
+	}
+	fmt.Println(line)
+	// Epsilon absorbs stray runtime-internal mallocs during the burst; the
+	// hot path itself is pinned at zero by TestRecordRangeZeroAlloc too.
+	if allocsOp > 0.001 {
+		fmt.Fprintf(os.Stderr, "elembench: reqtrace span cycle allocates %.3f objects/op in steady state — the hot path is pinned at zero\n", allocsOp)
+		return false
+	}
 	return true
 }
 

@@ -16,6 +16,18 @@
 //	elemfleet -stream                  # windowed quantile sketches, O(1) memory
 //	elemfleet -stream -escalate 200    # + waterfall escalation at p99 > 200 ms
 //	elemfleet -stream -stream-format jsonl -stream-budget 65536
+//	elemfleet -fanout 4 -rps 300       # fan-out RPC workload + tail report
+//	elemfleet -fanout 8 -arrivals bursty -reqtrace spans.json
+//
+// With -fanout N the workload switches from per-connection bulk
+// transfer to fan-out RPC: connections group into fan-out groups of N
+// backends, each group issues requests under the chosen arrival process
+// (-arrivals poisson|bursty|closed), and every request is traced as a
+// request-scoped span tree joined to the per-flow waterfall. The run
+// prints the per-stage tail-contribution report (exact quantiles
+// cross-checked against the mergeable sketches); -reqtrace FILE
+// additionally exports the slowest requests' span trees (-reqtrace-
+// format chrome loads in chrome://tracing / ui.perfetto.dev).
 //
 // With -stream the fleet keeps no per-sample state: tracker estimates
 // drain into mergeable per-shard quantile sketches over tumbling windows,
@@ -39,8 +51,11 @@ import (
 	"strings"
 	"syscall"
 
+	"element/internal/apps"
+	"element/internal/cc"
 	"element/internal/faults"
 	"element/internal/fleet"
+	"element/internal/reqtrace"
 	"element/internal/telemetry"
 	"element/internal/telemetry/stream"
 	"element/internal/units"
@@ -76,6 +91,14 @@ func main() {
 		escalate  = flag.Float64("escalate", 0, "escalate a flow to full waterfall tracing when its windowed p99 sndbuf delay exceeds this many ms (0 = never)")
 		streamFmt = flag.String("stream-format", "text", "window export format: text|jsonl")
 		streamCap = flag.Int("stream-budget", 0, "hard byte budget for jsonl window export (0 = unlimited)")
+
+		fanout   = flag.Int("fanout", 0, "fan-out degree: group connections into fan-out RPC groups of this many backends (0 = bulk workload)")
+		arrivals = flag.String("arrivals", "poisson", "fan-out arrival process: poisson|bursty|closed")
+		rps      = flag.Float64("rps", 0, "fan-out per-group arrival rate, requests/s (0 = default)")
+		reqBytes = flag.Int("req-bytes", 0, "fan-out mean per-leg response size in bytes (0 = default)")
+		ccAlg    = flag.String("cc", "", "congestion control for every connection: reno|cubic|vegas|bbr (empty = cubic)")
+		rtOut    = flag.String("reqtrace", "", "export the slowest requests' span trees to this file (fanout mode)")
+		rtForm   = flag.String("reqtrace-format", "chrome", "span-tree export format: chrome|jsonl")
 	)
 	flag.Parse()
 
@@ -99,6 +122,30 @@ func main() {
 	}
 	if *cpEvery < 0 {
 		cfg.CheckpointEvery = -1
+	}
+	cfg.CC = cc.Kind(*ccAlg)
+	var rt *reqtrace.Tracer
+	var rtFormat reqtrace.Format
+	if *fanout > 0 {
+		kind, err := apps.ParseArrivals(*arrivals)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet:", err)
+			os.Exit(1)
+		}
+		if *rtOut != "" {
+			if rtFormat, err = reqtrace.ParseFormat(*rtForm); err != nil {
+				fmt.Fprintln(os.Stderr, "elemfleet:", err)
+				os.Exit(1)
+			}
+		}
+		rt = reqtrace.New()
+		cfg.Fanout = &fleet.FanoutConfig{
+			Degree:       *fanout,
+			Arrivals:     kind,
+			RPS:          *rps,
+			RequestBytes: *reqBytes,
+			Tracer:       rt,
+		}
 	}
 	if *faultsPr != "" {
 		p, err := faults.ByName(*faultsPr)
@@ -173,6 +220,30 @@ func main() {
 		}
 		if res.StreamErr != nil {
 			fmt.Fprintln(os.Stderr, "elemfleet: stream sink:", res.StreamErr)
+		}
+	}
+
+	if rt != nil {
+		fmt.Printf("--- tail report: %d requests (%d abandoned) ---\n", res.Requests, res.RequestsAbandoned)
+		rp := rt.Report()
+		rp.WriteTable(os.Stdout)
+		if err := rp.CrossCheck(); err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: quantile cross-check:", err)
+			os.Exit(1)
+		}
+		if *rtOut != "" {
+			out, err := os.Create(*rtOut)
+			if err == nil {
+				err = rt.Export(out, rtFormat)
+				if cerr := out.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "elemfleet: reqtrace export:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("reqtrace: %d slowest span trees -> %s (%s)\n", len(rt.Slowest()), *rtOut, rtFormat)
 		}
 	}
 

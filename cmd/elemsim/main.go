@@ -8,6 +8,13 @@
 //	elemsim -bw 10 -rtt 50 -qdisc codel -flows 3 -element -dur 30
 //	elemsim -profile lte -dir upload -flows 2 -element -minimize
 //	elemsim -flows 3 -waterfall wf.json   # per-byte-range delay waterfall (Chrome trace)
+//	elemsim -fanout 8 -arrivals bursty -rps 300 -reqtrace spans.json
+//
+// With -fanout N the bulk flows are replaced by one partition-aggregate
+// fan-out group: every request issues one leg per backend connection and
+// completes when the slowest leg's bytes are read. Each request is traced
+// as a waterfall span tree; the run prints the per-stage tail report and
+// -reqtrace exports the slowest span trees.
 package main
 
 import (
@@ -19,11 +26,13 @@ import (
 	"strings"
 	"syscall"
 
+	"element/internal/apps"
 	"element/internal/aqm"
 	"element/internal/cc"
 	"element/internal/exp"
 	"element/internal/faults"
 	"element/internal/netem"
+	"element/internal/reqtrace"
 	"element/internal/telemetry"
 	"element/internal/units"
 	"element/internal/waterfall"
@@ -51,6 +60,12 @@ func main() {
 		telFmt   = flag.String("trace-format", "chrome", "telemetry export format: chrome|jsonl|text")
 		wfPath   = flag.String("waterfall", "", "write the per-byte-range delay waterfall to this file")
 		wfFmt    = flag.String("waterfall-format", "chrome", "waterfall export format: chrome|jsonl|ascii")
+		fanout   = flag.Int("fanout", 0, "replace bulk flows with one fan-out group of this degree (0 = bulk)")
+		arrivals = flag.String("arrivals", "poisson", "fan-out arrival process: poisson|bursty|closed")
+		rps      = flag.Float64("rps", 200, "fan-out arrival rate (requests/s)")
+		reqBytes = flag.Int("req-bytes", 1024, "fan-out mean per-leg response size (bytes)")
+		rtPath   = flag.String("reqtrace", "", "write the slowest request span trees to this file (requires -fanout)")
+		rtFmt    = flag.String("reqtrace-format", "chrome", "span-tree export format: chrome|jsonl")
 	)
 	flag.Parse()
 
@@ -81,6 +96,32 @@ func main() {
 			os.Exit(1)
 		}
 		wf = waterfall.New()
+	}
+
+	var (
+		arrKind apps.ArrivalKind
+		rtForm  reqtrace.Format
+		rt      *reqtrace.Tracer
+	)
+	if *fanout > 0 {
+		var err error
+		if arrKind, err = apps.ParseArrivals(*arrivals); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if rtForm, err = reqtrace.ParseFormat(*rtFmt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rt = reqtrace.New()
+		// Request tracing joins waterfall-finalized byte ranges, so the
+		// fan-out group needs recorders even without a -waterfall export.
+		if wf == nil {
+			wf = waterfall.New()
+		}
+	} else if *rtPath != "" {
+		fmt.Fprintln(os.Stderr, "elemsim: -reqtrace requires -fanout")
+		os.Exit(1)
 	}
 
 	cfg := exp.ScenarioConfig{
@@ -114,14 +155,21 @@ func main() {
 		}
 		cfg.Faults = &p
 	}
-	for i := 0; i < *flows; i++ {
-		spec := exp.FlowSpec{CC: cc.Kind(*algo)}
-		if i == 0 {
-			spec.Element = *element || *minimize
-			spec.Minimize = *minimize
-			spec.Wireless = *wireless
+	if *fanout > 0 {
+		// One idle backend connection per leg; apps.RunFanout drives them.
+		for i := 0; i < *fanout; i++ {
+			cfg.Flows = append(cfg.Flows, exp.FlowSpec{CC: cc.Kind(*algo), Idle: true})
 		}
-		cfg.Flows = append(cfg.Flows, spec)
+	} else {
+		for i := 0; i < *flows; i++ {
+			spec := exp.FlowSpec{CC: cc.Kind(*algo)}
+			if i == 0 {
+				spec.Element = *element || *minimize
+				spec.Minimize = *minimize
+				spec.Wireless = *wireless
+			}
+			cfg.Flows = append(cfg.Flows, spec)
+		}
 	}
 
 	// Ctrl-C stops the virtual clock at the next slice boundary; the
@@ -129,7 +177,23 @@ func main() {
 	// still written.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	s := exp.RunScenarioContext(ctx, cfg)
+	s := exp.Build(cfg)
+	if *fanout > 0 {
+		fc := apps.FanoutConfig{
+			Tracer:       rt,
+			RequestBytes: *reqBytes,
+			SizeSpread:   0.5, // tail-at-scale partition heterogeneity
+			Arrivals:     arrKind,
+			RPS:          *rps,
+			Duration:     cfg.Duration,
+		}
+		for i, f := range s.Flows {
+			fc.Conns = append(fc.Conns, f.Conn)
+			fc.Flows = append(fc.Flows, rt.Flow(i, f.WF))
+		}
+		apps.RunFanout(s.Eng, fc)
+	}
+	s.RunContext(ctx)
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "elemsim: interrupted at t=%.1fs — reporting the partial run\n",
 			units.Duration(s.Eng.Now()).Seconds())
@@ -170,7 +234,7 @@ func main() {
 		fmt.Printf("\ntelemetry: %d events (%d evicted) written to %s (%s)\n",
 			telem.Tracer().Len(), telem.Tracer().Evicted(), *telPath, format)
 	}
-	if wf != nil {
+	if *wfPath != "" {
 		out, err := os.Create(*wfPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -188,6 +252,34 @@ func main() {
 		agg := wf.Aggregate()
 		fmt.Printf("\nwaterfall: %d byte ranges over %d flows written to %s (%s); stage-sum residual %.4f%%\n",
 			agg.Ranges, len(wf.Flows()), *wfPath, wfForm, agg.Residual*100)
+	}
+	if rt != nil {
+		rp := rt.Report()
+		fmt.Printf("\n--- tail report: %d requests (%d abandoned) ---\n",
+			rt.Completed(), rt.Outstanding())
+		rp.WriteTable(os.Stdout)
+		if err := rp.CrossCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "reqtrace cross-check: %v\n", err)
+			os.Exit(1)
+		}
+		if *rtPath != "" {
+			out, err := os.Create(*rtPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := rt.Export(out, rtForm); err == nil {
+				err = out.Close()
+			} else {
+				out.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("reqtrace: %d slowest span trees -> %s (%s)\n",
+				len(rt.Slowest()), *rtPath, rtForm)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -298,7 +299,7 @@ func TestStreamShape(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "tab1", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig13", "fig14", "fig15", "fig16", "fig18", "tab_cpu", "degraded",
-		"fleet", "stream"}
+		"fleet", "stream", "tail"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}
@@ -309,5 +310,51 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, err := Lookup("fig99"); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTailShape(t *testing.T) {
+	r := Tail(1, 500*units.Millisecond)
+	if len(r.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if reqs := cellFloat(t, row[4]); reqs == 0 {
+			t.Fatalf("row %d completed no requests: %v", i, row)
+		}
+		// Telescoping: worst per-request residual in every cell ≤ 1%.
+		if resid := cellFloat(t, row[11]); resid > 1 {
+			t.Fatalf("row %d residual %.4f%% > 1%%: %v", i, resid, row)
+		}
+		// Quantiles monotone.
+		p50, p99, p999 := cellFloat(t, row[5]), cellFloat(t, row[6]), cellFloat(t, row[7])
+		if p50 <= 0 || p99 < p50 || p999 < p99 {
+			t.Fatalf("row %d quantiles not monotone: %v", i, row)
+		}
+	}
+	// No cell failed the exact-vs-sketch cross-check, and the summary
+	// note confirms a critical-path child for every completed request.
+	for _, n := range r.Notes {
+		if strings.Contains(n, "CROSS-CHECK FAILED") {
+			t.Fatalf("cross-check failure: %s", n)
+		}
+	}
+	var total, cells, crit, critOf uint64
+	if _, err := fmt.Sscanf(r.Notes[0], "%d requests completed across %d cells; critical-path child identified for %d/%d",
+		&total, &cells, &crit, &critOf); err != nil {
+		t.Fatalf("summary note %q: %v", r.Notes[0], err)
+	}
+	if crit != total || critOf != total {
+		t.Fatalf("critical-path children %d/%d for %d requests", crit, critOf, total)
+	}
+	// The arrival-process comparison reproduces the open-vs-closed-loop
+	// story: bursty arrivals inflate the tail of the same cell, the
+	// closed loop masks it. Rows 2/16/17 share deg=4 cubic/pfifo_fast.
+	poisson, bursty, closed := cellFloat(t, r.Rows[2][6]), cellFloat(t, r.Rows[16][6]), cellFloat(t, r.Rows[17][6])
+	if bursty <= poisson {
+		t.Errorf("bursty p99 %.2fms not above poisson p99 %.2fms", bursty, poisson)
+	}
+	if closed >= bursty {
+		t.Errorf("closed-loop p99 %.2fms not below bursty p99 %.2fms", closed, bursty)
 	}
 }

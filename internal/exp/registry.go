@@ -55,6 +55,8 @@ var Registry = []Experiment{
 		"churning multi-connection fleet with crash/restore supervision reconciled against an unchurned baseline", Fleet},
 	{"stream", "Sketch-driven escalation: bufferbloat vs delay-minimized fleet",
 		"windowed quantile sketches escalate bufferbloated flows to full waterfall tracing and stay lightweight on the clean fleet", Stream},
+	{"tail", "Per-request tail attribution: fan-out RPC waterfall spans",
+		"fan-out fleets over degree × cc × qdisc with request-scoped span trees: per-stage p50/p99/p999 decomposition, sibwait, critical-path spread", Tail},
 }
 
 // Lookup finds an experiment by ID.

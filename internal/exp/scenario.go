@@ -54,6 +54,9 @@ type FlowSpec struct {
 	StartAt units.Duration
 	// StopAt ends the flow's traffic (0 = run to the end).
 	StopAt units.Duration
+	// Idle suppresses the bulk writer/reader pair; the caller drives the
+	// connection itself (e.g. apps.RunFanout over several idle flows).
+	Idle bool
 }
 
 // ScenarioConfig describes a network and a set of bulk flows over it.
@@ -242,6 +245,9 @@ func Build(cfg ScenarioConfig) *Scenario {
 		}
 		s.Flows = append(s.Flows, fr)
 
+		if spec.Idle {
+			continue
+		}
 		stopAt := spec.StopAt
 		if stopAt == 0 {
 			stopAt = cfg.Duration

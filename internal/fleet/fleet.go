@@ -31,9 +31,11 @@ import (
 	"sync"
 
 	"element/internal/aqm"
+	"element/internal/cc"
 	"element/internal/core"
 	"element/internal/faults"
 	"element/internal/netem"
+	"element/internal/reqtrace"
 	"element/internal/sim"
 	"element/internal/stack"
 	"element/internal/telemetry"
@@ -164,6 +166,15 @@ type Config struct {
 	QueuePackets int
 	// Disc selects the bottleneck AQM discipline ("" = pfifo_fast).
 	Disc aqm.Kind
+	// CC selects every connection's congestion control ("" = cubic).
+	CC cc.Kind
+
+	// Fanout switches the workload from per-connection bulk transfer to
+	// grouped fan-out RPC with request-scoped span tracing (nil = bulk).
+	// Fanout mode implies per-connection waterfalls, forces open-at-zero
+	// and no early closes (a group's request stream needs all its legs),
+	// and disables the minimizer.
+	Fanout *FanoutConfig
 }
 
 // slice is the barrier interval: shards advance in parallel between
@@ -205,6 +216,17 @@ func (c Config) normalize() Config {
 		c.CheckpointEvery = 0
 	}
 	c.Backoff = c.Backoff.normalize()
+	if c.Fanout != nil {
+		fo := *c.Fanout // callers keep their struct; normalize a copy
+		fo.normalize()
+		c.Fanout = &fo
+		if rem := c.Connections % fo.Degree; rem != 0 {
+			c.Connections += fo.Degree - rem
+		}
+		c.Churn.OpenWindow = 0
+		c.Churn.CloseFrac = 0
+		c.Minimize = false
+	}
 	return c
 }
 
@@ -249,6 +271,10 @@ type shard struct {
 	gBackingOff    *telemetry.Gauge
 	gOpen          *telemetry.Gauge
 
+	// rt is the shard's request-span tracer (nil without Config.Fanout);
+	// absorbed into the caller's tracer at drain.
+	rt *reqtrace.Tracer
+
 	// Streaming pipeline (nil when Config.Stream is nil): the shard's
 	// windowed sketches plus the tracker delay series handles, and the
 	// Evictions-style escalation transition accounting.
@@ -288,6 +314,10 @@ func New(cfg Config) *Fleet {
 	if nshards > cfg.Connections {
 		nshards = cfg.Connections
 	}
+	if g := cfg.groups(); g > 0 && nshards > g {
+		// Groups are shard-atomic: never split a fan-out group.
+		nshards = g
+	}
 	f := &Fleet{cfg: cfg}
 
 	for s := 0; s < nshards; s++ {
@@ -304,10 +334,17 @@ func New(cfg Config) *Fleet {
 			sh.gBackingOff = sc.Gauge("monitors_backing_off")
 			sh.gOpen = sc.Gauge("connections_open")
 		}
-		if cfg.Waterfall != nil {
+		if cfg.Waterfall != nil || cfg.Fanout != nil {
+			// Fanout mode needs the recorders even when the caller keeps
+			// no waterfall: the span tracer joins on their finalized
+			// ranges.
 			sh.wf = waterfall.New()
 			sh.wf.SetClock(sh.eng.Now)
 			sh.wf.Instrument(sh.telem.Scope("waterfall"))
+		}
+		if cfg.Fanout != nil {
+			sh.rt = reqtrace.New()
+			sh.rt.SetClock(sh.eng.Now)
 		}
 		if cfg.Stream != nil {
 			sh.buildStream(cfg)
@@ -324,7 +361,11 @@ func New(cfg Config) *Fleet {
 	// identical however the connections are sharded.
 	injectFaults := cfg.Faults != nil && cfg.Faults.Active()
 	for i := 0; i < cfg.Connections; i++ {
-		sh := f.shards[i%nshards]
+		si := i % nshards
+		if cfg.Fanout != nil {
+			si = (i / cfg.Fanout.Degree) % nshards
+		}
+		sh := f.shards[si]
 		m := &Monitor{
 			ID:         i,
 			fl:         f,
@@ -337,7 +378,10 @@ func New(cfg Config) *Fleet {
 		}
 		if cfg.Stream != nil && cfg.Stream.Rules.Enabled() {
 			m.esc = stream.NewEscalator(cfg.Stream.Rules, cfg.streamCfg().Width)
-			if sh.wf != nil {
+			if sh.wf != nil && cfg.Fanout == nil {
+				// Fanout mode never gates: the span tracer joins on every
+				// finalized range, so recorders stay attached for the
+				// whole run regardless of escalation state.
 				m.gate = &hookGate{}
 			}
 		}
@@ -349,6 +393,10 @@ func New(cfg Config) *Fleet {
 		} else {
 			m.open()
 		}
+	}
+
+	if cfg.Fanout != nil {
+		f.startFanout()
 	}
 
 	// Per-shard supervisor timers.
@@ -454,6 +502,7 @@ func (sh *shard) buildConn(m *Monitor) {
 		// connection ID instead so the shard waterfall's by-flow link-tap
 		// dispatch never aliases two connections.
 		FlowID:        m.ID + 1,
+		CC:            cfg.CC,
 		SenderHooks:   sndHooks,
 		ReceiverHooks: rcvHooks,
 		Telem:         sh.telem,
@@ -552,6 +601,11 @@ func (f *Fleet) drain(interrupted bool) *Result {
 		res.StreamDropped += sh.stream.DroppedWindows()
 		f.cfg.Telem.Merge(sh.telem)
 		f.cfg.Waterfall.Absorb(sh.wf)
+		if sh.rt != nil {
+			res.Requests += sh.rt.Completed()
+			res.RequestsAbandoned += sh.rt.Outstanding()
+			f.cfg.Fanout.Tracer.Absorb(sh.rt)
+		}
 		sh.eng.Shutdown()
 	}
 	return res
@@ -579,6 +633,10 @@ type Result struct {
 	StreamLate    uint64 // samples beyond the watermark (anomalies)
 	StreamDropped uint64 // windows lost to sealed-queue overflow
 	StreamErr     error  // first sink error, if any
+
+	// Fan-out accounting (zero when Config.Fanout is nil).
+	Requests          uint64 // requests completed across all groups
+	RequestsAbandoned uint64 // requests still in flight at drain
 }
 
 // ConnResult is one connection's reconciliation against its own ground

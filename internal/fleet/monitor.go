@@ -131,7 +131,11 @@ func (m *Monitor) open() {
 	sh := m.sh
 	sh.buildConn(m)
 	m.connOpen = true
-	m.startTraffic()
+	if m.fl.cfg.Fanout == nil {
+		// Fanout mode replaces the bulk writer/reader with the group
+		// workload, started once the whole group is open.
+		m.startTraffic()
+	}
 	m.startFresh()
 	if at := m.plan.crashAt; at > 0 {
 		sh.eng.At(units.Time(at), func() { m.crashNext = true })

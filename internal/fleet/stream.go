@@ -73,6 +73,7 @@ func (sh *shard) buildStream(cfg Config) {
 	sh.seSnd = sh.stream.Series("snd_delay")
 	sh.seRcv = sh.stream.Series("rcv_delay")
 	sh.wf.StreamTo(sh.stream)
+	sh.rt.StreamTo(sh.stream)
 	if sh.telem != nil {
 		sc := sh.telem.Scope("fleet")
 		sh.ctrEscalations = sc.Counter("escalations")

@@ -1,0 +1,77 @@
+package reqtrace_test
+
+import (
+	"testing"
+
+	"element/internal/reqtrace"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+// spanCycler drives full request cycles — Begin, leg declaration, range
+// finalization, completion — through the tracer hot path. Constant leg
+// latency keeps the slow-heap in its never-admit steady state, and a
+// small record cap keeps the retention in its decimating steady state,
+// so a warm cycler exercises every hot-path branch without allocating.
+type spanCycler struct {
+	tr   *reqtrace.Tracer
+	f    *reqtrace.Flow
+	now  units.Time
+	seq  uint64
+	next uint64
+}
+
+func newSpanCycler() *spanCycler {
+	c := &spanCycler{tr: reqtrace.New()}
+	c.tr.MaxRecords = 1 << 12
+	c.tr.SetClock(func() units.Time { return c.now })
+	c.f = c.tr.Flow(0, nil)
+	return c
+}
+
+func (c *spanCycler) cycle() {
+	c.now = c.now.Add(1000)
+	r := c.tr.Begin(c.seq, 1, nil)
+	c.seq++
+	start := c.next
+	c.next += 1024
+	c.f.Send(r, start, c.next)
+	var b waterfall.Bounds
+	for i := range b {
+		b[i] = c.now.Add(units.Duration(100 * (i + 1)))
+	}
+	c.f.RecordRange(start, c.next, 0, b)
+}
+
+// warm runs the cycler past every amortized growth: record retention
+// reaches its cap and settles into stride decimation, the slow heap
+// fills, and the leg FIFO's compaction period is exercised.
+func (c *spanCycler) warm() {
+	for i := 0; i < 1<<13; i++ {
+		c.cycle()
+	}
+}
+
+// TestRecordRangeZeroAlloc pins the span-record hot path at zero
+// allocations per request cycle in steady state — the contract that
+// lets tracers run inside fleet shards at full rate.
+func TestRecordRangeZeroAlloc(t *testing.T) {
+	c := newSpanCycler()
+	c.warm()
+	if avg := testing.AllocsPerRun(1000, c.cycle); avg != 0 {
+		t.Fatalf("span cycle allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}
+
+// BenchmarkReqtraceSpan measures one full request span cycle (issue,
+// leg declaration, range finalization, completion, sketch observation).
+// Gated by benchgate with a zero-alloc baseline.
+func BenchmarkReqtraceSpan(b *testing.B) {
+	c := newSpanCycler()
+	c.warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.cycle()
+	}
+}

@@ -1,0 +1,187 @@
+package reqtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"element/internal/telemetry"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+// Format names a reqtrace exporter for CLI flags.
+type Format string
+
+// Supported export formats.
+const (
+	FormatChrome Format = "chrome"
+	FormatJSONL  Format = "jsonl"
+)
+
+// ParseFormat validates a -reqtrace-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatChrome, FormatJSONL:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("reqtrace: unknown format %q (have chrome, jsonl)", s)
+}
+
+// Export writes the retained slowest span trees to out in the given
+// format, slowest request first.
+func (t *Tracer) Export(out io.Writer, f Format) error {
+	switch f {
+	case FormatChrome:
+		return t.WriteChromeTrace(out)
+	case FormatJSONL:
+		return t.WriteJSONL(out)
+	}
+	return fmt.Errorf("reqtrace: unknown format %q", f)
+}
+
+// WriteChromeTrace writes the slowest span trees as Chrome trace_event
+// JSON (loadable in chrome://tracing or ui.perfetto.dev): each request
+// is a process; thread 0 carries the parent span (issue → slowest
+// read), threads 1..N one child track per leg, each showing the leg's
+// stage spans — sndbuf (from issue), retx, queue, wire, reassembly,
+// rcvbuf — followed by its sibwait span up to the parent's close. The
+// critical-path leg is marked in its track name and carries no sibwait.
+func (t *Tracer) WriteChromeTrace(out io.Writer) error {
+	cw := telemetry.NewChromeTraceWriter(out)
+	for pi, st := range t.Slowest() {
+		pid := pi + 1
+		meta := telemetry.ChromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("request %d (e2e %.3f ms, fanout %d)",
+				st.ID, st.E2E().Seconds()*1e3, st.Fanout)},
+		}
+		if err := cw.Write(meta); err != nil {
+			return err
+		}
+		if err := cw.Write(telemetry.ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "request"},
+		}); err != nil {
+			return err
+		}
+		parent := telemetry.ChromeEvent{
+			Name: fmt.Sprintf("req %d", st.ID), Cat: "reqtrace", Ph: "X",
+			TsUs:  float64(st.Issue) / 1e3,
+			DurUs: float64(st.E2E()) / 1e3,
+			Pid:   pid, Tid: 0,
+			Args: map[string]any{"fanout": st.Fanout, "critical_leg": st.Critical},
+		}
+		if err := cw.Write(parent); err != nil {
+			return err
+		}
+		for li := range st.Legs {
+			lg := &st.Legs[li]
+			name := fmt.Sprintf("leg %d (flow %d)", li, lg.Flow)
+			if int32(li) == st.Critical {
+				name += " [critical]"
+			}
+			if err := cw.Write(telemetry.ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: li + 1,
+				Args: map[string]any{"name": name},
+			}); err != nil {
+				return err
+			}
+			for _, sp := range legSpans(st, lg) {
+				if sp.To <= sp.From {
+					continue
+				}
+				ev := telemetry.ChromeEvent{
+					Name: StageName(sp.Stage), Cat: "reqtrace", Ph: "X",
+					TsUs:  float64(sp.From) / 1e3,
+					DurUs: float64(sp.To.Sub(sp.From)) / 1e3,
+					Pid:   pid, Tid: li + 1,
+					Args: map[string]any{
+						"bytes": lg.End - lg.Start,
+						"gen":   lg.Gen,
+					},
+				}
+				if err := cw.Write(ev); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return cw.Close()
+}
+
+// legSpan is one stage interval of one leg.
+type legSpan struct {
+	Stage    int
+	From, To units.Time
+}
+
+// legSpans materializes a leg's request-level stage intervals: sndbuf
+// anchored at the request issue, the five downstream waterfall stages,
+// and the sibwait tail up to the parent's close.
+func legSpans(st *SpanTree, lg *Leg) [NumStages]legSpan {
+	var out [NumStages]legSpan
+	out[0] = legSpan{Stage: 0, From: st.Issue, To: lg.B[1]}
+	for s := 1; s < waterfall.NumStages; s++ {
+		out[s] = legSpan{Stage: s, From: lg.B[s], To: lg.B[s+1]}
+	}
+	out[StageSibwait] = legSpan{Stage: StageSibwait, From: lg.Done, To: st.Done}
+	return out
+}
+
+// jsonlReq is the JSONL export schema: one "request" object per span
+// tree followed by one "leg" object per child, distinguished by "type".
+type jsonlReq struct {
+	Type     string  `json:"type"` // "request" or "leg"
+	Req      uint64  `json:"req"`
+	Fanout   int32   `json:"fanout,omitempty"`
+	Critical int32   `json:"critical_leg"`
+	IssueS   float64 `json:"issue_s,omitempty"`
+	DoneS    float64 `json:"done_s,omitempty"`
+	E2ES     float64 `json:"e2e_s,omitempty"`
+
+	Leg      int                `json:"leg,omitempty"`
+	Flow     int                `json:"flow,omitempty"`
+	Start    uint64             `json:"start,omitempty"`
+	End      uint64             `json:"end,omitempty"`
+	Gen      int                `json:"gen,omitempty"`
+	StagesS  map[string]float64 `json:"stages_s,omitempty"`
+	SibwaitS float64            `json:"sibwait_s,omitempty"`
+}
+
+// WriteJSONL writes the slowest span trees as one JSON object per line
+// for ad-hoc jq/awk analysis, slowest request first.
+func (t *Tracer) WriteJSONL(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for _, st := range t.Slowest() {
+		hdr := jsonlReq{
+			Type: "request", Req: st.ID, Fanout: st.Fanout, Critical: st.Critical,
+			IssueS: st.Issue.Seconds(), DoneS: st.Done.Seconds(),
+			E2ES: st.E2E().Seconds(),
+		}
+		if err := enc.Encode(hdr); err != nil {
+			return err
+		}
+		for li := range st.Legs {
+			lg := &st.Legs[li]
+			stages := make(map[string]float64, waterfall.NumStages)
+			stages[StageName(0)] = lg.B[1].Sub(st.Issue).Seconds()
+			for s := 1; s < waterfall.NumStages; s++ {
+				stages[StageName(s)] = lg.B[s+1].Sub(lg.B[s]).Seconds()
+			}
+			js := jsonlReq{
+				Type: "leg", Req: st.ID, Critical: st.Critical,
+				Leg: li, Flow: lg.Flow, Start: lg.Start, End: lg.End, Gen: lg.Gen,
+				DoneS: lg.Done.Seconds(), StagesS: stages,
+				SibwaitS: st.Done.Sub(lg.Done).Seconds(),
+			}
+			if err := enc.Encode(js); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

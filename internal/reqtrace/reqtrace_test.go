@@ -1,0 +1,384 @@
+package reqtrace_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"element/internal/reqtrace"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+// manualTracer is a tracer on a hand-cranked clock.
+type manualTracer struct {
+	tr  *reqtrace.Tracer
+	now units.Time
+}
+
+func newManualTracer() *manualTracer {
+	m := &manualTracer{tr: reqtrace.New()}
+	m.tr.SetClock(func() units.Time { return m.now })
+	return m
+}
+
+// boundsEndingAt builds monotone fenceposts from issue with equal steps
+// so that b[6] == done.
+func boundsEndingAt(issue, done units.Time) waterfall.Bounds {
+	var b waterfall.Bounds
+	step := done.Sub(issue) / 6
+	for i := range b {
+		b[i] = issue.Add(units.Duration(i) * step)
+	}
+	b[len(b)-1] = done
+	return b
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-15+1e-9*math.Abs(b)
+}
+
+func TestSingleLegDecomposition(t *testing.T) {
+	m := newManualTracer()
+	f := m.tr.Flow(0, nil)
+	m.now = 10
+	r := m.tr.Begin(1, 1, nil)
+	f.Send(r, 0, 100)
+	b := waterfall.Bounds{10, 20, 30, 40, 50, 60, 70}
+	f.RecordRange(0, 100, 0, b)
+
+	if got := m.tr.Completed(); got != 1 {
+		t.Fatalf("completed = %d, want 1", got)
+	}
+	recs := m.tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("retained %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.ID != 1 || rec.Issue != 10 || rec.Done != 70 || rec.Critical != 0 {
+		t.Fatalf("record header = %+v", rec)
+	}
+	step := units.Duration(10).Seconds()
+	for s := 0; s < waterfall.NumStages; s++ {
+		if !near(rec.Stage[s], step) {
+			t.Errorf("stage %s = %g, want %g", reqtrace.StageName(s), rec.Stage[s], step)
+		}
+	}
+	if rec.Stage[reqtrace.StageSibwait] != 0 {
+		t.Errorf("sibwait = %g, want 0", rec.Stage[reqtrace.StageSibwait])
+	}
+	if res := rec.Residual(); res > 1e-12 {
+		t.Errorf("residual = %g", res)
+	}
+}
+
+func TestFanoutSibwaitAndCriticalPath(t *testing.T) {
+	m := newManualTracer()
+	flows := []*reqtrace.Flow{m.tr.Flow(0, nil), m.tr.Flow(1, nil), m.tr.Flow(2, nil)}
+	r := m.tr.Begin(7, 3, nil)
+	for _, f := range flows {
+		f.Send(r, 0, 64)
+	}
+	// Leg dones 100, 300, 200: leg 1 is the critical path.
+	flows[0].RecordRange(0, 64, 0, boundsEndingAt(0, 100))
+	flows[2].RecordRange(0, 64, 0, boundsEndingAt(0, 200))
+	if m.tr.Completed() != 0 {
+		t.Fatalf("completed before last leg")
+	}
+	flows[1].RecordRange(0, 64, 1, boundsEndingAt(0, 300))
+	if m.tr.Completed() != 1 {
+		t.Fatalf("not completed after last leg")
+	}
+
+	rec := m.tr.Records()[0]
+	if rec.Critical != 1 {
+		t.Errorf("critical = %d, want 1", rec.Critical)
+	}
+	if rec.Done != 300 {
+		t.Errorf("done = %d, want 300", rec.Done)
+	}
+	// sibwait = mean of (300-100, 300-300, 300-200) = 100 ns.
+	if want := units.Duration(100).Seconds(); !near(rec.Stage[reqtrace.StageSibwait], want) {
+		t.Errorf("sibwait = %g, want %g", rec.Stage[reqtrace.StageSibwait], want)
+	}
+	if res := rec.Residual(); res > 1e-12 {
+		t.Errorf("residual = %g", res)
+	}
+
+	// The retained span tree records per-leg detail.
+	slow := m.tr.Slowest()
+	if len(slow) != 1 || len(slow[0].Legs) != 3 {
+		t.Fatalf("slowest = %d trees", len(slow))
+	}
+	if slow[0].Legs[1].Done != 300 || slow[0].Legs[1].Gen != 1 {
+		t.Errorf("critical leg detail = %+v", slow[0].Legs[1])
+	}
+}
+
+func TestStraddlingRangeClosesMultipleLegs(t *testing.T) {
+	m := newManualTracer()
+	f := m.tr.Flow(0, nil)
+	r1 := m.tr.Begin(1, 1, nil)
+	f.Send(r1, 0, 100)
+	r2 := m.tr.Begin(2, 1, nil)
+	f.Send(r2, 100, 200)
+	// One coalesced read covering both legs closes both requests.
+	f.RecordRange(0, 200, 0, boundsEndingAt(0, 600))
+	if got := m.tr.Completed(); got != 2 {
+		t.Fatalf("completed = %d, want 2", got)
+	}
+	if got := m.tr.StrayBytes(); got != 0 {
+		t.Fatalf("stray = %d", got)
+	}
+}
+
+func TestPartialRangeDefersCompletion(t *testing.T) {
+	m := newManualTracer()
+	f := m.tr.Flow(0, nil)
+	r := m.tr.Begin(1, 1, nil)
+	f.Send(r, 0, 100)
+	f.RecordRange(0, 50, 0, boundsEndingAt(0, 60))
+	if m.tr.Completed() != 0 {
+		t.Fatalf("completed on partial range")
+	}
+	f.RecordRange(50, 100, 0, boundsEndingAt(0, 120))
+	if m.tr.Completed() != 1 {
+		t.Fatalf("not completed after closing range")
+	}
+	// The closing range's boundaries define the leg.
+	if rec := m.tr.Records()[0]; rec.Done != 120 {
+		t.Errorf("done = %d, want 120", rec.Done)
+	}
+}
+
+func TestStrayAndLateRanges(t *testing.T) {
+	m := newManualTracer()
+	f := m.tr.Flow(0, nil)
+	// No declared legs at all: everything is stray.
+	f.RecordRange(0, 40, 0, boundsEndingAt(0, 60))
+	if got := m.tr.StrayBytes(); got != 40 {
+		t.Fatalf("stray = %d, want 40", got)
+	}
+	// A range wholly past the pending leg closes it defensively
+	// (its own bytes beyond the leg are stray).
+	r := m.tr.Begin(1, 1, nil)
+	f.Send(r, 100, 200)
+	f.RecordRange(250, 300, 0, boundsEndingAt(0, 90))
+	if m.tr.Completed() != 1 {
+		t.Fatalf("late range did not close the leg")
+	}
+	if got := m.tr.StrayBytes(); got != 90 {
+		t.Fatalf("stray = %d, want 90", got)
+	}
+}
+
+func TestOutstandingAndDoneCallback(t *testing.T) {
+	m := newManualTracer()
+	f := m.tr.Flow(0, nil)
+	fired := 0
+	r := m.tr.Begin(1, 1, func() { fired++ })
+	f.Send(r, 0, 10)
+	if m.tr.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", m.tr.Outstanding())
+	}
+	f.RecordRange(0, 10, 0, boundsEndingAt(0, 30))
+	if fired != 1 {
+		t.Fatalf("done callback fired %d times", fired)
+	}
+	if m.tr.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after completion", m.tr.Outstanding())
+	}
+}
+
+func TestRecordDecimation(t *testing.T) {
+	m := newManualTracer()
+	m.tr.MaxRecords = 8
+	f := m.tr.Flow(0, nil)
+	var seq uint64
+	for i := 0; i < 100; i++ {
+		m.now = units.Time(i * 1000)
+		r := m.tr.Begin(uint64(i), 1, nil)
+		f.Send(r, seq, seq+10)
+		f.RecordRange(seq, seq+10, 0, boundsEndingAt(m.now, m.now.Add(600)))
+		seq += 10
+	}
+	if !m.tr.Decimated() {
+		t.Fatalf("not decimated after 100 records with cap 8")
+	}
+	recs := m.tr.Records()
+	if len(recs) == 0 || len(recs) > 8 {
+		t.Fatalf("retained %d records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID <= recs[i-1].ID {
+			t.Fatalf("records not ID-sorted")
+		}
+	}
+	// Sketches see every completion regardless of decimation.
+	if got := m.tr.Sketch(-1).Count(); got != 100 {
+		t.Fatalf("e2e sketch count = %d, want 100", got)
+	}
+	// Decimated reports cross-check vacuously.
+	if err := m.tr.Report().CrossCheck(); err != nil {
+		t.Fatalf("decimated cross-check: %v", err)
+	}
+}
+
+func TestSlowestRetentionTotalOrder(t *testing.T) {
+	m := newManualTracer()
+	m.tr.SlowCap = 2
+	f := m.tr.Flow(0, nil)
+	var seq uint64
+	add := func(id uint64, e2e units.Duration) {
+		r := m.tr.Begin(id, 1, nil)
+		f.Send(r, seq, seq+10)
+		f.RecordRange(seq, seq+10, 0, boundsEndingAt(0, units.Time(e2e)))
+		seq += 10
+	}
+	add(1, 10)
+	add(2, 30)
+	add(3, 20)
+	add(4, 30) // ties with ID 2; lower ID ranks slower
+	slow := m.tr.Slowest()
+	if len(slow) != 2 || slow[0].ID != 2 || slow[1].ID != 4 {
+		ids := []uint64{}
+		for _, st := range slow {
+			ids = append(ids, st.ID)
+		}
+		t.Fatalf("slowest IDs = %v, want [2 4]", ids)
+	}
+}
+
+// synthShards runs the same deterministic workload — interleaved fan-out
+// groups, each group confined to one tracer — across nshards tracers and
+// absorbs them into one. The absorbed report must be byte-identical for
+// any shard count.
+func synthShards(nshards int) string {
+	shards := make([]*reqtrace.Tracer, nshards)
+	clocks := make([]units.Time, nshards)
+	type group struct {
+		tr    *reqtrace.Tracer
+		flows []*reqtrace.Flow
+		seq   []uint64
+	}
+	const groups, perGroup, deg = 6, 60, 3
+	gs := make([]*group, groups)
+	for g := 0; g < groups; g++ {
+		si := g % nshards
+		if shards[si] == nil {
+			shards[si] = reqtrace.New()
+			shards[si].SlowCap = 4
+			i := si
+			shards[si].SetClock(func() units.Time { return clocks[i] })
+		}
+		gr := &group{tr: shards[si], seq: make([]uint64, deg)}
+		for l := 0; l < deg; l++ {
+			gr.flows = append(gr.flows, gr.tr.Flow(g*deg+l, nil))
+		}
+		gs[g] = gr
+	}
+	// Interleave issues across groups so single-shard completion order
+	// differs from the per-shard orders.
+	for i := 0; i < perGroup; i++ {
+		for g := 0; g < groups; g++ {
+			gr := gs[g]
+			issue := units.Time(int64(i)*50_000 + int64(g)*137)
+			clocks[g%nshards] = issue
+			id := uint64(g)<<32 | uint64(i)
+			r := gr.tr.Begin(id, deg, nil)
+			for l := 0; l < deg; l++ {
+				gr.flows[l].Send(r, gr.seq[l], gr.seq[l]+256)
+			}
+			for l := 0; l < deg; l++ {
+				// Deterministic pseudo-latency, different per (g,i,l).
+				h := uint64(g)*2654435761 + uint64(i)*40503 + uint64(l)*9176
+				done := issue.Add(units.Duration(1_000 + h%40_000))
+				gr.flows[l].RecordRange(gr.seq[l], gr.seq[l]+256, 0, boundsEndingAt(issue, done))
+				gr.seq[l] += 256
+			}
+		}
+	}
+	root := reqtrace.New()
+	root.SlowCap = 4
+	for _, sh := range shards {
+		root.Absorb(sh)
+	}
+	rp := root.Report()
+	var buf bytes.Buffer
+	rp.WriteTable(&buf)
+	return buf.String()
+}
+
+func TestAbsorbShardInvariance(t *testing.T) {
+	want := synthShards(1)
+	for _, n := range []int{2, 3, 6} {
+		if got := synthShards(n); got != want {
+			t.Fatalf("report differs at %d shards:\n--- 1 shard\n%s--- %d shards\n%s", n, want, n, got)
+		}
+	}
+}
+
+func TestReportCrossCheckAndResidual(t *testing.T) {
+	m := newManualTracer()
+	f := m.tr.Flow(0, nil)
+	var seq uint64
+	for i := 0; i < 2000; i++ {
+		issue := units.Time(int64(i) * 100_000)
+		m.now = issue
+		r := m.tr.Begin(uint64(i), 1, nil)
+		f.Send(r, seq, seq+10)
+		// Latencies spread over three decades to exercise many
+		// sketch buckets.
+		h := uint64(i)*2654435761 + 12345
+		lat := units.Duration(1_000 << (h % 11))
+		f.RecordRange(seq, seq+10, 0, boundsEndingAt(issue, issue.Add(lat)))
+		seq += 10
+	}
+	rp := m.tr.Report()
+	if rp.Completed != 2000 || rp.Decimated {
+		t.Fatalf("report header: %+v", rp)
+	}
+	if rp.MaxResidual > 1e-9 {
+		t.Errorf("max residual = %g", rp.MaxResidual)
+	}
+	if err := rp.CrossCheck(); err != nil {
+		t.Errorf("cross-check: %v", err)
+	}
+	if rp.Exact[0].P50 <= 0 || rp.Exact[0].P99 < rp.Exact[0].P50 || rp.Exact[0].P999 < rp.Exact[0].P99 {
+		t.Errorf("exact e2e quantiles not monotone: %+v", rp.Exact[0])
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	m := newManualTracer()
+	flows := []*reqtrace.Flow{m.tr.Flow(0, nil), m.tr.Flow(1, nil)}
+	r := m.tr.Begin(3, 2, nil)
+	flows[0].Send(r, 0, 32)
+	flows[1].Send(r, 0, 32)
+	flows[0].RecordRange(0, 32, 0, boundsEndingAt(0, 1200))
+	flows[1].RecordRange(0, 32, 0, boundsEndingAt(0, 600))
+
+	var chrome bytes.Buffer
+	if err := m.tr.Export(&chrome, reqtrace.FormatChrome); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	for _, want := range []string{`"request 3`, "[critical]", "sibwait", `"ph":"X"`} {
+		if !bytes.Contains(chrome.Bytes(), []byte(want)) {
+			t.Errorf("chrome trace missing %q", want)
+		}
+	}
+	var jsonl bytes.Buffer
+	if err := m.tr.Export(&jsonl, reqtrace.FormatJSONL); err != nil {
+		t.Fatalf("jsonl export: %v", err)
+	}
+	if n := bytes.Count(jsonl.Bytes(), []byte{'\n'}); n != 3 {
+		t.Errorf("jsonl lines = %d, want 3 (1 request + 2 legs)", n)
+	}
+	if _, err := reqtrace.ParseFormat("bogus"); err == nil {
+		t.Errorf("ParseFormat accepted bogus")
+	}
+}

@@ -114,3 +114,48 @@ func TestRulesEnabled(t *testing.T) {
 	nilE.Observe(0, 1, false)
 	nilE.Finish()
 }
+
+// TestEscalatorDemotesExactlyAtNthCleanBoundary pins the demotion edge:
+// with CleanWindows=3, an escalated flow demotes on the roll of the third
+// consecutive clean window — at exactly the boundary time 4·Width, not
+// one tick before, and not a window later.
+func TestEscalatorDemotesExactlyAtNthCleanBoundary(t *testing.T) {
+	e := NewEscalator(Rules{
+		P99Above:     10 * units.Millisecond,
+		MinSamples:   1,
+		CleanWindows: 3,
+	}, units.Second)
+
+	// Window 0 trips; the transition lands when window 0 rolls.
+	e.Observe(units.Time(500*units.Millisecond), 0.5, false)
+	changed, esc := e.Observe(units.Time(1500*units.Millisecond), 0.001, false)
+	if !changed || !esc {
+		t.Fatalf("window-0 roll: changed=%v escalated=%v, want true/true", changed, esc)
+	}
+
+	// Clean windows 1 and 2 roll (each carried evidence): still escalated.
+	for _, at := range []units.Time{
+		units.Time(2500 * units.Millisecond),
+		units.Time(3500 * units.Millisecond),
+	} {
+		if changed, esc = e.Observe(at, 0.001, false); changed || !esc {
+			t.Fatalf("roll at %v: changed=%v escalated=%v, want false/true", at, changed, esc)
+		}
+	}
+
+	// One tick shy of window 3's boundary nothing may happen…
+	if e.AdvanceTo(units.Time(4*units.Second) - 1) {
+		t.Fatal("state changed before the third clean window's boundary")
+	}
+	if !e.Escalated() {
+		t.Fatal("demoted early")
+	}
+	// …and at exactly 4·Width the third clean window rolls and demotes.
+	if !e.AdvanceTo(units.Time(4 * units.Second)) {
+		t.Fatal("no transition at the third clean window's boundary")
+	}
+	if e.Escalated() || e.Demotions() != 1 || e.Escalations() != 1 {
+		t.Fatalf("after boundary: escalated=%v demotions=%d escalations=%d",
+			e.Escalated(), e.Demotions(), e.Escalations())
+	}
+}

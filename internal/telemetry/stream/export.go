@@ -23,12 +23,16 @@ type SinkFunc func(names []string, w *Window) error
 // ExportWindow calls f.
 func (f SinkFunc) ExportWindow(names []string, w *Window) error { return f(names, w) }
 
-// TextExporter writes each sealed window as Prometheus text exposition:
-// per-series quantile/count/min/max samples labelled with the window
-// index and its start time. Output depends only on the window contents,
-// so merged fleet windows export byte-identically for any shard count.
+// TextExporter writes each sealed window as Prometheus text exposition.
+// Every series is a proper summary family — a # TYPE line, quantile
+// samples, and the _sum/_count pair the scrape format requires — plus
+// _min/_max gauges that summaries cannot carry. Output depends only on
+// the window contents, so merged fleet windows export byte-identically
+// for any shard count. The # TYPE line is emitted once per family on its
+// first window; the exposition format forbids repeating it.
 type TextExporter struct {
 	w       io.Writer
+	typed   map[string]bool
 	Windows uint64 // windows exported
 }
 
@@ -37,18 +41,27 @@ func NewTextExporter(w io.Writer) *TextExporter { return &TextExporter{w: w} }
 
 // ExportWindow writes one window.
 func (t *TextExporter) ExportWindow(names []string, win *Window) error {
+	if t.typed == nil {
+		t.typed = make(map[string]bool, len(names))
+	}
 	bw := bufio.NewWriter(t.w)
 	fmt.Fprintf(bw, "# window %d [%s,%s) samples=%d flagged=%d late=%d\n",
 		win.Index, win.Start, win.End, win.Samples, win.Flagged, win.Late)
 	for i, name := range names {
 		sk := &win.Sketches[i]
-		for _, q := range exportQuantiles {
-			fmt.Fprintf(bw, "element_stream_%s{window=\"%d\",quantile=\"%g\"} %g\n",
-				name, win.Index, q, sk.Quantile(q))
+		fam := "element_stream_" + name
+		if !t.typed[fam] {
+			t.typed[fam] = true
+			fmt.Fprintf(bw, "# TYPE %s summary\n", fam)
 		}
-		fmt.Fprintf(bw, "element_stream_%s_count{window=\"%d\"} %d\n", name, win.Index, sk.Count())
-		fmt.Fprintf(bw, "element_stream_%s_min{window=\"%d\"} %g\n", name, win.Index, sk.Min())
-		fmt.Fprintf(bw, "element_stream_%s_max{window=\"%d\"} %g\n", name, win.Index, sk.Max())
+		for _, q := range exportQuantiles {
+			fmt.Fprintf(bw, "%s{window=\"%d\",quantile=\"%g\"} %g\n",
+				fam, win.Index, q, sk.Quantile(q))
+		}
+		fmt.Fprintf(bw, "%s_sum{window=\"%d\"} %g\n", fam, win.Index, sk.ApproxSum())
+		fmt.Fprintf(bw, "%s_count{window=\"%d\"} %d\n", fam, win.Index, sk.Count())
+		fmt.Fprintf(bw, "%s_min{window=\"%d\"} %g\n", fam, win.Index, sk.Min())
+		fmt.Fprintf(bw, "%s_max{window=\"%d\"} %g\n", fam, win.Index, sk.Max())
 	}
 	t.Windows++
 	return bw.Flush()

@@ -35,7 +35,11 @@ func TestTextExporter(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"# window 0 ",
+		"# TYPE element_stream_snd_delay summary",
+		"# TYPE element_stream_rcv_delay summary",
+		`element_stream_snd_delay{window="0",quantile="0.5"}`,
 		`element_stream_snd_delay{window="0",quantile="0.99"}`,
+		`element_stream_snd_delay_sum{window="0"}`,
 		`element_stream_snd_delay_count{window="0"} 3`,
 		`element_stream_rcv_delay_count{window="0"} 0`,
 	} {
@@ -45,6 +49,20 @@ func TestTextExporter(t *testing.T) {
 	}
 	if ex.Windows != 1 {
 		t.Fatalf("Windows = %d", ex.Windows)
+	}
+	// The summary _sum is the sketch's upper-edge estimate: never below
+	// the true sum, never more than RelativeError above it.
+	if sum := w.Sketches[0].ApproxSum(); sum < 0.6 || sum > 0.6*(1+RelativeError)+1e-12 {
+		t.Fatalf("ApproxSum = %g, want within [%g, %g]", sum, 0.6, 0.6*(1+RelativeError))
+	}
+	// A second window through the same exporter must not repeat the
+	// # TYPE lines — the exposition format forbids duplicate family
+	// declarations in one scrape.
+	if err := ex.ExportWindow(st.Names(), w); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "# TYPE element_stream_snd_delay summary"); n != 1 {
+		t.Fatalf("# TYPE repeated %d times across windows, want 1", n)
 	}
 	// Determinism: exporting the same window twice is byte-identical.
 	var buf2 bytes.Buffer

@@ -171,6 +171,33 @@ func (s *Sketch) Quantile(q float64) float64 {
 	return s.max
 }
 
+// ApproxSum estimates the sum of all observations from the bucket upper
+// edges (clamped to the observed min/max), the same per-bucket bound
+// Quantile reports, so it overshoots by at most RelativeError × the true
+// sum. The walk visits buckets in fixed index order, making the result a
+// pure function of the sketch state: fleet-merged windows export
+// identical sums for any shard count.
+func (s *Sketch) ApproxSum() float64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	var sum float64
+	for i, n := range s.buckets {
+		if n == 0 {
+			continue
+		}
+		v := sketchUpper(i)
+		if v > s.max {
+			v = s.max
+		}
+		if v < s.min {
+			v = s.min
+		}
+		sum += float64(n) * v
+	}
+	return sum
+}
+
 // Merge folds src into s: buckets, count and zeros add exactly; min/max
 // widen. Merge is associative and commutative — folding per-shard
 // sketches in any order produces bit-identical state — and it never

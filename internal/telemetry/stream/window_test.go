@@ -188,3 +188,58 @@ func TestSeriesRegistrationAfterBuildPanics(t *testing.T) {
 	}()
 	st.Series("c")
 }
+
+// TestWindowLateExactlyAtWatermark pins the seal boundary's inclusivity:
+// window k seals the instant virtual time reaches (k+1)·Width + Watermark
+// — not one tick later — so a sample for k arriving exactly then is late,
+// counted, and folded into the live window at the horizon. One tick
+// earlier the same sample is on time.
+func TestWindowLateExactlyAtWatermark(t *testing.T) {
+	width, wm := units.Second, units.Second
+	sampleAt := units.Time(1500 * units.Millisecond) // window 1
+	sealAt := units.Time(2 * units.Second).Add(wm)   // end(1) + watermark
+
+	// One tick before the watermark: window 1 is still open, the sample
+	// lands in it, nothing is late.
+	early := New(Config{Width: width, Watermark: wm, Retain: 8})
+	se := early.Series("d")
+	early.AdvanceTo(sealAt - 1)
+	se.Observe(sampleAt, 0.5)
+	if early.Late() != 0 {
+		t.Fatalf("sample one tick before the watermark counted late")
+	}
+	early.SealThrough(1)
+	var got *Window
+	early.Drain(func(w *Window) {
+		if w.Index == 1 {
+			cp := *w
+			got = &cp
+		}
+	})
+	if got == nil || got.Samples != 1 || got.Late != 0 {
+		t.Fatalf("window 1 before watermark: %+v", got)
+	}
+
+	// Exactly at the watermark: window 1 has just sealed. The sample is
+	// an anomaly and folds into the live window at the horizon (window 3
+	// at t=3s), which counts it in its Late tally.
+	late := New(Config{Width: width, Watermark: wm, Retain: 8})
+	se = late.Series("d")
+	late.AdvanceTo(sealAt)
+	if late.SealedWindows() != 2 { // windows 0 and 1
+		t.Fatalf("sealed %d windows at the watermark, want 2", late.SealedWindows())
+	}
+	se.Observe(sampleAt, 0.5)
+	if late.Late() != 1 {
+		t.Fatalf("sample exactly at the watermark not counted late")
+	}
+	late.SealThrough(3)
+	byIdx := map[int64]Window{}
+	late.Drain(func(w *Window) { byIdx[w.Index] = *w })
+	if w := byIdx[1]; w.Samples != 0 {
+		t.Fatalf("sealed window 1 gained samples after sealing: %+v", w)
+	}
+	if w := byIdx[3]; w.Samples != 1 || w.Late != 1 {
+		t.Fatalf("late sample must fold into the live window 3 with Late=1, got %+v", w)
+	}
+}

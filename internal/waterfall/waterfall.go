@@ -352,6 +352,13 @@ type linkRec struct {
 // in-order, read).
 const numBounds = NumStages + 1
 
+// Bounds is one finalized byte range's boundary timestamps: the
+// NumStages+1 fenceposts (write, firstTx, tx, deq, rcv, in-order, read),
+// clamped monotone so stage k's duration is Bounds[k+1]-Bounds[k] and
+// the stages telescope exactly to write→read. This is the joint surface
+// request-scoped layers (internal/reqtrace) build on.
+type Bounds = [numBounds]units.Time
+
 // arrival is a received byte range with every upstream boundary
 // snapshotted, waiting for in-order release and the app read.
 type arrival struct {
@@ -415,6 +422,21 @@ type Recorder struct {
 	lostDrops   int // drops not retained once maxMarks hit
 	resizes     []Resize
 	lostResizes int
+
+	// onFinal, when set, observes every finalized byte range with its
+	// clamped boundaries — no decimation, in read order.
+	onFinal func(start, end uint64, gen int, b Bounds)
+}
+
+// OnFinalize registers fn to observe every finalized byte range of this
+// flow: the consumed [start,end) range, its retransmit generation, and
+// the monotone-clamped boundary fenceposts. Unlike Spans, the callback
+// sees every range (retention decimation does not apply), which is what
+// request-scoped layers join on. Nil-safe; one callback per recorder.
+func (r *Recorder) OnFinalize(fn func(start, end uint64, gen int, b Bounds)) {
+	if r != nil {
+		r.onFinal = fn
+	}
 }
 
 // FlowID reports the bound flow ID (0 before Bind).
@@ -743,6 +765,9 @@ func (r *Recorder) finalize(a arrival, start, end uint64, readAt units.Time) {
 	r.wf.e2eS.Observe(readAt, e2e.Seconds())
 	r.agg.ranges++
 	r.agg.bytes += end - start
+	if r.onFinal != nil {
+		r.onFinal(start, end, a.gen, b)
+	}
 	r.retain(rangeRec{start: start, end: end, gen: a.gen, b: b})
 }
 
