@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test bench bench-smoke bench-baseline bench-gate soak soak-short
+.PHONY: check fmt vet staticcheck build test bench bench-smoke bench-baseline bench-gate soak soak-short soak-overload soak-overload-short
 
 ## check: the full local gate — format, vet, staticcheck, build,
-## race-enabled tests.
-check: fmt vet staticcheck build test
+## race-enabled tests, and the CI-sized overload soak.
+check: fmt vet staticcheck build test soak-overload-short
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -47,6 +47,19 @@ soak:
 ## soak-short: the CI-sized soak (~100 connections, ~20 s).
 soak-short:
 	FLEET_SOAK_CONNS=100 FLEET_SOAK_SHARDS=4 $(GO) test -race -timeout 10m -run TestFleetSoak -v ./internal/fleet/
+
+## soak-overload: the overload-governor chaos soak — repeated
+## overload/recovery cycles against a flapping export sink under the race
+## detector, across several seeds and shard counts, asserting zero
+## goroutine leaks, monotone bound-widening while flows are shed,
+## re-tightened bounds after recovery, and byte-identical same-seed
+## results at every shard count.
+soak-overload:
+	ELEMENT_SOAK=1 $(GO) test -race -timeout 30m -run 'TestFleetOverloadSoak$$' -v ./internal/fleet/
+
+## soak-overload-short: the CI-sized overload soak (one seed, ~seconds).
+soak-overload-short:
+	$(GO) test -race -timeout 10m -run TestFleetOverloadSoakShort -v ./internal/fleet/
 
 ## bench: every table/figure benchmark plus the overhead ablations.
 bench:

@@ -27,6 +27,7 @@ import (
 
 	"element/internal/exp"
 	"element/internal/faults"
+	"element/internal/overload"
 	"element/internal/reqtrace"
 	"element/internal/telemetry"
 	"element/internal/telemetry/stream"
@@ -125,6 +126,9 @@ func main() {
 				failed++
 			}
 			if !printReqtraceCost(trackerNs) {
+				failed++
+			}
+			if !printGovernorCost(trackerNs) {
 				failed++
 			}
 			if err := exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText); err != nil {
@@ -298,6 +302,76 @@ func printReqtraceCost(trackerNs float64) bool {
 	// hot path itself is pinned at zero by TestRecordRangeZeroAlloc too.
 	if allocsOp > 0.001 {
 		fmt.Fprintf(os.Stderr, "elembench: reqtrace span cycle allocates %.3f objects/op in steady state — the hot path is pinned at zero\n", allocsOp)
+		return false
+	}
+	return true
+}
+
+// printGovernorCost micro-measures the overload governor's per-barrier
+// cost — one Tick over a fleet-sized flow table with pressure cycling
+// across the deadband, plus one window through the backpressured export
+// queue — and prints it benchmark-style. The governor runs once per
+// barrier, not per sample, so the budget compares one tick against one
+// tracker poll: it must stay under the same ~5% overhead budget the
+// rest of the observability plane is held to; returns false when it
+// doesn't. The queue's depth high-water rides along so the summary shows
+// how much backlog the drive built up.
+func printGovernorCost(trackerNs float64) bool {
+	const flows = 1024
+	g := overload.New(overload.Config{
+		Budgets:   overload.Budgets{RetainedSamples: 1 << 20},
+		HoldTicks: 8,
+		Seed:      1,
+	}, flows)
+	sink := stream.SinkFunc(func([]string, *stream.Window) error { return nil })
+	q := overload.NewQueue(overload.QueueConfig{Capacity: 64}, sink)
+	names := []string{"snd_delay", "rcv_delay"}
+	w := &stream.Window{Index: 1, Samples: 100, Sketches: make([]stream.Sketch, 2)}
+	w.Sketches[0].Observe(0.01)
+	w.Sketches[1].Observe(0.02)
+	over := overload.Usage{RetainedSamples: 3 << 20}
+	under := overload.Usage{RetainedSamples: 1 << 10}
+	const warm, ticks = 1 << 8, 1 << 16
+	for i := 0; i < warm; i++ { // warm the ring so slots reuse sketch buffers
+		q.ExportWindow(names, w)
+		q.Advance(units.Time(i) * units.Time(units.Millisecond))
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ticks; i++ {
+		u := under
+		if i&0x1f < 16 {
+			u = over
+		}
+		u.QueueFrac = q.Frac()
+		g.Tick(u)
+		w.Index = int64(i)
+		q.ExportWindow(names, w)
+		q.Advance(units.Time(warm+i) * units.Time(units.Millisecond))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / ticks
+	perFlow := ns / flows
+	allocsOp := float64(after.Mallocs-before.Mallocs) / ticks
+	line := fmt.Sprintf("governor cost: %.0f ns/op per tick (%.1f ns/flow), %.3f allocs/op over %d ticks of %d flows (%d sheds, %d reclaims, queue high-water %d)",
+		ns, perFlow, allocsOp, ticks, flows, g.Sheds(), g.Reclaims(), q.Stats().HighWater)
+	if trackerNs > 0 {
+		// One tick governs every flow at once, so the marginal cost a
+		// governed flow pays per barrier is ns/flows — that is the number
+		// held to the budget, against the poll that flow runs anyway.
+		pct := 100 * perFlow / trackerNs
+		line += fmt.Sprintf(" (%.2f%% of a tracker poll per flow)", pct)
+		if pct > 5 {
+			fmt.Println(line)
+			fmt.Fprintf(os.Stderr, "elembench: governor adds %.1f%% per flow per barrier — exceeds the ~5%% overhead budget\n", pct)
+			return false
+		}
+	}
+	fmt.Println(line)
+	if allocsOp > 0.001 {
+		fmt.Fprintf(os.Stderr, "elembench: governor tick allocates %.3f objects/op in steady state — the hot path is pinned at zero\n", allocsOp)
 		return false
 	}
 	return true

@@ -18,6 +18,24 @@
 //	elemfleet -stream -stream-format jsonl -stream-budget 65536
 //	elemfleet -fanout 4 -rps 300       # fan-out RPC workload + tail report
 //	elemfleet -fanout 8 -arrivals bursty -reqtrace spans.json
+//	elemfleet -overload -budget-samples 5000   # budgeted degradation ladder
+//	elemfleet -stream -export-queue 32 -faults wedged-sink -drain-timeout 1
+//	elemfleet -snapshot run.snap; elemfleet -resume run.snap -shards 4
+//
+// With -overload the budgeted degradation governor meters retained
+// samples, sketch bytes, export rate and queue depth against the
+// configured budgets at every barrier, and walks individual flows down
+// the degradation ladder (full → sketch-only → counters-only → parked)
+// under pressure, back up as it clears. Every demotion widens the
+// affected flow's error bounds and counts a Sheds anomaly — degraded
+// coverage is flagged, never silent. -export-queue fronts the stream
+// sink with a bounded retry/backoff queue behind a circuit breaker, so
+// a wedged sink costs queue depth instead of lost windows;
+// -drain-timeout bounds the end-of-run backlog drain, after which the
+// partial export is marked truncated and elemfleet exits non-zero.
+// -snapshot/-resume persist estimator state and ladder tiers across
+// runs, keyed by connection ID so a snapshot restores into any -shards
+// layout.
 //
 // With -fanout N the workload switches from per-connection bulk
 // transfer to fan-out RPC: connections group into fan-out groups of N
@@ -55,6 +73,7 @@ import (
 	"element/internal/cc"
 	"element/internal/faults"
 	"element/internal/fleet"
+	"element/internal/overload"
 	"element/internal/reqtrace"
 	"element/internal/telemetry"
 	"element/internal/telemetry/stream"
@@ -91,6 +110,18 @@ func main() {
 		escalate  = flag.Float64("escalate", 0, "escalate a flow to full waterfall tracing when its windowed p99 sndbuf delay exceeds this many ms (0 = never)")
 		streamFmt = flag.String("stream-format", "text", "window export format: text|jsonl")
 		streamCap = flag.Int("stream-budget", 0, "hard byte budget for jsonl window export (0 = unlimited)")
+
+		overloadOn   = flag.Bool("overload", false, "enable the budgeted degradation governor")
+		budgetLive   = flag.Int("budget-live", 0, "overload budget: flows at full fidelity (0 = unlimited)")
+		budgetSamp   = flag.Int("budget-samples", 0, "overload budget: fleet-wide retained samples+records (0 = unlimited)")
+		budgetSketch = flag.Int("budget-sketch-bytes", 0, "overload budget: streaming sketch footprint in bytes (0 = unlimited)")
+		budgetExport = flag.Float64("budget-export-bps", 0, "overload budget: sustained export bytes/s (0 = unlimited)")
+		highWater    = flag.Float64("high-water", 0, "overload pressure above which flows demote (0 = 1.0)")
+		lowWater     = flag.Float64("low-water", 0, "overload pressure below which flows promote (0 = 0.75*high)")
+		queueCap     = flag.Int("export-queue", 0, "bounded retry/backoff queue of this many windows fronting the stream sink (0 = direct export)")
+		drainT       = flag.Float64("drain-timeout", 0, "end-of-run export-backlog drain grace in seconds; on expiry the partial export is marked truncated and elemfleet exits non-zero (0 = 2s, negative = none)")
+		snapOut      = flag.String("snapshot", "", "write a resumable fleet snapshot (estimator checkpoints + ladder tiers, JSON) to this file after the run")
+		snapIn       = flag.String("resume", "", "resume estimator state and ladder tiers from a snapshot file; re-homes onto this run's -shards layout by connection ID")
 
 		fanout   = flag.Int("fanout", 0, "fan-out degree: group connections into fan-out RPC groups of this many backends (0 = bulk workload)")
 		arrivals = flag.String("arrivals", "poisson", "fan-out arrival process: poisson|bursty|closed")
@@ -188,13 +219,50 @@ func main() {
 		}
 		cfg.Stream = sc
 	}
+	if *overloadOn || *budgetLive > 0 || *budgetSamp > 0 || *budgetSketch > 0 || *budgetExport > 0 {
+		cfg.Overload = &overload.Config{
+			Budgets: overload.Budgets{
+				LiveFull:          *budgetLive,
+				RetainedSamples:   *budgetSamp,
+				SketchBytes:       *budgetSketch,
+				ExportBytesPerSec: *budgetExport,
+			},
+			HighWater: *highWater,
+			LowWater:  *lowWater,
+		}
+	}
+	if *queueCap > 0 {
+		if cfg.Stream == nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: -export-queue requires -stream")
+			os.Exit(1)
+		}
+		cfg.ExportQueue = &overload.QueueConfig{Capacity: *queueCap}
+	}
+	cfg.DrainTimeout = units.DurationFromSeconds(*drainT)
+	if *drainT < 0 {
+		cfg.DrainTimeout = -1
+	}
+	if *snapIn != "" {
+		raw, err := os.ReadFile(*snapIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: resume:", err)
+			os.Exit(1)
+		}
+		snap, err := fleet.UnmarshalSnapshot(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: resume:", err)
+			os.Exit(1)
+		}
+		cfg.Resume = snap
+	}
 
 	// Ctrl-C stops the virtual clock at the next slice boundary; the
 	// fleet still drains, so partial results and exports are intact.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res := fleet.New(cfg).RunContext(ctx)
+	fl := fleet.New(cfg)
+	res := fl.RunContext(ctx)
 	if res.Interrupted {
 		fmt.Fprintln(os.Stderr, "elemfleet: interrupted — reporting the partial run")
 	}
@@ -221,6 +289,28 @@ func main() {
 		if res.StreamErr != nil {
 			fmt.Fprintln(os.Stderr, "elemfleet: stream sink:", res.StreamErr)
 		}
+	}
+	if cfg.Overload != nil {
+		tc := res.TierCounts
+		fmt.Printf("overload{sheds=%d reclaims=%d shed_samples=%d tiers=[full=%d sketch=%d counters=%d parked=%d]}\n",
+			res.Sheds, res.Reclaims, res.ShedSamples,
+			tc[overload.TierFull], tc[overload.TierSketch], tc[overload.TierCounters], tc[overload.TierParked])
+	}
+	if cfg.ExportQueue != nil {
+		q := res.Queue
+		fmt.Printf("export-queue{enqueued=%d delivered=%d retries=%d dropped=%d deadlined=%d breaker_trips=%d high_water=%d sink_faults=%d}\n",
+			q.Enqueued, q.Delivered, q.Retries, q.Dropped, q.Deadlined, q.BreakerTrips, q.HighWater, res.SinkFaults)
+	}
+	if *snapOut != "" {
+		raw, err := fl.Snapshot().Marshal()
+		if err == nil {
+			err = os.WriteFile(*snapOut, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot: %d connections -> %s\n", len(res.Conns), *snapOut)
 	}
 
 	if rt != nil {
@@ -257,6 +347,10 @@ func main() {
 		agg := wf.Aggregate()
 		fmt.Printf("--- waterfall: %d flows, %d byte ranges ---\n", len(wf.Flows()), agg.Ranges)
 		agg.WriteTable(os.Stdout)
+	}
+	if res.ExportTruncated {
+		fmt.Fprintln(os.Stderr, "elemfleet: export truncated — drain timeout expired with windows undelivered")
+		os.Exit(1)
 	}
 	if v := res.Violations(); v != 0 {
 		fmt.Fprintf(os.Stderr, "elemfleet: %d bounded-or-flagged violations\n", v)

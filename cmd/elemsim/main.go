@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"element/internal/apps"
 	"element/internal/aqm"
@@ -66,6 +67,7 @@ func main() {
 		reqBytes = flag.Int("req-bytes", 1024, "fan-out mean per-leg response size (bytes)")
 		rtPath   = flag.String("reqtrace", "", "write the slowest request span trees to this file (requires -fanout)")
 		rtFmt    = flag.String("reqtrace-format", "chrome", "span-tree export format: chrome|jsonl")
+		drainT   = flag.Float64("drain-timeout", 0, "wall-clock budget in seconds for end-of-run file exports (0 = no limit); on expiry partial exports are marked truncated and the run exits non-zero")
 	)
 	flag.Parse()
 
@@ -226,32 +228,30 @@ func main() {
 				f.Sender.Min.Target(), sleeps, total)
 		}
 	}
+	guard := newDrainGuard(*drainT)
 	if telem != nil {
-		if err := writeTelemetry(telem, *telPath, format); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if guard.run("telemetry", func() error { return writeTelemetry(telem, *telPath, format) }) {
+			fmt.Printf("\ntelemetry: %d events (%d evicted) written to %s (%s)\n",
+				telem.Tracer().Len(), telem.Tracer().Evicted(), *telPath, format)
 		}
-		fmt.Printf("\ntelemetry: %d events (%d evicted) written to %s (%s)\n",
-			telem.Tracer().Len(), telem.Tracer().Evicted(), *telPath, format)
 	}
 	if *wfPath != "" {
-		out, err := os.Create(*wfPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		ok := guard.run("waterfall", func() error {
+			out, err := os.Create(*wfPath)
+			if err != nil {
+				return err
+			}
+			if err := wf.Export(out, wfForm); err != nil {
+				out.Close()
+				return err
+			}
+			return out.Close()
+		})
+		if ok {
+			agg := wf.Aggregate()
+			fmt.Printf("\nwaterfall: %d byte ranges over %d flows written to %s (%s); stage-sum residual %.4f%%\n",
+				agg.Ranges, len(wf.Flows()), *wfPath, wfForm, agg.Residual*100)
 		}
-		if err := wf.Export(out, wfForm); err == nil {
-			err = out.Close()
-		} else {
-			out.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		agg := wf.Aggregate()
-		fmt.Printf("\nwaterfall: %d byte ranges over %d flows written to %s (%s); stage-sum residual %.4f%%\n",
-			agg.Ranges, len(wf.Flows()), *wfPath, wfForm, agg.Residual*100)
 	}
 	if rt != nil {
 		rp := rt.Report()
@@ -263,23 +263,80 @@ func main() {
 			os.Exit(1)
 		}
 		if *rtPath != "" {
-			out, err := os.Create(*rtPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			ok := guard.run("reqtrace", func() error {
+				out, err := os.Create(*rtPath)
+				if err != nil {
+					return err
+				}
+				if err := rt.Export(out, rtForm); err != nil {
+					out.Close()
+					return err
+				}
+				return out.Close()
+			})
+			if ok {
+				fmt.Printf("reqtrace: %d slowest span trees -> %s (%s)\n",
+					len(rt.Slowest()), *rtPath, rtForm)
 			}
-			if err := rt.Export(out, rtForm); err == nil {
-				err = out.Close()
-			} else {
-				out.Close()
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("reqtrace: %d slowest span trees -> %s (%s)\n",
-				len(rt.Slowest()), *rtPath, rtForm)
 		}
+	}
+	if guard.truncated {
+		fmt.Fprintln(os.Stderr, "elemsim: exports truncated — drain timeout expired")
+		os.Exit(1)
+	}
+}
+
+// drainGuard bounds the end-of-run file exports by a shared wall-clock
+// deadline. A stalled export destination (a FIFO nobody reads, a hung
+// network filesystem) must not hang the run: when the budget expires the
+// in-flight export is abandoned where it stands — the bytes already
+// written are the partial flush — an explicit truncated marker goes to
+// stderr, and the process exits non-zero.
+type drainGuard struct {
+	deadline  time.Time
+	truncated bool
+}
+
+// newDrainGuard builds a guard for a budget of secs seconds; secs <= 0
+// means no limit.
+func newDrainGuard(secs float64) *drainGuard {
+	g := &drainGuard{}
+	if secs > 0 {
+		g.deadline = time.Now().Add(time.Duration(secs * float64(time.Second)))
+	}
+	return g
+}
+
+// run executes one export under the shared deadline and reports whether
+// it completed. Export errors stay fatal, exactly as they were without a
+// guard; only deadline expiry downgrades to the truncated path.
+func (g *drainGuard) run(name string, fn func() error) bool {
+	if g.deadline.IsZero() {
+		if err := fn(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return true
+	}
+	remaining := time.Until(g.deadline)
+	if remaining <= 0 {
+		g.truncated = true
+		fmt.Fprintf(os.Stderr, "elemsim: export %s truncated: drain timeout expired\n", name)
+		return false
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return true
+	case <-time.After(remaining):
+		g.truncated = true
+		fmt.Fprintf(os.Stderr, "elemsim: export %s truncated: drain timeout expired\n", name)
+		return false
 	}
 }
 

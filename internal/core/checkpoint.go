@@ -182,6 +182,30 @@ func RestoreSenderTracker(eng *sim.Engine, src InfoSource, cp SenderCheckpoint, 
 	return t
 }
 
+// Rebase strips the state that only meant something for the connection
+// the checkpoint was taken on, preparing it for restore into a NEW
+// connection (the fleet-level snapshot/resume path, where a whole run's
+// estimator state re-homes onto freshly built connections). Byte-matching
+// state — outstanding records, the B_est clamps, the write cursor — is
+// relative to the old flow's cumulative counters and would corrupt the
+// ring's sorted invariant against a flow restarting at byte zero, so it
+// is dropped; likewise the sanitizer's last-snapshot clamps, which would
+// read every counter of the new flow as a backwards jump. What carries
+// over is exactly the audit: anomaly counts, the capability verdict, the
+// MSS envelope, the stall/rate state, and the poll clock. Restoring a
+// rebased checkpoint still counts the Restores anomaly and opens the
+// post-anomaly holdoff, so the resumed series starts at degraded
+// confidence instead of pretending continuity it cannot prove.
+func (cp SenderCheckpoint) Rebase() SenderCheckpoint {
+	cp.TakenAt = 0
+	cp.Records = nil
+	cp.CumWritten, cp.BestCache, cp.LastBest, cp.PrevBest = 0, 0, 0, 0
+	cp.PrevDelay, cp.PrevDelaySet = 0, false
+	cp.Sanitizer.Seen = false
+	cp.Sanitizer.Last = tcpinfo.TCPInfo{}
+	return cp
+}
+
 // ReceiverCheckpoint is the serializable state of Algorithm 2's tracker.
 type ReceiverCheckpoint struct {
 	TakenAt   units.Time         `json:"taken_at"`
@@ -296,6 +320,27 @@ func RestoreReceiverTracker(eng *sim.Engine, src InfoSource, cp ReceiverCheckpoi
 	t.lastAnomaly = t.polls
 	t.prevAnomTot = t.san.counts.Total()
 	return t
+}
+
+// Rebase strips a receiver checkpoint's connection-relative state for
+// restore into a new connection (see SenderCheckpoint.Rebase): records,
+// the cumulative B_prev estimate, the drain-excess machinery keyed to old
+// byte counts, and the sanitizer clamps reset; the audit trail, rate
+// EWMA and poll clock carry over.
+func (cp ReceiverCheckpoint) Rebase() ReceiverCheckpoint {
+	cp.TakenAt = 0
+	cp.Records = nil
+	cp.Prev = 0
+	cp.LastGrowth = 0
+	cp.ExcEpoch = [2]uint64{}
+	cp.ExcBound = 0
+	cp.OffWinMin = [2]uint64{offUnset, offUnset}
+	cp.OffWinStart = cp.Polls
+	cp.PrevFloor = 0
+	cp.PrevDelay, cp.PrevDelaySet = 0, false
+	cp.Sanitizer.Seen = false
+	cp.Sanitizer.Last = tcpinfo.TCPInfo{}
+	return cp
 }
 
 // MinimizerCheckpoint is the serializable state of Algorithm 3.

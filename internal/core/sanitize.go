@@ -90,13 +90,18 @@ type AnomalyCounts struct {
 	// resumed through; the outage window of each restore is folded into
 	// the error bounds of the samples that sat through it.
 	Restores int
+	// Sheds counts overload-governor demotions this tracker's coverage has
+	// been degraded through. Every shed widens the bounds of the samples
+	// that sat through it (stall debt, like a restore outage) — coverage is
+	// traded away under pressure, audited rather than silently skewed.
+	Sheds int
 }
 
 // Total sums every anomaly class.
 func (a AnomalyCounts) Total() int {
 	return a.Backwards + a.BestRegressions + a.MSSChanges + a.ZeroFields +
 		a.StalledPolls + a.FallbackPolls + a.Overruns + a.Lags + a.Resyncs +
-		a.Evictions + a.Restores
+		a.Evictions + a.Restores + a.Sheds
 }
 
 // Add accumulates another tally field-by-field (combining the two sides
@@ -113,6 +118,7 @@ func (a *AnomalyCounts) Add(o AnomalyCounts) {
 	a.Resyncs += o.Resyncs
 	a.Evictions += o.Evictions
 	a.Restores += o.Restores
+	a.Sheds += o.Sheds
 }
 
 // capState tracks whether the kernel exposes tcpi_bytes_acked.

@@ -330,6 +330,45 @@ func (t *SenderTracker) Anomalies() AnomalyCounts { return t.san.Anomalies() }
 // (segment-counter) estimator because tcpi_bytes_acked is unavailable.
 func (t *SenderTracker) DegradedMode() bool { return t.san.bytesAckedAbsent() }
 
+// Shed folds a supervisor-imposed coverage gap of length guard into the
+// tracker's error accounting and counts a Sheds anomaly. The overload
+// governor calls it when it demotes this flow down the degradation
+// ladder: records outstanding across the demotion produce samples whose
+// bounds admit the guard window (stall debt, exactly like a restore
+// outage), upcoming samples are downgraded while the estimator re-bases,
+// and the audit trail says the coverage loss happened — degradation is
+// flagged, never silent.
+func (t *SenderTracker) Shed(guard units.Duration) {
+	if guard < 0 {
+		guard = 0
+	}
+	t.stallCum += guard
+	if t.interval > 0 {
+		t.stalePolls += int(guard / t.interval)
+	}
+	t.san.counts.Sheds++
+	t.lastAnomaly = t.polls
+	t.prevAnomTot = t.san.counts.Total()
+}
+
+// FoldOutage folds an unobserved window of length d into the tracker's
+// error accounting without counting a new anomaly — the companion to
+// Shed for the promotion half of a park/unpark cycle, whose single Shed
+// was already counted at demotion. Records that sat through the window
+// produce samples whose bounds admit it; a long outage flags samples
+// until B_est provably advances again.
+func (t *SenderTracker) FoldOutage(d units.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.stallCum += d
+	if t.interval > 0 {
+		t.stalePolls += int(d / t.interval)
+	}
+	t.lastAnomaly = t.polls
+	t.prevAnomTot = t.san.counts.Total()
+}
+
 // Stop halts the tracking thread.
 func (t *SenderTracker) Stop() {
 	t.stopped = true
@@ -672,6 +711,33 @@ func (t *ReceiverTracker) Interval() units.Duration { return t.interval }
 
 // Anomalies reports the tracker's hostile-input audit trail.
 func (t *ReceiverTracker) Anomalies() AnomalyCounts { return t.san.Anomalies() }
+
+// Shed folds a supervisor-imposed coverage gap of length guard into the
+// tracker's error accounting and counts a Sheds anomaly (see
+// SenderTracker.Shed). Receiver records carry stall debt the same way, so
+// samples produced from records that sat through the shed admit the
+// guard window in their bounds.
+func (t *ReceiverTracker) Shed(guard units.Duration) {
+	if guard < 0 {
+		guard = 0
+	}
+	t.stallCum += guard
+	t.san.counts.Sheds++
+	t.lastAnomaly = t.polls
+	t.prevAnomTot = t.san.counts.Total()
+}
+
+// FoldOutage folds an unobserved window of length d into the tracker's
+// error accounting without counting a new anomaly (see
+// SenderTracker.FoldOutage).
+func (t *ReceiverTracker) FoldOutage(d units.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.stallCum += d
+	t.lastAnomaly = t.polls
+	t.prevAnomTot = t.san.counts.Total()
+}
 
 // Stop halts the tracking thread.
 func (t *ReceiverTracker) Stop() {

@@ -296,10 +296,50 @@ func TestStreamShape(t *testing.T) {
 	}
 }
 
+func TestOverloadShape(t *testing.T) {
+	r := Overload(1, 8*units.Second)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	get := func(row, col int) float64 { return cellFloat(t, r.Rows[row][col]) }
+	// The unbudgeted fleet never sheds; the governed fleets always do.
+	if get(0, 1) != 0 {
+		t.Fatalf("unbudgeted fleet shed %v times", get(0, 1))
+	}
+	if get(1, 1) == 0 {
+		t.Fatal("sample-budget fleet never shed")
+	}
+	if get(1, 3) == 0 {
+		t.Fatal("sample-budget fleet shed no samples despite demoted tiers")
+	}
+	if get(2, 1) == 0 || get(2, 2) == 0 {
+		t.Fatalf("flappy-sink fleet: %v sheds / %v reclaims, want both > 0",
+			get(2, 1), get(2, 2))
+	}
+	// Shed anomalies flag the degradation; bounds must still hold.
+	if get(1, 5) == 0 {
+		t.Fatal("budgeted shedding counted no Sheds anomalies")
+	}
+	for row := 0; row < 3; row++ {
+		if v := get(row, 6); v != 0 {
+			t.Fatalf("row %d: %v bound violations under overload", row, v)
+		}
+	}
+	// The flapping sink bounces deliveries; retries absorb them with
+	// nothing dropped or deadlined.
+	if get(2, 8) == 0 || get(2, 10) == 0 {
+		t.Fatalf("flappy sink produced %v retries / %v sink faults, want both > 0",
+			get(2, 8), get(2, 10))
+	}
+	if get(2, 9) != 0 {
+		t.Fatalf("flappy-sink fleet dropped/deadlined %v windows, want 0", get(2, 9))
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "tab1", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig13", "fig14", "fig15", "fig16", "fig18", "tab_cpu", "degraded",
-		"fleet", "stream", "tail"}
+		"fleet", "stream", "tail", "overload"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}

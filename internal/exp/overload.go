@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"element/internal/faults"
+	"element/internal/fleet"
+	"element/internal/overload"
+	"element/internal/telemetry/stream"
+	"element/internal/units"
+)
+
+// overloadSampleBudget is the retained-sample budget the second fleet
+// runs under. A streaming fleet retains raw series only while escalated,
+// so the steady usage is dominated by the trackers' pending samples —
+// this budget sits below that level, forcing the ladder to walk part of
+// the fleet down until the retained load fits.
+const overloadSampleBudget = 300
+
+// Overload demonstrates the budgeted degradation ladder and the
+// backpressured export path on three identically-seeded fleets:
+//
+//   - an unbudgeted baseline, showing what the workload retains when
+//     nothing pushes back;
+//   - a fleet with a retained-sample budget tight enough that the
+//     governor must walk flows down the ladder (full → sketch-only →
+//     counters-only → parked) until the retained load fits the budget;
+//   - a fleet exporting through a flapping sink with queue backpressure
+//     as the governor's pressure source: each outage backs the export
+//     queue up past the high-water mark and sheds flows, each recovery
+//     drains it and reclaims them, while retry/backoff and the circuit
+//     breaker ride out the outages without losing windows.
+//
+// The contract on display is bounded-or-flagged under load shedding:
+// every demotion widens the affected flow's error bounds and counts a
+// Sheds anomaly, so the budgeted fleets report higher flagged fractions
+// — and still zero bound violations.
+func Overload(seed int64, duration units.Duration) *Result {
+	if duration <= 0 {
+		duration = 8 * units.Second
+	}
+	type outcome struct {
+		name string
+		fl   *fleet.Result
+	}
+	run := func(name string, gov *overload.Config, sinkProfile string) outcome {
+		cfg := fleet.Config{
+			Seed:        seed,
+			Connections: fleetConns,
+			Duration:    duration,
+			Churn:       FleetChurn,
+			Telem:       DefaultTelemetry,
+			Waterfall:   DefaultWaterfall,
+			Stream: &fleet.StreamConfig{
+				Window: 100 * units.Millisecond,
+				Sink:   stream.NewBatchExporter(io.Discard, 0),
+			},
+			ExportQueue: &overload.QueueConfig{Capacity: 8},
+			Overload:    gov,
+		}
+		if sinkProfile != "" {
+			p, err := faults.ByName(sinkProfile)
+			if err != nil {
+				panic(err)
+			}
+			cfg.Faults = &p
+		}
+		return outcome{name: name, fl: fleet.New(cfg).Run()}
+	}
+	outcomes := []outcome{
+		run("unbudgeted", nil, ""),
+		run("sample budget", &overload.Config{
+			Budgets:   overload.Budgets{RetainedSamples: overloadSampleBudget},
+			HoldTicks: 4,
+		}, ""),
+		// No byte/sample budgets: queue occupancy is the only pressure
+		// source, so shedding tracks the sink outages and reclaiming
+		// tracks the drains.
+		run("flappy sink", &overload.Config{
+			HighWater: 0.5,
+			HoldTicks: 4,
+		}, "flappy-sink"),
+	}
+
+	res := &Result{
+		ID:    "overload",
+		Title: "Overload governor: budgeted shedding and backpressured export",
+		Header: []string{"fleet", "sheds", "reclaims", "shed samples", "tiers f/s/c/p",
+			"shed anomalies", "violations", "delivered", "retries", "dropped", "sink faults"},
+	}
+	for _, o := range outcomes {
+		fl := o.fl
+		anomalies := 0
+		for _, c := range fl.Conns {
+			anomalies += c.Anomalies.Sheds
+		}
+		tc := fl.TierCounts
+		res.Rows = append(res.Rows, []string{
+			o.name,
+			fmt.Sprintf("%d", fl.Sheds),
+			fmt.Sprintf("%d", fl.Reclaims),
+			fmt.Sprintf("%d", fl.ShedSamples),
+			fmt.Sprintf("%d/%d/%d/%d", tc[overload.TierFull], tc[overload.TierSketch],
+				tc[overload.TierCounters], tc[overload.TierParked]),
+			fmt.Sprintf("%d", anomalies),
+			fmt.Sprintf("%d", fl.Violations()),
+			fmt.Sprintf("%d", fl.Queue.Delivered),
+			fmt.Sprintf("%d", fl.Queue.Retries),
+			fmt.Sprintf("%d", fl.Queue.Dropped+fl.Queue.Deadlined),
+			fmt.Sprintf("%d", fl.SinkFaults),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("sample budget: %d retained samples across the fleet; pressure above the high-water mark demotes the coldest flows one rung per tick, with seed-jittered holds so the ladder settles mid-rung instead of flapping", overloadSampleBudget),
+		"every demotion sheds observation state through the trackers' Shed hook: the affected flow's error bounds widen and a Sheds anomaly is counted — violations must stay 0 (degraded means flagged, never silently wrong)",
+		"the flappy-sink fleet is governed by queue occupancy alone: each outage backs the bounded export queue up past the high-water mark and sheds flows; each recovery drains it below the low-water mark and reclaims them",
+		"the export queue accounts for every window it accepted: delivered + dropped + deadlined + still-queued equals enqueued, so sink outages cost retries and backlog, not silent loss")
+	return res
+}

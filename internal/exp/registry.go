@@ -57,6 +57,8 @@ var Registry = []Experiment{
 		"windowed quantile sketches escalate bufferbloated flows to full waterfall tracing and stay lightweight on the clean fleet", Stream},
 	{"tail", "Per-request tail attribution: fan-out RPC waterfall spans",
 		"fan-out fleets over degree × cc × qdisc with request-scoped span trees: per-stage p50/p99/p999 decomposition, sibwait, critical-path spread", Tail},
+	{"overload", "Overload governor: budgeted shedding and backpressured export",
+		"unbudgeted vs budgeted vs budgeted+flapping-sink fleets: degradation-ladder sheds and reclaims, widened-but-flagged bounds, queue retry/backoff accounting", Overload},
 }
 
 // Lookup finds an experiment by ID.

@@ -33,6 +33,7 @@ type Profile struct {
 	Info InfoFaults
 	Path PathFaults
 	App  AppFaults
+	Sink SinkFaults
 }
 
 // InfoFaults degrade the TCP_INFO snapshots ELEMENT polls.
@@ -108,6 +109,15 @@ type AppFaults struct {
 
 // Active reports whether the profile injects anything at all.
 func (p Profile) Active() bool {
+	return p.Info != InfoFaults{} || p.Path != PathFaults{} ||
+		p.App != AppFaults{} || p.Sink != SinkFaults{}
+}
+
+// ConnActive reports whether the profile injects per-connection faults
+// (TCP_INFO, path, or application). Sink faults live at the fleet's
+// export layer, not on connections, so a sink-only profile builds no
+// per-connection injectors.
+func (p Profile) ConnActive() bool {
 	return p.Info != InfoFaults{} || p.Path != PathFaults{} || p.App != AppFaults{}
 }
 

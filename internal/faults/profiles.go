@@ -72,6 +72,21 @@ var Profiles = map[string]Profile{
 			StallLen:         50 * units.Millisecond,
 		},
 	},
+	"wedged-sink": {
+		Name: "wedged-sink",
+		Desc: "export sink wedges solid mid-run and recovers: drives queue backpressure, breaker trip and backlog drain",
+		Sink: SinkFaults{StallAfter: 2 * units.Second, StallFor: 1500 * units.Millisecond},
+	},
+	"flaky-sink": {
+		Name: "flaky-sink",
+		Desc: "slow-draining export sink: a fraction of deliveries bounce and must be retried",
+		Sink: SinkFaults{FailProb: 0.3},
+	},
+	"flappy-sink": {
+		Name: "flappy-sink",
+		Desc: "flapping export sink: periodic short outages exercise the breaker's half-open probe",
+		Sink: SinkFaults{FlapPeriod: 2 * units.Second, FlapLen: 500 * units.Millisecond},
+	},
 	"everything": {
 		Name: "everything",
 		Desc: "all of the above at once",

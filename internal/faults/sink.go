@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"errors"
+	"math/rand"
+
+	"element/internal/telemetry/stream"
+	"element/internal/units"
+)
+
+// SinkFaults wedge the export sink — the path the backpressured export
+// queue in internal/overload is built to survive. They compose: a
+// profile can stall once, flap periodically, and fail probabilistically
+// all at the same time.
+type SinkFaults struct {
+	// StallAfter wedges the sink from this virtual time on (0 = never).
+	StallAfter units.Duration
+	// StallFor is the wedge length; 0 with StallAfter set means wedged
+	// for the rest of the run.
+	StallFor units.Duration
+	// FailProb is the per-attempt probability of a transient failure
+	// (slow drain: some deliveries bounce and must be retried).
+	FailProb float64
+	// SlowEvery fails every Nth delivery attempt deterministically
+	// (a sink that keeps up only at a fraction of the offered rate).
+	SlowEvery int
+	// FlapPeriod makes the sink flap: within every period the first
+	// FlapLen is an outage (0 disables).
+	FlapPeriod units.Duration
+	// FlapLen is the outage length at the start of each flap period.
+	FlapLen units.Duration
+}
+
+// ErrSinkFault is the injected delivery failure; the export queue treats
+// it like any sink error (retry, back off, trip the breaker).
+var ErrSinkFault = errors.New("faults: injected sink failure")
+
+// SinkInjector drives SinkFaults against a wrapped stream.Sink. It is
+// fleet-level, not per-connection: the fleet advances its clock at the
+// export barrier and wraps the effective sink once, so every delivery
+// attempt — including queue retries — re-rolls the fault state. All
+// methods are nil-safe; a nil *SinkInjector injects nothing.
+type SinkInjector struct {
+	f        SinkFaults
+	rng      *rand.Rand
+	now      units.Time
+	attempts int
+	failures int
+}
+
+// NewSinkInjector builds an injector for f, seeded with seed (the RNG
+// only feeds FailProb; stall and flap windows are pure functions of
+// virtual time, so the deterministic-replay contract holds).
+func NewSinkInjector(f SinkFaults, seed int64) *SinkInjector {
+	if (f == SinkFaults{}) {
+		return nil
+	}
+	return &SinkInjector{f: f, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Advance moves the injector's virtual clock; the fleet calls it at the
+// same barrier that advances the export queue.
+func (si *SinkInjector) Advance(now units.Time) {
+	if si != nil {
+		si.now = now
+	}
+}
+
+// Failures reports how many delivery attempts the injector rejected.
+func (si *SinkInjector) Failures() int {
+	if si == nil {
+		return 0
+	}
+	return si.failures
+}
+
+// Wrap interposes the injector between a caller and inner. Nil-safe:
+// a nil injector returns inner unchanged.
+func (si *SinkInjector) Wrap(inner stream.Sink) stream.Sink {
+	if si == nil {
+		return inner
+	}
+	return &faultySink{si: si, inner: inner}
+}
+
+// faultySink is the wrapped sink: each attempt consults the fault state
+// at the injector's current virtual time.
+type faultySink struct {
+	si    *SinkInjector
+	inner stream.Sink
+}
+
+func (fs *faultySink) ExportWindow(names []string, w *stream.Window) error {
+	si := fs.si
+	si.attempts++
+	if si.failing() {
+		si.failures++
+		return ErrSinkFault
+	}
+	return fs.inner.ExportWindow(names, w)
+}
+
+// failing evaluates the composed fault state for one attempt.
+func (si *SinkInjector) failing() bool {
+	f := si.f
+	if f.StallAfter > 0 && si.now >= units.Time(f.StallAfter) {
+		if f.StallFor <= 0 || si.now < units.Time(f.StallAfter+f.StallFor) {
+			return true
+		}
+	}
+	if f.FlapPeriod > 0 && f.FlapLen > 0 {
+		if phase := units.Duration(si.now % units.Time(f.FlapPeriod)); phase < f.FlapLen {
+			return true
+		}
+	}
+	if f.SlowEvery > 0 && si.attempts%f.SlowEvery == 0 {
+		return true
+	}
+	if f.FailProb > 0 && si.rng.Float64() < f.FailProb {
+		return true
+	}
+	return false
+}

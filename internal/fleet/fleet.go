@@ -35,6 +35,7 @@ import (
 	"element/internal/core"
 	"element/internal/faults"
 	"element/internal/netem"
+	"element/internal/overload"
 	"element/internal/reqtrace"
 	"element/internal/sim"
 	"element/internal/stack"
@@ -159,6 +160,40 @@ type Config struct {
 	// (nil disables): per-shard windowed sketches merged at barriers,
 	// bounded export, and optional sketch-driven escalation.
 	Stream *StreamConfig
+
+	// Overload enables the budgeted degradation governor (nil disables):
+	// at every barrier the fleet meters its retained samples, sketch
+	// bytes, export rate and queue depth against the configured budgets
+	// and walks individual flows down (and back up) the degradation
+	// ladder — full → sketch-only → counters-only → parked. Every
+	// demotion sheds tracker state through core's Shed hook, so the
+	// affected flow's samples carry widened error bounds and a Sheds
+	// anomaly instead of silently skewing. Decisions run at the barrier
+	// on the coordinator, so they are byte-identical for a fixed seed at
+	// any shard count.
+	Overload *overload.Config
+
+	// ExportQueue fronts the stream sink with a bounded backpressured
+	// queue (nil = direct export): deliveries retry with capped
+	// exponential backoff plus seeded jitter behind a circuit breaker,
+	// so a wedged or flapping sink costs queue depth — visible to the
+	// governor as pressure — instead of lost windows or a stuck run.
+	// Ignored without Config.Stream and a non-nil sink.
+	ExportQueue *overload.QueueConfig
+
+	// DrainTimeout bounds the end-of-run export-backlog drain: after the
+	// last barrier the fleet keeps advancing the queue's retry clock
+	// until the backlog empties or this much extra virtual time elapses,
+	// then force-flushes whatever remains and marks the result
+	// ExportTruncated (0 = 2 s grace, negative = no grace).
+	DrainTimeout units.Duration
+
+	// Resume restores estimator state and governor tiers from a prior
+	// run's Snapshot. Monitors re-home onto this run's shard layout by
+	// connection ID — the snapshot's shard count is irrelevant — and
+	// every restored tracker counts a Restores anomaly with bounds
+	// widened per the rebase contract in internal/core.
+	Resume *Snapshot
 
 	// QueuePackets overrides each connection's bottleneck queue depth in
 	// packets (0 = the discipline's default — for the standard FIFO the
@@ -300,6 +335,23 @@ type Fleet struct {
 	streamWindows uint64
 	streamErr     error
 
+	// Overload state (nil without Config.Overload / Config.ExportQueue):
+	// the governor, the backpressured queue fronting the sink chain, the
+	// fleet-level sink fault injector, and the effective sink the sealed
+	// windows actually go to. baseSink is the chain below the queue,
+	// kept for export-rate metering.
+	gov      *overload.Governor
+	queue    *overload.Queue
+	sinkInj  *faults.SinkInjector
+	expSink  stream.Sink
+	baseSink stream.Sink
+	// Export-rate metering: bytes the base sink had written at the last
+	// governor tick.
+	exportMark  int
+	exportRate  float64
+	exportTrunc bool
+	lastTickAt  units.Time
+
 	draining bool
 }
 
@@ -355,11 +407,15 @@ func New(cfg Config) *Fleet {
 		f.streamNames = f.shards[0].stream.Names()
 		f.fwin.Sketches = make([]stream.Sketch, len(f.streamNames))
 	}
+	f.buildOverload()
 
 	// Churn plans draw from each connection's private stream at build
 	// time, so the whole schedule is fixed before any event runs and is
-	// identical however the connections are sharded.
-	injectFaults := cfg.Faults != nil && cfg.Faults.Active()
+	// identical however the connections are sharded. Sink faults live at
+	// the fleet's export layer, so a sink-only profile builds no
+	// per-connection injectors.
+	injectFaults := cfg.Faults != nil && cfg.Faults.ConnActive()
+	resume := cfg.Resume.index()
 	for i := 0; i < cfg.Connections; i++ {
 		si := i % nshards
 		if cfg.Fanout != nil {
@@ -386,6 +442,16 @@ func New(cfg Config) *Fleet {
 			}
 		}
 		m.plan = drawPlan(cfg, m.rng)
+		if cs, ok := resume[i]; ok && len(cs.Snd) > 0 && len(cs.Rcv) > 0 {
+			// Resume: seed the crash-restore path with the snapshot's
+			// rebased checkpoints; open() restores instead of starting
+			// fresh, counting the Restores anomaly.
+			m.sndCP, m.rcvCP, m.minCP = cs.Snd, cs.Rcv, cs.Min
+			m.haveCP = true
+		}
+		if f.gov != nil {
+			m.tier = f.gov.Tier(i)
+		}
 		f.monitors = append(f.monitors, m)
 		sh.monitors = append(sh.monitors, m)
 		if m.plan.openAt > 0 {
@@ -540,6 +606,7 @@ func (f *Fleet) RunContext(ctx context.Context) *Result {
 		}
 		f.advance(next)
 		f.streamAdvance(next)
+		f.overloadTick(next)
 		now = next
 	}
 	return f.drain(ctx.Err() != nil)
@@ -589,8 +656,19 @@ func (f *Fleet) drain(interrupted bool) *Result {
 		res.Demotions += cr.Demotions
 	}
 	f.streamDrain()
+	f.drainExports(res)
 	res.StreamWindows = f.streamWindows
 	res.StreamErr = f.streamErr
+	if f.gov != nil {
+		res.Sheds = f.gov.Sheds()
+		res.Reclaims = f.gov.Reclaims()
+		res.TierCounts = f.gov.TierCounts()
+		res.Parked = res.TierCounts[overload.TierParked]
+	}
+	res.SinkFaults = f.sinkInj.Failures()
+	for _, cr := range res.Conns {
+		res.ShedSamples += cr.ShedSamples
+	}
 	for _, sh := range f.shards {
 		sh.updateGauges()
 		res.Restarts += sh.restarts
@@ -637,6 +715,16 @@ type Result struct {
 	// Fan-out accounting (zero when Config.Fanout is nil).
 	Requests          uint64 // requests completed across all groups
 	RequestsAbandoned uint64 // requests still in flight at drain
+
+	// Overload accounting (zero without Config.Overload/ExportQueue).
+	Sheds           int                    // ladder demotions across the fleet
+	Reclaims        int                    // ladder promotions (recoveries)
+	Parked          int                    // flows parked at drain
+	ShedSamples     int                    // samples dropped below the sketch tier
+	TierCounts      [overload.NumTiers]int // flows per tier at drain
+	Queue           overload.QueueStats    // export-queue accounting
+	SinkFaults      int                    // delivery attempts the injector rejected
+	ExportTruncated bool                   // drain timeout expired with backlog remaining
 }
 
 // ConnResult is one connection's reconciliation against its own ground
@@ -655,6 +743,10 @@ type ConnResult struct {
 	Escalations int
 	Demotions   int
 	Escalated   bool // still escalated at drain
+	// Overload state (zero without Config.Overload).
+	Tier        overload.Tier // ladder tier at drain
+	Sheds       int           // governor demotions applied to this flow
+	ShedSamples int           // samples this flow dropped while below the sketch tier
 	// SndLog/RcvLog are the full per-connection estimate series stitched
 	// across monitor incarnations.
 	SndLog []core.Measurement

@@ -5,6 +5,7 @@ import (
 
 	"element/internal/core"
 	"element/internal/faults"
+	"element/internal/overload"
 	"element/internal/sim"
 	"element/internal/stack"
 	"element/internal/telemetry/stream"
@@ -117,6 +118,14 @@ type Monitor struct {
 	gate     *hookGate
 	anomMark int
 
+	// Overload state (zero without Config.Overload): the flow's current
+	// ladder tier, when it was parked (for the unpark outage fold), and
+	// the shed accounting.
+	tier        overload.Tier
+	parkedAt    units.Time
+	sheds       int
+	shedSamples int
+
 	// Watchdog progress mark: total polls at the last check.
 	pollMark int
 
@@ -136,7 +145,15 @@ func (m *Monitor) open() {
 		// workload, started once the whole group is open.
 		m.startTraffic()
 	}
-	m.startFresh()
+	if m.haveCP {
+		// Resume path: the fleet seeded the crash-restore bytes from a
+		// prior run's snapshot, so the first incarnation restores —
+		// counting the Restores anomaly, with bounds widened per the
+		// rebase contract — instead of starting a fresh series.
+		m.restore()
+	} else {
+		m.startFresh()
+	}
 	if at := m.plan.crashAt; at > 0 {
 		sh.eng.At(units.Time(at), func() { m.crashNext = true })
 	}
@@ -266,6 +283,13 @@ func (m *Monitor) tick() {
 		// the watchdog will notice.
 		return
 	}
+	if m.tier == overload.TierParked {
+		// Parked by the governor: zero observation, but the tick loop
+		// stays armed so promotion needs no re-arm handshake with the
+		// barrier — the flow resumes polling on its next interval.
+		m.scheduleTick()
+		return
+	}
 	ok := m.protectedPoll()
 	if !ok {
 		m.onCrash()
@@ -305,12 +329,23 @@ func (m *Monitor) flush() {
 	}
 	if m.snd != nil {
 		log := m.snd.Estimates().Log()
-		m.sndLog = append(m.sndLog, log[m.sndOff:]...)
+		if m.tier >= overload.TierSketch {
+			// Shed below full retention: the samples are counted, not
+			// kept — the flow's Sheds anomaly and widened bounds already
+			// flag the gap.
+			m.shedSamples += len(log) - m.sndOff
+		} else {
+			m.sndLog = append(m.sndLog, log[m.sndOff:]...)
+		}
 		m.sndOff = len(log)
 	}
 	if m.rcv != nil {
 		log := m.rcv.Estimates().Log()
-		m.rcvLog = append(m.rcvLog, log[m.rcvOff:]...)
+		if m.tier >= overload.TierSketch {
+			m.shedSamples += len(log) - m.rcvOff
+		} else {
+			m.rcvLog = append(m.rcvLog, log[m.rcvOff:]...)
+		}
 		m.rcvOff = len(log)
 	}
 }
@@ -352,6 +387,12 @@ func (m *Monitor) onCrash() {
 // merely stuck.
 func (m *Monitor) watchdogCheck() {
 	if m.state != stateRunning {
+		return
+	}
+	if m.tier == overload.TierParked {
+		// A parked monitor makes no poll progress by design; re-arm the
+		// grace so the first check after unparking never fires either.
+		m.pollMark = -1
 		return
 	}
 	progress := 0
@@ -443,7 +484,7 @@ func (m *Monitor) checkpoint() {
 // this connection's own ground truth.
 func (m *Monitor) drain() *ConnResult {
 	cr := &ConnResult{ID: m.ID, Restarts: m.restarts, Crashes: m.crashes, Recycles: m.recycles, Closed: m.closed}
-	if m.state == stateRunning && !m.wedged {
+	if m.state == stateRunning && !m.wedged && m.tier != overload.TierParked {
 		m.protectedPoll()
 		m.flush()
 	}
@@ -461,6 +502,9 @@ func (m *Monitor) drain() *ConnResult {
 		cr.Demotions = int(m.esc.Demotions())
 		cr.Escalated = m.esc.Escalated()
 	}
+	cr.Tier = m.tier
+	cr.Sheds = m.sheds
+	cr.ShedSamples = m.shedSamples
 	m.dropIncarnation()
 	m.state = stateDone
 	cr.SndLog, cr.RcvLog = m.sndLog, m.rcvLog

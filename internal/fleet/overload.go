@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"element/internal/faults"
+	"element/internal/overload"
+	"element/internal/units"
+)
+
+// This file is the overload governor's fleet glue: building the export
+// chain (sink ← fault injector ← backpressured queue), metering usage
+// against the configured budgets at every barrier, and applying the
+// governor's ladder transitions to individual monitors. Everything here
+// runs on the coordinator goroutine between barriers, so governor
+// decisions — like stream exports — are single-threaded and
+// shard-count invariant: the metered usage is built from per-connection
+// state and fleet-level export accounting, never from per-shard heap
+// details.
+
+// DefaultDrainGrace is the end-of-run backlog drain allowance when
+// Config.DrainTimeout is zero.
+const DefaultDrainGrace = 2 * units.Second
+
+// buildOverload wires the governor and the export chain from the
+// normalized config. Called once from New, after the shard streams
+// exist.
+func (f *Fleet) buildOverload() {
+	cfg := f.cfg
+	if cfg.Stream != nil {
+		base := cfg.Stream.Sink
+		if cfg.Faults != nil && base != nil {
+			// The sink injector is fleet-level: one injector for the
+			// whole export path, advanced at the same barrier that
+			// advances the queue, so every delivery attempt — including
+			// queue retries — sees the fault state at the current
+			// virtual time.
+			f.sinkInj = faults.NewSinkInjector(cfg.Faults.Sink, connSeed(cfg.Seed, -0x5349))
+			base = f.sinkInj.Wrap(base)
+		}
+		f.baseSink = base
+		f.expSink = base
+		if cfg.ExportQueue != nil && base != nil {
+			qc := *cfg.ExportQueue
+			if qc.Seed == 0 {
+				qc.Seed = connSeed(cfg.Seed, -0x5155)
+			}
+			f.queue = overload.NewQueue(qc, base)
+			f.expSink = f.queue
+		}
+	}
+	if cfg.Overload != nil {
+		oc := *cfg.Overload
+		if oc.Seed == 0 {
+			oc.Seed = cfg.Seed
+		}
+		if cfg.Resume != nil {
+			f.gov = overload.NewWithTiers(oc, cfg.Resume.tiers(cfg.Connections))
+		} else {
+			f.gov = overload.New(oc, cfg.Connections)
+		}
+	}
+}
+
+// overloadTick runs at every barrier, after the shards advanced and the
+// sealed windows were exported (enqueued): advance the export chain's
+// virtual clocks, meter usage, and walk the ladder.
+func (f *Fleet) overloadTick(now units.Time) {
+	f.sinkInj.Advance(now)
+	if f.queue != nil {
+		f.queue.Advance(now)
+	}
+	if f.gov == nil {
+		f.meterExportRate(now)
+		return
+	}
+	for _, m := range f.monitors {
+		f.gov.SetHot(m.ID, m.esc.Escalated())
+	}
+	u := f.meterUsage(now)
+	for _, tr := range f.gov.Tick(u) {
+		f.monitors[tr.Flow].applyTier(tr.From, tr.To, now)
+	}
+}
+
+// bytesWritten is implemented by the built-in exporters; export-rate
+// metering degrades to zero for sinks that do not report it.
+type bytesWritten interface{ BytesWritten() int }
+
+// meterExportRate updates the export-rate EWMA-free estimate: bytes the
+// base sink absorbed since the previous barrier over the barrier length.
+func (f *Fleet) meterExportRate(now units.Time) {
+	bw, ok := f.baseSink.(bytesWritten)
+	if !ok || f.baseSink == nil {
+		return
+	}
+	n := bw.BytesWritten()
+	if dt := now.Sub(f.lastTickAt).Seconds(); dt > 0 {
+		f.exportRate = float64(n-f.exportMark) / dt
+	}
+	f.exportMark = n
+	f.lastTickAt = now
+}
+
+// meterUsage assembles the governor's pressure inputs. Every term is a
+// pure function of per-connection state or fleet-level export
+// accounting, so the metered usage — and therefore the ladder walk — is
+// identical at any shard count.
+func (f *Fleet) meterUsage(now units.Time) overload.Usage {
+	f.meterExportRate(now)
+	u := overload.Usage{ExportBytesPerSec: f.exportRate}
+	for _, m := range f.monitors {
+		u.RetainedSamples += len(m.sndLog) + len(m.rcvLog)
+		if m.snd != nil {
+			u.RetainedSamples += m.snd.Pending()
+		}
+		if m.rcv != nil {
+			u.RetainedSamples += m.rcv.Pending()
+		}
+	}
+	if f.cfg.Stream != nil {
+		// Ring geometry × series count on one shard: every shard seals
+		// to the same horizon, so shard 0 stands for the layout.
+		u.SketchBytes = f.shards[0].stream.ApproxBytes()
+	}
+	if f.queue != nil {
+		u.QueueFrac = f.queue.Frac()
+	}
+	return u
+}
+
+// applyTier applies one governor transition to this monitor. Demotions
+// shed observation state and widen the flow's error bounds through the
+// trackers' Shed hook — a shed flow is flagged, never silently skewed.
+// Promotions out of parked fold the unobserved window into the bounds
+// like a crash outage.
+func (m *Monitor) applyTier(from, to overload.Tier, now units.Time) {
+	m.tier = to
+	if to > from {
+		m.sheds++
+		// The shed guard is one governor tick: the window during which
+		// this flow's observation is degraded before the ladder can
+		// move it again.
+		guard := m.fl.cfg.slice()
+		if m.snd != nil {
+			m.snd.Shed(guard)
+		}
+		if m.rcv != nil {
+			m.rcv.Shed(guard)
+		}
+		if m.esc.ForceDemote() {
+			// Below full coverage the flow must not retain escalated raw
+			// series; under sustained pressure the escalator simply
+			// re-escalates after recovery.
+			m.setEscalated(false)
+		}
+		if to == overload.TierParked {
+			m.parkedAt = now
+		}
+		return
+	}
+	if from == overload.TierParked {
+		d := now.Sub(m.parkedAt)
+		if m.snd != nil {
+			m.snd.FoldOutage(d)
+		}
+		if m.rcv != nil {
+			m.rcv.FoldOutage(d)
+		}
+		// Fresh watchdog grace: a parked monitor made no poll progress.
+		m.pollMark = -1
+	}
+}
+
+// drainExports empties the export backlog after the last barrier: the
+// run is over but the queue may still hold windows a faulted sink
+// bounced. Virtual time keeps advancing in retry-sized steps — letting
+// backoff and breaker cooloff elapse, and letting a recovered sink
+// absorb the backlog — until the queue is empty or the drain grace
+// expires; whatever remains is force-flushed once and, if the sink
+// still refuses it, reported as truncated rather than hanging the run.
+func (f *Fleet) drainExports(res *Result) {
+	if f.queue == nil {
+		if f.gov != nil {
+			// Still meter the final rate for callers reading LastPressure.
+			f.meterExportRate(units.Time(f.cfg.Duration))
+		}
+		return
+	}
+	now := units.Time(f.cfg.Duration)
+	grace := f.cfg.DrainTimeout
+	if grace == 0 {
+		grace = DefaultDrainGrace
+	} else if grace < 0 {
+		grace = 0
+	}
+	deadline := now.Add(grace)
+	step := f.cfg.Interval
+	if step <= 0 {
+		step = 10 * units.Millisecond
+	}
+	for f.queue.Depth() > 0 && now < deadline {
+		now = now.Add(step)
+		f.sinkInj.Advance(now)
+		f.queue.Advance(now)
+	}
+	if rem := f.queue.Flush(now); rem > 0 {
+		f.exportTrunc = true
+	}
+	res.ExportTruncated = f.exportTrunc
+	res.Queue = f.queue.Stats()
+}

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"element/internal/core"
+	"element/internal/overload"
+	"element/internal/units"
+)
+
+// Snapshot is a whole run's resumable estimator state: one rebased
+// checkpoint pair (plus minimizer, when present) and ladder tier per
+// connection, keyed by connection ID. Because the key is the connection
+// ID — never the shard index — a snapshot taken on a 16-shard fleet
+// restores deterministically into a 1-shard fleet and vice versa: New
+// re-homes each connection onto whatever shard its ID maps to in the
+// new layout. Checkpoints are rebased at capture (see
+// core.SenderCheckpoint.Rebase), so restoring them into freshly built
+// connections counts a Restores anomaly and starts the resumed series
+// at degraded confidence instead of pretending continuity across runs.
+type Snapshot struct {
+	Seed    int64          `json:"seed"`
+	Shards  int            `json:"shards"` // layout at capture, informational only
+	TakenAt units.Time     `json:"taken_at"`
+	Conns   []ConnSnapshot `json:"conns"`
+}
+
+// ConnSnapshot is one connection's entry in a Snapshot.
+type ConnSnapshot struct {
+	ID   int             `json:"id"`
+	Tier overload.Tier   `json:"tier,omitempty"`
+	Snd  json.RawMessage `json:"snd,omitempty"`
+	Rcv  json.RawMessage `json:"rcv,omitempty"`
+	Min  json.RawMessage `json:"min,omitempty"`
+}
+
+// Snapshot captures the fleet's resumable state from the last persisted
+// per-monitor checkpoints — crash-consistent semantics: state produced
+// since a monitor's last checkpoint is lost, exactly like a process
+// that died before fsync. Monitors that never checkpointed (or with
+// checkpoints disabled) contribute a tier-only entry; resuming them
+// starts a fresh series. Valid during and after Run.
+func (f *Fleet) Snapshot() *Snapshot {
+	s := &Snapshot{Seed: f.cfg.Seed, Shards: len(f.shards), TakenAt: f.shards[0].eng.Now()}
+	for _, m := range f.monitors {
+		cs := ConnSnapshot{ID: m.ID, Tier: m.tier}
+		if m.haveCP {
+			cs.Snd = rebaseSnd(m.sndCP)
+			cs.Rcv = rebaseRcv(m.rcvCP)
+			cs.Min = m.minCP
+		}
+		s.Conns = append(s.Conns, cs)
+	}
+	return s
+}
+
+// rebaseSnd re-serializes a sender checkpoint with its
+// connection-relative state stripped; nil if the bytes don't parse.
+func rebaseSnd(b []byte) json.RawMessage {
+	cp, err := core.UnmarshalSenderCheckpoint(b)
+	if err != nil {
+		return nil
+	}
+	out, err := cp.Rebase().Marshal()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func rebaseRcv(b []byte) json.RawMessage {
+	cp, err := core.UnmarshalReceiverCheckpoint(b)
+	if err != nil {
+		return nil
+	}
+	out, err := cp.Rebase().Marshal()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Marshal encodes the snapshot as JSON.
+func (s *Snapshot) Marshal() ([]byte, error) { return json.MarshalIndent(s, "", " ") }
+
+// UnmarshalSnapshot decodes a snapshot produced by Marshal.
+func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("fleet: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// index maps connection ID → snapshot entry. Nil-safe: a nil snapshot
+// indexes to nothing. Entries whose ID falls outside the resuming
+// fleet's connection range are simply unmatched — their state is
+// dropped, which the caller can detect by comparing Conns length
+// against the new fleet's connection count.
+func (s *Snapshot) index() map[int]*ConnSnapshot {
+	if s == nil {
+		return nil
+	}
+	idx := make(map[int]*ConnSnapshot, len(s.Conns))
+	for i := range s.Conns {
+		idx[s.Conns[i].ID] = &s.Conns[i]
+	}
+	return idx
+}
+
+// tiers expands the snapshot's per-connection tiers into a dense slice
+// for the governor's resume constructor. Flows absent from the snapshot
+// resume at full fidelity; out-of-range tiers are clamped by
+// overload.NewWithTiers, so a corrupted snapshot still lands every flow
+// in a valid ladder tier.
+func (s *Snapshot) tiers(flows int) []overload.Tier {
+	out := make([]overload.Tier, flows)
+	if s == nil {
+		return out
+	}
+	for _, cs := range s.Conns {
+		if cs.ID >= 0 && cs.ID < flows {
+			out[cs.ID] = cs.Tier
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"testing"
+
+	"element/internal/overload"
+	"element/internal/testutil"
+	"element/internal/units"
+)
+
+// TestFleetSnapshotResumeRehomesAcrossShards is the rehoming bugfix's
+// pin: a snapshot taken on a many-shard fleet restores into fleets of
+// any other shard count, deterministically — snapshot entries are keyed
+// by connection ID, never shard index. Every resumed tracker counts the
+// Restores anomaly and starts its series at degraded confidence rather
+// than pretending continuity across runs.
+func TestFleetSnapshotResumeRehomesAcrossShards(t *testing.T) {
+	testutil.NoLeaks(t)
+	src := testConfig(71, 10)
+	src.Churn = ChurnConfig{}
+	src.Shards = 4
+	f := New(src)
+	f.Run()
+	raw, err := f.Snapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := UnmarshalSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Conns) != src.Connections {
+		t.Fatalf("snapshot holds %d conns, want %d", len(snap.Conns), src.Connections)
+	}
+
+	resume := func(shards int) *Result {
+		cfg := testConfig(72, 10) // different seed: a genuinely new run
+		cfg.Churn = ChurnConfig{}
+		cfg.Shards = shards
+		cfg.Duration = 3 * units.Second
+		cfg.Resume = snap
+		return New(cfg).Run()
+	}
+	want := resume(1)
+	if want.Restores < 2*len(want.Conns) {
+		t.Fatalf("resume restored %d tracker states, want >= %d (both trackers per conn)",
+			want.Restores, 2*len(want.Conns))
+	}
+	if v := want.Violations(); v != 0 {
+		t.Fatalf("resumed run violated bounds: %d", v)
+	}
+	for _, cr := range want.Conns {
+		if cr.Anomalies.Restores == 0 {
+			t.Errorf("conn %d resumed without a Restores anomaly", cr.ID)
+		}
+		if len(cr.SndLog) == 0 {
+			t.Errorf("conn %d produced no samples after resume", cr.ID)
+		}
+	}
+	for _, shards := range []int{3, 4} {
+		got := resume(shards)
+		if got.Restores != want.Restores || got.Violations() != want.Violations() {
+			t.Fatalf("shards=%d resume diverges: restores=%d/%d violations=%d/%d",
+				shards, got.Restores, want.Restores, got.Violations(), want.Violations())
+		}
+		for i := range want.Conns {
+			cw, cg := want.Conns[i], got.Conns[i]
+			if cg.Anomalies != cw.Anomalies || len(cg.SndLog) != len(cw.SndLog) || len(cg.RcvLog) != len(cw.RcvLog) {
+				t.Fatalf("shards=%d conn %d resume state diverges: anom %+v vs %+v, logs %d/%d vs %d/%d",
+					shards, i, cw.Anomalies, cg.Anomalies,
+					len(cw.SndLog), len(cw.RcvLog), len(cg.SndLog), len(cg.RcvLog))
+			}
+		}
+	}
+}
+
+// TestFleetResumeMidOverloadLandsInValidTier resumes from a snapshot
+// whose tiers were captured mid-overload — including one corrupted
+// out-of-range tier — into a governed fleet: every flow must land in a
+// valid ladder tier (corruption clamps to parked, the conservative
+// end), parked flows must resume polling once pressure allows, and the
+// bounded-or-flagged contract must hold across the whole resumed run.
+func TestFleetResumeMidOverloadLandsInValidTier(t *testing.T) {
+	testutil.NoLeaks(t)
+	snap := &Snapshot{Seed: 9, Conns: []ConnSnapshot{
+		{ID: 0, Tier: overload.TierSketch},
+		{ID: 1, Tier: overload.TierParked},
+		{ID: 2, Tier: overload.Tier(200)}, // corrupted: must clamp, not crash
+		{ID: 3, Tier: overload.TierCounters},
+	}}
+	cfg := testConfig(9, 6)
+	cfg.Churn = ChurnConfig{}
+	cfg.Duration = 4 * units.Second
+	cfg.Resume = snap
+	cfg.Overload = &overload.Config{
+		// No budgets and no queue: pressure is 0, below every low water
+		// mark, so the governor's only job is reclaiming the resumed
+		// degraded tiers.
+		HoldTicks: 2,
+		StepFlows: 2,
+	}
+	res := New(cfg).Run()
+
+	sum := 0
+	for _, n := range res.TierCounts {
+		sum += n
+	}
+	if sum != cfg.Connections {
+		t.Fatalf("tier census %v does not cover %d flows: corrupted tier escaped the ladder",
+			res.TierCounts, cfg.Connections)
+	}
+	if res.TierCounts[overload.TierFull] != cfg.Connections {
+		t.Fatalf("zero pressure did not reclaim every resumed flow: tiers=%v reclaims=%d",
+			res.TierCounts, res.Reclaims)
+	}
+	if res.Reclaims == 0 {
+		t.Fatal("resumed degraded tiers produced no reclaim transitions")
+	}
+	if v := res.Violations(); v != 0 {
+		t.Fatalf("bound violations after mid-overload resume: %d", v)
+	}
+	for _, cr := range res.Conns {
+		if len(cr.SndLog) == 0 {
+			t.Errorf("conn %d produced no samples after reclaim", cr.ID)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"element/internal/core"
+	"element/internal/overload"
 	"element/internal/pkt"
 	"element/internal/stack"
 	"element/internal/telemetry/stream"
@@ -120,7 +121,7 @@ func (f *Fleet) exportSealed() {
 			sh.stream.ReleaseSealed()
 		}
 		f.streamWindows++
-		if sink := f.cfg.Stream.Sink; sink != nil {
+		if sink := f.expSink; sink != nil {
 			if err := sink.ExportWindow(f.streamNames, &f.fwin); err != nil && f.streamErr == nil {
 				f.streamErr = err
 			}
@@ -135,11 +136,22 @@ func (f *Fleet) exportSealed() {
 // additionally retain the full measurement series, restoring the
 // non-stream granularity for exactly the flows that need diagnosis.
 func (m *Monitor) observeStream(se *stream.Series, mm core.Measurement, sender bool) {
+	if m.tier >= overload.TierCounters {
+		// Counters-only (or lower): the sample is dropped before the
+		// sketches — only its existence is counted. The flow's widened
+		// bounds and Sheds anomaly flag the gap.
+		m.shedSamples++
+		return
+	}
 	flagged := mm.Confidence == core.ConfidenceLow
 	if flagged {
 		se.ObserveFlagged(mm.At, mm.Delay.Seconds())
 	} else {
 		se.Observe(mm.At, mm.Delay.Seconds())
+	}
+	if m.tier >= overload.TierSketch {
+		// Sketch-only: no escalation machinery, no raw-series retention.
+		return
 	}
 	if sender && m.esc != nil {
 		if changed, esc := m.esc.Observe(mm.At, mm.Delay.Seconds(), flagged); changed {

@@ -1,0 +1,56 @@
+package overload
+
+import (
+	"testing"
+
+	"element/internal/telemetry/stream"
+	"element/internal/units"
+)
+
+// BenchmarkGovernorTick measures one governor round over a 1024-flow
+// fleet with the pressure cycling across the deadband, so the cost
+// includes candidate selection and the transition sort — the worst
+// steady-state path, pinned allocation-free in BENCH_baseline.json.
+func BenchmarkGovernorTick(b *testing.B) {
+	g := New(Config{
+		Budgets:   Budgets{RetainedSamples: 1 << 20},
+		HoldTicks: 8,
+		Seed:      1,
+	}, 1024)
+	over := Usage{RetainedSamples: 3 << 20}
+	under := Usage{RetainedSamples: 1 << 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&0x1f < 16 {
+			g.Tick(over)
+		} else {
+			g.Tick(under)
+		}
+	}
+}
+
+// BenchmarkExportQueue measures the enqueue→deliver round trip through
+// the backpressured queue with a healthy sink: one deep-copied window
+// in, one delivered out. Pinned allocation-free — the ring and each
+// slot's sketch buffer are reused after warmup.
+func BenchmarkExportQueue(b *testing.B) {
+	sink := stream.SinkFunc(func([]string, *stream.Window) error { return nil })
+	q := NewQueue(QueueConfig{Capacity: 64}, sink)
+	names := []string{"snd_delay", "rcv_delay"}
+	w := &stream.Window{Index: 1, Samples: 100, Sketches: make([]stream.Sketch, 2)}
+	w.Sketches[0].Observe(0.01)
+	w.Sketches[1].Observe(0.02)
+	// Warm every ring slot so steady state reuses grown sketch buffers.
+	for i := 0; i < 128; i++ {
+		q.ExportWindow(names, w)
+		q.Advance(units.Time(i) * units.Time(units.Millisecond))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Index = int64(i)
+		q.ExportWindow(names, w)
+		q.Advance(units.Time(i) * units.Time(units.Millisecond))
+	}
+}

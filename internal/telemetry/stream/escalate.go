@@ -89,6 +89,23 @@ func (e *Escalator) Demotions() uint64 {
 	return e.demotions
 }
 
+// ForceDemote drops an escalated flow back to lightweight observation
+// immediately, outside the clean-window machinery — the overload
+// governor calls it when budget pressure sheds a flow below full
+// coverage, where retaining escalated raw series is no longer allowed.
+// The escalator keeps evaluating windows afterwards; under sustained
+// pressure the governor simply sheds it again. Returns whether the state
+// changed.
+func (e *Escalator) ForceDemote() (changed bool) {
+	if e == nil || !e.escalated {
+		return false
+	}
+	e.escalated = false
+	e.demotions++
+	e.clean = 0
+	return true
+}
+
 // Anomalies credits n sanitizer anomalies to the current window.
 func (e *Escalator) Anomalies(n uint64) {
 	if e != nil {

@@ -31,13 +31,31 @@ func (f SinkFunc) ExportWindow(names []string, w *Window) error { return f(names
 // for any shard count. The # TYPE line is emitted once per family on its
 // first window; the exposition format forbids repeating it.
 type TextExporter struct {
-	w       io.Writer
+	w       *countingWriter
 	typed   map[string]bool
 	Windows uint64 // windows exported
 }
 
 // NewTextExporter returns a text Sink writing to w.
-func NewTextExporter(w io.Writer) *TextExporter { return &TextExporter{w: w} }
+func NewTextExporter(w io.Writer) *TextExporter {
+	return &TextExporter{w: &countingWriter{w: w}}
+}
+
+// BytesWritten reports the bytes emitted so far — the export-rate meter
+// the overload governor's ExportBytesPerSec budget reads.
+func (t *TextExporter) BytesWritten() int { return t.w.n }
+
+// countingWriter counts bytes through to an io.Writer.
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
 
 // ExportWindow writes one window.
 func (t *TextExporter) ExportWindow(names []string, win *Window) error {

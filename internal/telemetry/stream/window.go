@@ -187,6 +187,24 @@ func (s *Stream) Late() uint64 {
 	return s.late
 }
 
+// ApproxBytes reports the stream's approximate window+sketch footprint:
+// every open and sealed ring slot at the fixed per-sketch size. It is a
+// metering input for the overload governor's SketchBytes budget — a pure
+// function of ring geometry and series count (identical on every shard
+// of a same-config fleet), deliberately not a live heap measurement,
+// which would break shard-count-invariant governor decisions.
+func (s *Stream) ApproxBytes() int {
+	if s == nil {
+		return 0
+	}
+	const (
+		sketchFootprint = sketchBuckets*8 + 4*8 // buckets + count/zeros/min/max
+		windowFixed     = 64                    // Window header + slice header
+	)
+	per := windowFixed + len(s.names)*sketchFootprint
+	return (len(s.open) + len(s.sealed)) * per
+}
+
 // DroppedWindows reports sealed windows discarded because the drain
 // queue was full.
 func (s *Stream) DroppedWindows() uint64 {
