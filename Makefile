@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test bench bench-smoke bench-baseline bench-gate soak soak-short soak-overload soak-overload-short
+.PHONY: check fmt vet staticcheck build test bench bench-smoke bench-baseline bench-gate soak soak-short soak-overload soak-overload-short conformance conformance-short
 
 ## check: the full local gate — format, vet, staticcheck, build,
-## race-enabled tests, and the CI-sized overload soak.
-check: fmt vet staticcheck build test soak-overload-short
+## race-enabled tests, the CI-sized overload soak, and the CI-sized
+## conformance gate.
+check: fmt vet staticcheck build test soak-overload-short conformance-short
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -31,9 +32,27 @@ build:
 
 # The exp package replays every table/figure scenario; under the race
 # detector that runs well past go test's default 10 m per-package timeout
-# (~35 min on a loaded box).
+# (~35 min on a loaded box). -shuffle=on randomizes test order so
+# inter-test state dependencies surface instead of hiding behind source
+# order; failures print the shuffle seed to reproduce.
 test:
-	$(GO) test -race -timeout 60m ./...
+	$(GO) test -race -shuffle=on -timeout 60m ./...
+
+## conformance: the full analytical-twin conformance run — every
+## hypothesis fit across seeds 1..5 at full sweep resolution plus the
+## bound-calibration matrix over every fault profile. Regenerates the
+## committed hypotheses/*/FINDINGS.md and CONFORMANCE.json; rerun after
+## intentional physics changes and commit the result.
+conformance:
+	$(GO) run ./cmd/elemtwin -out .
+
+## conformance-short: the CI-sized conformance gate (reduced sweeps,
+## same hypotheses, same calibration profiles; exits non-zero when any
+## hypothesis is refuted or any coverage target is missed). Artifacts go
+## to ./conformance-out, which CI uploads.
+conformance-short:
+	@mkdir -p conformance-out
+	$(GO) run ./cmd/elemtwin -short -out conformance-out
 
 ## soak: the fleet churn soak — ≥1000 supervised connections with
 ## open/close/crash/stall churn under the race detector, asserting zero

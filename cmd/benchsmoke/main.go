@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"element/internal/benchgate"
+	"element/internal/cliutil"
 )
 
 func main() {
@@ -38,6 +39,17 @@ func main() {
 		gate      = flag.String("gate", "", "baseline snapshot to gate against instead of writing a snapshot")
 	)
 	flag.Parse()
+
+	// Fail fast before the (slow) benchmark run: the snapshot destination
+	// and the baseline must both be reachable.
+	if err := cliutil.ValidateOutputPath("o", *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateInputPath("gate", *gate); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(2)
+	}
 
 	var baseline *benchgate.Snapshot
 	if *gate != "" {

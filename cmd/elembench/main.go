@@ -27,6 +27,9 @@ import (
 
 	"element/internal/exp"
 	"element/internal/faults"
+	// Registers the "conformance" experiment (hypothesis harness +
+	// bound calibration) into the experiment registry.
+	_ "element/internal/hypotheses"
 	"element/internal/overload"
 	"element/internal/reqtrace"
 	"element/internal/telemetry"

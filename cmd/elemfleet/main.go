@@ -71,6 +71,7 @@ import (
 
 	"element/internal/apps"
 	"element/internal/cc"
+	"element/internal/cliutil"
 	"element/internal/faults"
 	"element/internal/fleet"
 	"element/internal/overload"
@@ -132,6 +133,19 @@ func main() {
 		rtForm   = flag.String("reqtrace-format", "chrome", "span-tree export format: chrome|jsonl")
 	)
 	flag.Parse()
+
+	// Fail fast on bad export destinations before simulating anything.
+	if err := cliutil.ValidateOutputPaths(map[string]string{
+		"snapshot": *snapOut,
+		"reqtrace": *rtOut,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "elemfleet:", err)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateInputPath("resume", *snapIn); err != nil {
+		fmt.Fprintln(os.Stderr, "elemfleet:", err)
+		os.Exit(2)
+	}
 
 	cfg := fleet.Config{
 		Seed:            *seed,

@@ -30,6 +30,7 @@ import (
 	"element/internal/apps"
 	"element/internal/aqm"
 	"element/internal/cc"
+	"element/internal/cliutil"
 	"element/internal/exp"
 	"element/internal/faults"
 	"element/internal/netem"
@@ -70,6 +71,16 @@ func main() {
 		drainT   = flag.Float64("drain-timeout", 0, "wall-clock budget in seconds for end-of-run file exports (0 = no limit); on expiry partial exports are marked truncated and the run exits non-zero")
 	)
 	flag.Parse()
+
+	// Fail fast on bad export destinations before simulating anything.
+	if err := cliutil.ValidateOutputPaths(map[string]string{
+		"telemetry": *telPath,
+		"waterfall": *wfPath,
+		"reqtrace":  *rtPath,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "elemsim:", err)
+		os.Exit(2)
+	}
 
 	var (
 		telem  *telemetry.Telemetry

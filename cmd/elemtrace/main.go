@@ -23,6 +23,7 @@ import (
 
 	"element/internal/aqm"
 	"element/internal/cc"
+	"element/internal/cliutil"
 	"element/internal/exp"
 	"element/internal/faults"
 	"element/internal/telemetry"
@@ -45,6 +46,16 @@ func main() {
 		wfFmt    = flag.String("waterfall-format", "chrome", "waterfall export format: chrome|jsonl|ascii")
 	)
 	flag.Parse()
+
+	// Fail fast on bad export destinations before simulating anything
+	// ("-" means stdout and is skipped by the validator).
+	if err := cliutil.ValidateOutputPaths(map[string]string{
+		"telemetry": *telPath,
+		"waterfall": *wfPath,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "elemtrace:", err)
+		os.Exit(2)
+	}
 
 	var (
 		telem  *telemetry.Telemetry

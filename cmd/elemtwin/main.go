@@ -1,0 +1,134 @@
+// Command elemtwin runs the analytical-twin conformance suite: every
+// registered hypothesis is fit against its closed-form model across seeds,
+// and the bound-calibration harness measures per-grade ErrBound coverage
+// under every estimator-relevant fault profile with the supervisor
+// degradations (Shed + FoldOutage) composed on top.
+//
+// Usage:
+//
+//	elemtwin                       # full sweeps, seeds 1..5, write ./hypotheses + ./CONFORMANCE.json
+//	elemtwin -short                # reduced sweeps (what `make conformance-short` runs)
+//	elemtwin -seeds 7,8,9,10,11    # alternate seed set
+//	elemtwin -shards 8             # worker-pool size (output is identical for any N)
+//	elemtwin -run h-wire-affine    # subset of hypotheses (skips calibration)
+//	elemtwin -out build/conf       # output directory (must exist)
+//	elemtwin -list                 # list hypotheses and exit
+//
+// elemtwin exits non-zero when any hypothesis is refuted or calibration
+// misses a coverage target — it is the conformance gate CI runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"element/internal/cliutil"
+	"element/internal/hypotheses"
+)
+
+func main() {
+	var (
+		seedsFlag = flag.String("seeds", "1,2,3,4,5", "comma-separated simulation seeds (the gate requires ≥ 5)")
+		short     = flag.Bool("short", false, "reduced sweeps and durations (make conformance-short)")
+		shards    = flag.Int("shards", 4, "worker-pool size; any value yields byte-identical output")
+		run       = flag.String("run", "", "comma-separated hypothesis names to run (empty = all; a subset skips calibration)")
+		out       = flag.String("out", ".", "output directory for hypotheses/*/FINDINGS.md and CONFORMANCE.json")
+		noCalib   = flag.Bool("no-calibration", false, "skip the bound-calibration harness")
+		list      = flag.Bool("list", false, "list registered hypotheses and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, h := range hypotheses.Registry {
+			fmt.Printf("%-20s %-11s %s\n", h.Name, h.Stage, h.Title)
+		}
+		return
+	}
+
+	// Fail fast on a bad output directory: the suite simulates for a while
+	// and must not die on the final write.
+	if fi, err := os.Stat(*out); err != nil || !fi.IsDir() {
+		fmt.Fprintf(os.Stderr, "-out: %q is not an existing directory\n", *out)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateOutputPath("out", *out+"/CONFORMANCE.json"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := hypotheses.Config{
+		Seeds:  seeds,
+		Short:  *short,
+		Shards: *shards,
+	}
+	if *run != "" {
+		cfg.Hypotheses = strings.Split(*run, ",")
+		cfg.SkipCalibration = true
+	}
+	if *noCalib {
+		cfg.SkipCalibration = true
+	}
+
+	rep, err := hypotheses.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := hypotheses.WriteOutputs(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, f := range rep.Findings {
+		fmt.Printf("%-20s %-11s %-12s R²=%.4f slope=%.4f spearman=%.3f obs=%d\n",
+			f.Name, f.Stage, f.Status, f.Fit.R2, f.Fit.Slope, f.Spearman, f.Obs)
+	}
+	if cal := rep.Calibration; cal != nil {
+		fmt.Printf("calibration (%d profiles × %d seeds, Shed+FoldOutage composed):\n",
+			len(cal.Profiles), len(cal.Seeds))
+		for _, pc := range cal.Profiles {
+			status := "ok"
+			if len(pc.Failures) > 0 {
+				status = strings.Join(pc.Failures, "; ")
+			}
+			fmt.Printf("  %-14s snd high/med %.3f/%.3f  rcv high/med %.3f/%.3f  viol %d  sheds %d  %s\n",
+				pc.Profile, pc.SenderHigh, pc.SenderMedium, pc.ReceiverHigh, pc.ReceiverMedium,
+				pc.SenderViolations+pc.ReceiverViolations, pc.Sheds, status)
+		}
+	}
+	fmt.Println(rep.Summary())
+	if !rep.Pass {
+		fmt.Println("CONFORMANCE FAILED")
+		for _, f := range rep.Failures {
+			fmt.Println("  " + f)
+		}
+		os.Exit(1)
+	}
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: bad seed %q", part)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("-seeds: empty seed set")
+	}
+	return seeds, nil
+}

@@ -1,0 +1,80 @@
+// Package cliutil holds small helpers shared by the command-line front
+// ends. Its main job is up-front validation of output-path flags: a run
+// that simulates for minutes and then dies on os.Create because the
+// target directory never existed is the failure mode this prevents —
+// every command validates its export destinations before any work starts.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ValidateOutputPath checks that the file named by an output flag can
+// plausibly be created at the end of the run: the parent directory must
+// exist and be a directory, and path itself must not name an existing
+// directory. Empty paths and "-" (stdout convention) are skipped. The
+// returned error names the flag so the message points at the right knob.
+func ValidateOutputPath(flagName, path string) error {
+	if path == "" || path == "-" {
+		return nil
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return fmt.Errorf("-%s: %q is a directory, want a file path", flagName, path)
+	}
+	dir := filepath.Dir(path)
+	fi, err := os.Stat(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("-%s: directory %q does not exist (create it first)", flagName, dir)
+		}
+		return fmt.Errorf("-%s: %v", flagName, err)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("-%s: %q is not a directory", flagName, dir)
+	}
+	return nil
+}
+
+// ValidateInputPath checks that the file named by an input flag exists and
+// is not a directory. Empty paths and "-" are skipped.
+func ValidateInputPath(flagName, path string) error {
+	if path == "" || path == "-" {
+		return nil
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("-%s: %q does not exist", flagName, path)
+		}
+		return fmt.Errorf("-%s: %v", flagName, err)
+	}
+	if fi.IsDir() {
+		return fmt.Errorf("-%s: %q is a directory, want a file", flagName, path)
+	}
+	return nil
+}
+
+// ValidateOutputPaths validates several (flag, path) pairs and returns the
+// first failure.
+func ValidateOutputPaths(pairs map[string]string) error {
+	// Deterministic order is not needed for correctness, but stable error
+	// selection makes scripting against the messages less surprising:
+	// validate in sorted flag order.
+	flags := make([]string, 0, len(pairs))
+	for f := range pairs {
+		flags = append(flags, f)
+	}
+	for i := 1; i < len(flags); i++ {
+		for j := i; j > 0 && flags[j] < flags[j-1]; j-- {
+			flags[j], flags[j-1] = flags[j-1], flags[j]
+		}
+	}
+	for _, f := range flags {
+		if err := ValidateOutputPath(f, pairs[f]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

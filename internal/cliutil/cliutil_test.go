@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateOutputPath(t *testing.T) {
+	dir := t.TempDir()
+	if err := ValidateOutputPath("o", filepath.Join(dir, "out.json")); err != nil {
+		t.Fatalf("existing parent rejected: %v", err)
+	}
+	if err := ValidateOutputPath("o", ""); err != nil {
+		t.Fatalf("empty path rejected: %v", err)
+	}
+	if err := ValidateOutputPath("o", "-"); err != nil {
+		t.Fatalf("stdout convention rejected: %v", err)
+	}
+	err := ValidateOutputPath("snapshot", filepath.Join(dir, "missing", "out.json"))
+	if err == nil {
+		t.Fatal("missing parent accepted")
+	}
+	if !strings.Contains(err.Error(), "-snapshot") || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("error does not name the flag and the cause: %v", err)
+	}
+	if err := ValidateOutputPath("o", dir); err == nil {
+		t.Fatal("directory target accepted as output file")
+	}
+	file := filepath.Join(dir, "plain")
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateOutputPath("o", filepath.Join(file, "x.json")); err == nil {
+		t.Fatal("file used as parent directory accepted")
+	}
+}
+
+func TestValidateInputPath(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(file, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateInputPath("resume", file); err != nil {
+		t.Fatalf("existing input rejected: %v", err)
+	}
+	if err := ValidateInputPath("resume", ""); err != nil {
+		t.Fatalf("empty input rejected: %v", err)
+	}
+	if err := ValidateInputPath("resume", filepath.Join(dir, "gone.json")); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := ValidateInputPath("resume", dir); err == nil {
+		t.Fatal("directory input accepted")
+	}
+}
+
+func TestValidateOutputPathsNamesFirstSortedFailure(t *testing.T) {
+	dir := t.TempDir()
+	err := ValidateOutputPaths(map[string]string{
+		"waterfall": filepath.Join(dir, "missing", "w"),
+		"telemetry": filepath.Join(dir, "missing", "t"),
+		"ok":        filepath.Join(dir, "fine.json"),
+	})
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if !strings.Contains(err.Error(), "-telemetry") {
+		t.Fatalf("want sorted-first flag (-telemetry) in error, got: %v", err)
+	}
+}

@@ -87,6 +87,92 @@ func gtBand(truth stats.Series, from, to units.Time) (lo, hi units.Duration, ok 
 	return lo, hi, !first
 }
 
+// NumConfidence is the number of confidence grades (indexable by
+// Confidence).
+const NumConfidence = int(ConfidenceHigh) + 1
+
+// Coverage tallies, per confidence grade, how many estimator samples
+// were checkable against ground truth and how many landed within their
+// self-reported error bound — the empirical calibration the conformance
+// harness compares against the per-grade coverage targets. Unlike
+// BoundCheck (which exempts flagged samples), Coverage grades every
+// sample, so the harness can report how often even disclaimed samples
+// happen to be right.
+type Coverage struct {
+	// Samples counts checkable samples per grade (indexed by Confidence:
+	// low, medium, high); Covered counts those within their bound.
+	Samples [NumConfidence]int `json:"samples"`
+	Covered [NumConfidence]int `json:"covered"`
+}
+
+// Add accumulates one checkable sample.
+func (c *Coverage) Add(grade Confidence, within bool) {
+	c.Samples[grade]++
+	if within {
+		c.Covered[grade]++
+	}
+}
+
+// Merge accumulates another tally (multi-seed, multi-profile totals).
+func (c *Coverage) Merge(o Coverage) {
+	for g := 0; g < NumConfidence; g++ {
+		c.Samples[g] += o.Samples[g]
+		c.Covered[g] += o.Covered[g]
+	}
+}
+
+// Fraction reports Covered/Samples for one grade (1 when the grade saw no
+// samples — an empty cell meets any coverage target vacuously).
+func (c Coverage) Fraction(grade Confidence) float64 {
+	if c.Samples[grade] == 0 {
+		return 1
+	}
+	return float64(c.Covered[grade]) / float64(c.Samples[grade])
+}
+
+// SenderCoverage tallies per-grade bound coverage of a sender log against
+// ground truth, using the same envelope comparison as CheckSenderBounds.
+func SenderCoverage(log []Measurement, truth stats.Series, interval units.Duration) Coverage {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	var cov Coverage
+	for _, m := range log {
+		lo, hi, ok := gtBand(truth, m.At.Add(-2*interval-m.ErrBound), m.At)
+		if !ok {
+			continue
+		}
+		var dist units.Duration
+		if m.Delay < lo {
+			dist = lo - m.Delay
+		} else if m.Delay > hi {
+			dist = m.Delay - hi
+		}
+		cov.Add(m.Confidence, dist <= m.ErrBound+boundEps)
+	}
+	return cov
+}
+
+// ReceiverCoverage tallies per-grade coverage of a receiver log. The
+// receiver contract is one-sided (see CheckReceiverBounds): a sample is
+// covered unless it claims more waiting than the recent true maximum
+// plus its bound.
+func ReceiverCoverage(log []Measurement, truth stats.Series) Coverage {
+	var cov Coverage
+	for _, m := range log {
+		window := receiverWindow
+		if m.ErrBound > window {
+			window = m.ErrBound
+		}
+		_, hi, ok := gtBand(truth, m.At.Add(-window), m.At)
+		if !ok {
+			continue
+		}
+		cov.Add(m.Confidence, m.Delay-hi <= m.ErrBound+boundEps)
+	}
+	return cov
+}
+
 // CheckSenderBounds evaluates the sender log: a non-flagged sample
 // violates the contract when its delay is farther than ErrBound from the
 // ground-truth envelope over the sample's own timestamp-quantization

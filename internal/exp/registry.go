@@ -61,6 +61,19 @@ var Registry = []Experiment{
 		"unbudgeted vs budgeted vs budgeted+flapping-sink fleets: degradation-ladder sheds and reclaims, widened-but-flagged bounds, queue retry/backoff accounting", Overload},
 }
 
+// Register appends an experiment contributed by a higher layer. The
+// conformance experiment lives in internal/hypotheses (which imports exp
+// for its scenario rig, so it cannot be constructed here without a cycle)
+// and registers itself on import; commands that want it link the package.
+func Register(e Experiment) {
+	for _, have := range Registry {
+		if have.ID == e.ID {
+			panic(fmt.Sprintf("exp: duplicate experiment id %q", e.ID))
+		}
+	}
+	Registry = append(Registry, e)
+}
+
 // Lookup finds an experiment by ID.
 func Lookup(id string) (Experiment, error) {
 	for _, e := range Registry {

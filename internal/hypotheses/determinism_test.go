@@ -1,0 +1,69 @@
+package hypotheses
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShardDeterminism pins the seed-sweep determinism contract: the same
+// seed set must produce byte-identical CONFORMANCE.json and FINDINGS.md
+// for any -shards value. The default scope is reduced (two seeds, two
+// hypotheses, two calibration profiles); ELEMENT_SOAK=1 widens it to the
+// full registry and all profiles, which is what the soak lane runs.
+func TestShardDeterminism(t *testing.T) {
+	cfg := Config{
+		Seeds:      []int64{3, 4},
+		Short:      true,
+		Hypotheses: []string{"h-wire-affine", "h-mm1-queue"},
+		Profiles:   []string{"none", "stale-info"},
+	}
+	if os.Getenv("ELEMENT_SOAK") == "1" {
+		cfg.Hypotheses = nil
+		cfg.Profiles = nil
+		cfg.Seeds = DefaultSeeds
+	}
+
+	render := func(shards int) map[string][]byte {
+		cfg := cfg
+		cfg.Shards = shards
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := WriteOutputs(dir, rep); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		err = filepath.Walk(dir, func(path string, fi os.FileInfo, err error) error {
+			if err != nil || fi.IsDir() {
+				return err
+			}
+			rel, _ := filepath.Rel(dir, path)
+			b, err := os.ReadFile(path)
+			out[rel] = b
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) < 3 { // ≥ 2 FINDINGS.md + CONFORMANCE.json
+			t.Fatalf("only %d output files rendered", len(out))
+		}
+		return out
+	}
+
+	base := render(1)
+	for _, shards := range []int{2, 7} {
+		got := render(shards)
+		if len(got) != len(base) {
+			t.Fatalf("shards=%d produced %d files, want %d", shards, len(got), len(base))
+		}
+		for name, want := range base {
+			if string(got[name]) != string(want) {
+				t.Fatalf("shards=%d: %s differs from single-shard output", shards, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package hypotheses
+
+import (
+	"fmt"
+
+	"element/internal/exp"
+	"element/internal/units"
+)
+
+// The conformance experiment: the hypothesis harness and the bound
+// calibration rendered as an exp.Result table, registered into the exp
+// registry on import so `elembench -run conformance` works alongside the
+// paper reproductions. cmd/elemtwin is the full-fidelity front end (it also
+// writes the FINDINGS.md files); this entry is the quick tabular view.
+
+func init() {
+	exp.Register(exp.Experiment{
+		ID:    "conformance",
+		Title: "Analytical-twin conformance: hypothesis fits and bound calibration",
+		Desc:  "fit every stage law against its closed-form twin across seeds; calibrate per-grade ErrBound coverage under every fault profile",
+		Run:   conformanceExperiment,
+	})
+}
+
+// conformanceExperiment runs the short-mode suite on seeds seed..seed+4.
+// duration is ignored: every sweep fixes its own durations so the fits
+// stay comparable against the stated tolerances.
+func conformanceExperiment(seed int64, _ units.Duration) *exp.Result {
+	seeds := make([]int64, len(DefaultSeeds))
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	rep, err := Run(Config{Seeds: seeds, Short: true})
+	if err != nil {
+		return &exp.Result{ID: "conformance", Title: "conformance", Notes: []string{err.Error()}}
+	}
+	res := &exp.Result{
+		ID:     "conformance",
+		Title:  "Analytical-twin conformance: hypothesis fits and bound calibration",
+		Header: []string{"hypothesis", "stage", "status", "R²", "slope", "slope band", "Spearman", "obs"},
+	}
+	for _, f := range rep.Findings {
+		band := "—"
+		if f.Checks.SlopeLo != 0 || f.Checks.SlopeHi != 0 {
+			band = fmt.Sprintf("[%s, %s]", fmtF(f.Checks.SlopeLo), fmtF(f.Checks.SlopeHi))
+		}
+		res.Rows = append(res.Rows, []string{
+			f.Name, f.Stage, f.Status, fmtF(f.Fit.R2), fmtF(f.Fit.Slope), band, fmtF(f.Spearman),
+			fmt.Sprintf("%d", f.Obs),
+		})
+	}
+	if cal := rep.Calibration; cal != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"calibration over %d fault profiles × %d seeds (Shed+FoldOutage composed): pass=%v",
+			len(cal.Profiles), len(cal.Seeds), cal.Pass))
+		for _, pc := range cal.Profiles {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"  %-14s sender high/med %.3f/%.3f, receiver high/med %.3f/%.3f, violations %d",
+				pc.Profile, pc.SenderHigh, pc.SenderMedium, pc.ReceiverHigh, pc.ReceiverMedium,
+				pc.SenderViolations+pc.ReceiverViolations))
+		}
+	}
+	res.Notes = append(res.Notes, rep.Summary())
+	if !rep.Pass {
+		res.Notes = append(res.Notes, "CONFORMANCE FAILED:")
+		for _, f := range rep.Failures {
+			res.Notes = append(res.Notes, "  "+f)
+		}
+	}
+	return res
+}

@@ -1,0 +1,137 @@
+package hypotheses
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// FINDINGS.md and CONFORMANCE.json rendering. Every rendered byte is a
+// pure function of the report — no wall-clock timestamps, no map-order
+// dependence — so that the same seed set produces byte-identical output
+// regardless of shard count or host (the determinism test pins this).
+
+// fmtF renders a float compactly but stably.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func seedList(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}
+
+// Markdown renders the finding as a FINDINGS.md file in the repository's
+// verdict style.
+func (f *Finding) Markdown(mode string, seeds []int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n\n", f.Name, f.Title)
+	fmt.Fprintf(&b, "**Status:** %s\n", f.Status)
+	fmt.Fprintf(&b, "**Resolution:** %s\n", f.resolution())
+	fmt.Fprintf(&b, "**Family:** Analytical twin — %s stage\n", f.Stage)
+	fmt.Fprintf(&b, "**VV&UQ:** Validation\n")
+	fmt.Fprintf(&b, "**Tier:** Tier 1 (conformance gate — `make conformance`)\n")
+	fmt.Fprintf(&b, "**Type:** Statistical (linear fit + monotonicity)\n")
+	fmt.Fprintf(&b, "**Mode:** %s sweep\n", mode)
+	fmt.Fprintf(&b, "**Seeds:** %s\n", seedList(seeds))
+	fmt.Fprintf(&b, "**Rounds:** 1\n\n")
+
+	fmt.Fprintf(&b, "## Hypothesis\n\n> %s.\n\n", f.Law)
+
+	fmt.Fprintf(&b, "## Experiment Design\n\n")
+	for _, line := range f.design {
+		fmt.Fprintf(&b, "- %s\n", line)
+	}
+	fmt.Fprintf(&b, "\n## Fit\n\n")
+	fmt.Fprintf(&b, "| metric | value | requirement | ok |\n|---|---|---|---|\n")
+	c := f.Checks
+	fmt.Fprintf(&b, "| R² | %s | ≥ %s | %s |\n", fmtF(f.Fit.R2), fmtF(c.MinR2), mark(f.Fit.R2 >= c.MinR2))
+	if c.SlopeLo != 0 || c.SlopeHi != 0 {
+		fmt.Fprintf(&b, "| slope | %s (95%% CI [%s, %s]) | ∈ [%s, %s] | %s |\n",
+			fmtF(f.Fit.Slope), fmtF(f.SlopeLo), fmtF(f.SlopeHi), fmtF(c.SlopeLo), fmtF(c.SlopeHi),
+			mark(f.Fit.Slope >= c.SlopeLo && f.Fit.Slope <= c.SlopeHi))
+	} else {
+		fmt.Fprintf(&b, "| slope | %s (95%% CI [%s, %s]) | — | — |\n", fmtF(f.Fit.Slope), fmtF(f.SlopeLo), fmtF(f.SlopeHi))
+	}
+	if c.InterceptMax > 0 {
+		abs := f.Fit.Intercept
+		if abs < 0 {
+			abs = -abs
+		}
+		fmt.Fprintf(&b, "| intercept | %s | abs ≤ %s | %s |\n", fmtF(f.Fit.Intercept), fmtF(c.InterceptMax), mark(abs <= c.InterceptMax))
+	} else {
+		fmt.Fprintf(&b, "| intercept | %s | — | — |\n", fmtF(f.Fit.Intercept))
+	}
+	fmt.Fprintf(&b, "| Spearman ρ | %s | — | — |\n", fmtF(f.Spearman))
+	mono := "no"
+	if f.Monotone {
+		mono = "yes"
+	}
+	if c.Monotone {
+		fmt.Fprintf(&b, "| monotone (tol %s) | %s | required | %s |\n", fmtF(c.MonotoneTol), mono, mark(f.Monotone))
+	} else {
+		fmt.Fprintf(&b, "| monotone (tol %s) | %s | — | — |\n", fmtF(c.MonotoneTol), mono)
+	}
+	fmt.Fprintf(&b, "| observations | %d | ≥ 2 | %s |\n", f.Obs, mark(f.Obs >= 2))
+
+	fmt.Fprintf(&b, "\n## Observations\n\n")
+	fmt.Fprintf(&b, "Level means across seeds; x = %s, y = %s.\n\n", f.xlabel, f.ylabel)
+	fmt.Fprintf(&b, "| x | mean y | n |\n|---|---|---|\n")
+	for _, l := range f.Levels {
+		fmt.Fprintf(&b, "| %s | %s | %d |\n", fmtF(l.X), fmtF(l.MeanY), l.N)
+	}
+	if len(f.Failures) > 0 {
+		fmt.Fprintf(&b, "\n## Failures\n\n")
+		for _, fail := range f.Failures {
+			fmt.Fprintf(&b, "- %s\n", fail)
+		}
+	}
+	return b.String()
+}
+
+func (f *Finding) resolution() string {
+	if f.Corroborated() {
+		return fmt.Sprintf("R² = %s, slope %s within [%s, %s], Spearman ρ = %s, level means monotone — the simulator matches the analytical twin across %d observations.",
+			fmtF(f.Fit.R2), fmtF(f.Fit.Slope), fmtF(f.Checks.SlopeLo), fmtF(f.Checks.SlopeHi), fmtF(f.Spearman), f.Obs)
+	}
+	return fmt.Sprintf("REFUTED: %s — the simulator diverges from the analytical twin.", strings.Join(f.Failures, "; "))
+}
+
+// JSON renders the report as the machine-readable CONFORMANCE.json.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteOutputs writes hypotheses/<name>/FINDINGS.md for every finding plus
+// CONFORMANCE.json under dir.
+func WriteOutputs(dir string, r *Report) error {
+	for _, f := range r.Findings {
+		d := filepath.Join(dir, "hypotheses", f.Name)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(d, "FINDINGS.md"), []byte(f.Markdown(r.Mode, r.Seeds)), 0o644); err != nil {
+			return err
+		}
+	}
+	out, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "CONFORMANCE.json"), out, 0o644)
+}

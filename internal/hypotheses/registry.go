@@ -1,0 +1,260 @@
+package hypotheses
+
+import (
+	"fmt"
+
+	"element/internal/exp"
+	"element/internal/tcp"
+	"element/internal/twin"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+// The registered hypotheses: one per waterfall stage plus the auto-tuning
+// occupancy law and the M/G/1 queue law. Every sweep is a controlled
+// single-flow testbed that isolates one stage's physics; the x axis is the
+// twin's closed-form prediction (slope ≈ 1) or the swept knob itself with
+// the twin supplying the expected slope band.
+
+// wirePkt is the on-the-wire packet size of a full segment.
+const wirePkt = tcp.DefaultMSS + 40
+
+// Registry lists every hypothesis, in waterfall-stage order.
+var Registry = []Hypothesis{
+	hSndbufLinear, hSndbufAutotune, hRetxWait, hQueueStanding,
+	hMM1Queue, hWireAffine, hReassemblyLoss, hRcvbufPaced,
+}
+
+// Lookup finds a hypothesis by name.
+func Lookup(name string) (Hypothesis, error) {
+	for _, h := range Registry {
+		if h.Name == name {
+			return h, nil
+		}
+	}
+	return Hypothesis{}, fmt.Errorf("hypotheses: unknown hypothesis %q (have %v)", name, Names())
+}
+
+// Names lists the registered hypothesis names in registry order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for _, h := range Registry {
+		names = append(names, h.Name)
+	}
+	return names
+}
+
+// pick selects the full or reduced sweep.
+func pick[T any](short bool, full, reduced []T) []T {
+	if short {
+		return reduced
+	}
+	return full
+}
+
+// stageMean runs one single-flow scenario with waterfall attribution and
+// reports the byte-weighted mean residency of the given stage in seconds.
+func stageMean(cfg exp.ScenarioConfig, stage waterfall.Stage) float64 {
+	wf := waterfall.New()
+	cfg.Waterfall = wf
+	s := exp.RunScenario(cfg)
+	return s.Flows[0].WF.Breakdown().Stage[stage].Mean.Seconds()
+}
+
+var hWireAffine = Hypothesis{
+	Name:  "h-wire-affine",
+	Stage: "wire",
+	Title: "Wire stage is serialization plus propagation",
+	Law: "wire-stage mean = pkt·8/rate + OWD (twin.WireDelay): the queue-exit→receiver " +
+		"interval of every delivered segment is exactly one serialization plus the " +
+		"propagation delay when jitter is off",
+	Design: []string{
+		"Sweep one-way propagation delay ∈ {5, 15, 25, 35, 45} ms (short: {5, 25, 45}) on a 20 Mbps path.",
+		"One bulk Cubic flow per cell, default qdisc and queue depth; waterfall attribution taps both link directions.",
+		"x = twin.WireDelay(1500 B, 20 Mbps, OWD); y = byte-weighted wire-stage mean from the waterfall breakdown.",
+		"Controlled: rate, qdisc, loss (0), jitter (0). Varied: propagation delay only.",
+		"The twin already contains the serialization term, so the fit should be the identity line.",
+	},
+	XLabel: "twin.WireDelay prediction (s)",
+	YLabel: "wire-stage byte-weighted mean (s)",
+	Checks: Checks{
+		MinR2: 0.995, SlopeLo: 0.93, SlopeHi: 1.07,
+		InterceptMax: 0.004, Monotone: true, MonotoneTol: 0,
+	},
+	Collect: func(seed int64, short bool) []Obs {
+		rate := 20 * units.Mbps
+		owds := pick(short,
+			[]units.Duration{5, 15, 25, 35, 45},
+			[]units.Duration{5, 25, 45})
+		var obs []Obs
+		for _, owd := range owds {
+			owd := owd * units.Millisecond
+			y := stageMean(exp.ScenarioConfig{
+				Seed: seed, Rate: rate, RTT: 2 * owd,
+				Duration: dur(short, 3*units.Second),
+				Flows:    []exp.FlowSpec{{}},
+			}, waterfall.StageWire)
+			obs = append(obs, Obs{X: twin.WireDelay(wirePkt, rate, owd).Seconds(), Y: y, Seed: seed})
+		}
+		return obs
+	},
+}
+
+var hQueueStanding = Hypothesis{
+	Name:  "h-queue-standing",
+	Stage: "queue",
+	Title: "Drop-tail standing queue scales with buffer depth",
+	Law: "queue-stage mean ≈ fill · Q·pkt·8/rate (twin.StandingQueueDelay): a loss-based " +
+		"bulk flow keeps a drop-tail bottleneck queue standing, so residency is a " +
+		"constant occupancy fraction of the full drain time",
+	Design: []string{
+		"Sweep bottleneck queue depth Q ∈ {15, 25, 50, 75, 100} packets (short: {15, 50, 100}) at 10 Mbps, 10 ms RTT, 24 s per cell (short: 12 s) — several Cubic sawtooth cycles even at the deepest queue.",
+		"One bulk Cubic flow per cell (loss-based ⇒ fills drop-tail buffers); pfifo_fast discipline.",
+		"x = twin.StandingQueueDelay(Q, 1500 B, 10 Mbps, fill=1) — the full drain time; y = queue-stage byte-weighted mean.",
+		"Controlled: rate, RTT, loss (0). Varied: queue depth only.",
+		"The sweep stays at moderate depths: HyStart exits slow start on the first delay rise, so very deep buffers only fill through Cubic's slow concave phase and would measure ramp time, not the standing queue. Cubic's sawtooth keeps average occupancy below full but well above half, so the fitted slope is the occupancy fraction and must land in [0.45, 1.05].",
+	},
+	XLabel: "full-queue drain time Q·pkt·8/rate (s)",
+	YLabel: "queue-stage byte-weighted mean (s)",
+	Checks: Checks{
+		MinR2: 0.95, SlopeLo: 0.45, SlopeHi: 1.05,
+		Monotone: true, MonotoneTol: 0.005,
+	},
+	Collect: func(seed int64, short bool) []Obs {
+		rate := 10 * units.Mbps
+		qs := pick(short, []int{15, 25, 50, 75, 100}, []int{15, 50, 100})
+		var obs []Obs
+		for _, q := range qs {
+			y := stageMean(exp.ScenarioConfig{
+				Seed: seed, Rate: rate, RTT: 10 * units.Millisecond,
+				QueuePackets: q,
+				Duration:     dur(short, 24*units.Second),
+				Flows:        []exp.FlowSpec{{}},
+			}, waterfall.StageQueue)
+			obs = append(obs, Obs{X: twin.StandingQueueDelay(q, wirePkt, rate, 1).Seconds(), Y: y, Seed: seed})
+		}
+		return obs
+	},
+}
+
+var hSndbufLinear = Hypothesis{
+	Name:  "h-sndbuf-linear",
+	Stage: "sndbuf",
+	Title: "Pinned send-buffer delay is linear in SO_SNDBUF",
+	Law: "sndbuf-stage mean ≈ (B − inflight)·8/rate (twin.SndbufDelay): with SO_SNDBUF " +
+		"pinned above the BDP and the path saturated, a written byte waits for the " +
+		"buffer ahead of it to drain at the bottleneck rate",
+	Design: []string{
+		"Sweep pinned SO_SNDBUF ∈ {64, 128, 192, 256, 320} KiB (short: {64, 192, 320}) at 10 Mbps, 10 ms RTT.",
+		"One bulk Cubic flow per cell; bottleneck queue capped at 25 packets so in-flight bytes stay far below the swept buffers.",
+		"x = twin.SndbufDelay(B, 0, rate) = B·8/rate; y = sndbuf-stage byte-weighted mean.",
+		"Controlled: rate, RTT, queue depth, loss (0). Varied: SO_SNDBUF only.",
+		"Slope ≈ 1 against the zero-inflight twin; the (negative) intercept absorbs the constant in-flight share (≈ BDP + queue), so no intercept cap is asserted.",
+	},
+	XLabel: "twin.SndbufDelay(B, 0, rate) = B·8/rate (s)",
+	YLabel: "sndbuf-stage byte-weighted mean (s)",
+	Checks: Checks{
+		MinR2: 0.97, SlopeLo: 0.85, SlopeHi: 1.1,
+		Monotone: true, MonotoneTol: 0.002,
+	},
+	Collect: func(seed int64, short bool) []Obs {
+		rate := 10 * units.Mbps
+		bufs := pick(short,
+			[]int{64 << 10, 128 << 10, 192 << 10, 256 << 10, 320 << 10},
+			[]int{64 << 10, 192 << 10, 320 << 10})
+		var obs []Obs
+		for _, b := range bufs {
+			y := stageMean(exp.ScenarioConfig{
+				Seed: seed, Rate: rate, RTT: 10 * units.Millisecond,
+				QueuePackets: 25,
+				Duration:     dur(short, 4*units.Second),
+				Flows:        []exp.FlowSpec{{SndBuf: b}},
+			}, waterfall.StageSndbuf)
+			obs = append(obs, Obs{X: twin.SndbufDelay(b, 0, rate).Seconds(), Y: y, Seed: seed})
+		}
+		return obs
+	},
+}
+
+var hReassemblyLoss = Hypothesis{
+	Name:  "h-reassembly-loss",
+	Stage: "reassembly",
+	Title: "Reassembly delay is linear in small loss rates",
+	Law: "reassembly-stage mean ≈ p·(W/mss)·recovery (twin.ReassemblyDelay): each " +
+		"isolated loss holds the in-flight window behind the hole for one recovery " +
+		"time, so the byte-weighted mean grows linearly in p",
+	Design: []string{
+		"Sweep i.i.d. wire loss p ∈ {0.002, 0.005, 0.01, 0.015, 0.02} (short: {0.002, 0.01, 0.02}) at 10 Mbps, 40 ms RTT.",
+		"SO_SNDBUF pinned to 16 KiB to pin the window W: Cubic's cwnd ∝ p^{-3/4} would otherwise bend the law.",
+		"x = p; y = reassembly-stage byte-weighted mean.",
+		"Controlled: rate, RTT, window (pinned buffer). Varied: loss probability only.",
+		"Twin prediction with W = 16 KiB, mss = 1460, recovery ≈ 1–2 RTT gives a slope near 0.5 s per unit p; the band [0.1, 1.5] absorbs recovery-time spread and occasional RTOs.",
+	},
+	XLabel: "loss probability p",
+	YLabel: "reassembly-stage byte-weighted mean (s)",
+	Checks: Checks{
+		MinR2: 0.9, SlopeLo: 0.1, SlopeHi: 1.5,
+		Monotone: true, MonotoneTol: 0.003,
+	},
+	Collect: func(seed int64, short bool) []Obs {
+		ps := pick(short,
+			[]float64{0.002, 0.005, 0.01, 0.015, 0.02},
+			[]float64{0.002, 0.01, 0.02})
+		var obs []Obs
+		for _, p := range ps {
+			y := stageMean(exp.ScenarioConfig{
+				Seed: seed, Rate: 10 * units.Mbps, RTT: 40 * units.Millisecond,
+				LossRate: p,
+				Duration: dur(short, 8*units.Second),
+				Flows:    []exp.FlowSpec{{SndBuf: 16 << 10}},
+			}, waterfall.StageReassembly)
+			obs = append(obs, Obs{X: p, Y: y, Seed: seed})
+		}
+		return obs
+	},
+}
+
+var hRetxWait = Hypothesis{
+	Name:  "h-retx-wait",
+	Stage: "retx",
+	Title: "Retransmit wait is linear in small loss rates",
+	Law: "retx-stage mean ≈ p·recovery (twin.RetxWait): only the lost segment re-enters " +
+		"the transmit path, waiting one recovery time between first and delivering " +
+		"transmission, so the byte-weighted mean across the stream is p·recovery",
+	Design: []string{
+		"Same sweep as h-reassembly-loss: i.i.d. wire loss p ∈ {0.002 … 0.02} at 10 Mbps, 40 ms RTT, SO_SNDBUF pinned to 16 KiB.",
+		"x = p; y = retx-stage byte-weighted mean.",
+		"Controlled: rate, RTT, window. Varied: loss probability only.",
+		"Twin prediction with recovery ≈ 1–2 RTT (40–80 ms, plus dup-ACK accumulation at an 11-segment window) gives a slope of 0.04–0.3 s per unit p; the band [0.02, 0.4] absorbs RTO-driven recoveries.",
+	},
+	XLabel: "loss probability p",
+	YLabel: "retx-stage byte-weighted mean (s)",
+	Checks: Checks{
+		MinR2: 0.9, SlopeLo: 0.02, SlopeHi: 0.4,
+		Monotone: true, MonotoneTol: 0.001,
+	},
+	Collect: func(seed int64, short bool) []Obs {
+		ps := pick(short,
+			[]float64{0.002, 0.005, 0.01, 0.015, 0.02},
+			[]float64{0.002, 0.01, 0.02})
+		var obs []Obs
+		for _, p := range ps {
+			y := stageMean(exp.ScenarioConfig{
+				Seed: seed, Rate: 10 * units.Mbps, RTT: 40 * units.Millisecond,
+				LossRate: p,
+				Duration: dur(short, 8*units.Second),
+				Flows:    []exp.FlowSpec{{SndBuf: 16 << 10}},
+			}, waterfall.StageRetx)
+			obs = append(obs, Obs{X: p, Y: y, Seed: seed})
+		}
+		return obs
+	},
+}
+
+// dur scales a full-mode duration down for conformance-short.
+func dur(short bool, full units.Duration) units.Duration {
+	if short {
+		return full / 2
+	}
+	return full
+}

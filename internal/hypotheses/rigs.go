@@ -1,0 +1,122 @@
+package hypotheses
+
+import (
+	"element/internal/exp"
+	"element/internal/sim"
+	"element/internal/twin"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+// The two hypotheses that need a custom driver on top of the standard
+// scenario: the auto-tuning law samples the send buffer over time, and the
+// rcvbuf law paces the application reader itself.
+
+var hSndbufAutotune = Hypothesis{
+	Name:  "h-sndbuf-autotune",
+	Stage: "sndbuf",
+	Title: "Auto-tuned send buffer tracks twice the peak congestion window",
+	Law: "sndbuf occupancy ≈ 2·max(cwnd)·mss (twin.AutotuneOccupancy): the grow-only " +
+		"auto-tuner sizes SO_SNDBUF at AutotuneFactor (2) times the congestion window, " +
+		"and a saturating writer keeps the buffer full — the paper's §2.1 mechanism",
+	Design: []string{
+		"Five runs per seed at RTT ∈ {20, 40, 60, 80, 100} ms (short: {20, 60, 100}) on a 10 Mbps path, one bulk Cubic flow with auto-tuned SO_SNDBUF.",
+		"Every 100 ms from t = 600 ms (past the 16 KiB initial-capacity regime), sample x = running max of cwnd·mss from TCP_INFO and y = SndBufUsed().",
+		"The running max reflects the tuner's grow-only behaviour; sweeping RTT varies the peak window (BDP + bottleneck queue) so x spans a wide range.",
+		"Controlled: rate, qdisc, loss (0). Varied: RTT across runs; cwnd within runs.",
+		"Slope must land in [1.5, 2.2] around AutotuneFactor = 2; sawtooth dips and the 8 KiB writer-chunk granularity keep it below the exact 2.",
+	},
+	XLabel: "running max cwnd·mss (bytes)",
+	YLabel: "SndBufUsed (bytes)",
+	Checks: Checks{
+		MinR2: 0.9, SlopeLo: 1.5, SlopeHi: 2.2,
+		Monotone: true, MonotoneTol: 24 << 10,
+	},
+	Collect: func(seed int64, short bool) []Obs {
+		rtts := pick(short,
+			[]units.Duration{20, 40, 60, 80, 100},
+			[]units.Duration{20, 60, 100})
+		var obs []Obs
+		for _, rtt := range rtts {
+			rtt := rtt * units.Millisecond
+			s := exp.Build(exp.ScenarioConfig{
+				Seed: seed, Rate: 10 * units.Mbps, RTT: rtt,
+				Duration: dur(short, 4*units.Second),
+				Flows:    []exp.FlowSpec{{}},
+			})
+			snd := s.Flows[0].Conn.Sender
+			maxCwndBytes := 0
+			var tick func()
+			tick = func() {
+				info := snd.GetsockoptTCPInfo()
+				if cb := info.SndCwnd * info.SndMSS; cb > maxCwndBytes {
+					maxCwndBytes = cb
+				}
+				obs = append(obs, Obs{X: float64(maxCwndBytes), Y: float64(snd.SndBufUsed()), Seed: seed})
+				s.Eng.Schedule(100*units.Millisecond, tick)
+			}
+			s.Eng.Schedule(600*units.Millisecond, tick)
+			s.Run()
+		}
+		return obs
+	},
+}
+
+var hRcvbufPaced = Hypothesis{
+	Name:  "h-rcvbuf-paced",
+	Stage: "rcvbuf",
+	Title: "Receive-buffer delay of a paced reader is half the read period",
+	Law: "rcvbuf-stage mean ≈ period/2 (twin.PacedReadDelay): when the bottleneck " +
+		"delivers continuously and the application drains the socket every T, " +
+		"arrivals land uniformly within the period and wait T/2 on average",
+	Design: []string{
+		"Sweep the application read period T ∈ {10, 20, 40, 80, 160} ms (short: {10, 40, 160}) on a 5 Mbps, 20 ms RTT path.",
+		"One flow per cell with a saturating bulk writer and a paced reader that sleeps T then drains everything available; the default 6 MiB receive buffer never hits zero-window.",
+		"x = twin.PacedReadDelay(T) = T/2; y = rcvbuf-stage byte-weighted mean.",
+		"Controlled: rate, RTT, receive-buffer headroom. Varied: read period only.",
+		"Slope ≈ 1 against the twin; the small positive intercept is the in-order delivery batching below the coarsest pacing.",
+	},
+	XLabel: "twin.PacedReadDelay(T) = T/2 (s)",
+	YLabel: "rcvbuf-stage byte-weighted mean (s)",
+	Checks: Checks{
+		MinR2: 0.97, SlopeLo: 0.8, SlopeHi: 1.25,
+		InterceptMax: 0.012, Monotone: true, MonotoneTol: 0.002,
+	},
+	Collect: func(seed int64, short bool) []Obs {
+		periods := pick(short,
+			[]units.Duration{10, 20, 40, 80, 160},
+			[]units.Duration{10, 40, 160})
+		var obs []Obs
+		for _, period := range periods {
+			period := period * units.Millisecond
+			wf := waterfall.New()
+			cfg := exp.ScenarioConfig{
+				Seed: seed, Rate: 5 * units.Mbps, RTT: 20 * units.Millisecond,
+				Duration:  dur(short, 4*units.Second),
+				Flows:     []exp.FlowSpec{{Idle: true}},
+				Waterfall: wf,
+			}
+			s := exp.Build(cfg)
+			conn := s.Flows[0].Conn
+			s.Eng.Spawn("writer", func(p *sim.Proc) {
+				for p.Now() < units.Time(cfg.Duration) {
+					if conn.Sender.Write(p, 8<<10) == 0 {
+						return
+					}
+				}
+			})
+			s.Eng.Spawn("paced-reader", func(p *sim.Proc) {
+				for {
+					p.Sleep(period)
+					if conn.Receiver.Read(p, 1<<20) == 0 {
+						return
+					}
+				}
+			})
+			s.Run()
+			y := s.Flows[0].WF.Breakdown().Stage[waterfall.StageRcvbuf].Mean.Seconds()
+			obs = append(obs, Obs{X: twin.PacedReadDelay(period).Seconds(), Y: y, Seed: seed})
+		}
+		return obs
+	},
+}

@@ -1,0 +1,132 @@
+// Package twin holds the analytical twin of the simulator: closed-form
+// expectations for the delay each waterfall stage should impose, derived
+// from first principles (queueing theory, the Linux auto-tuning rule, link
+// arithmetic) rather than from the simulator's own code. The hypothesis
+// harness (internal/hypotheses) fits multi-seed simulator output against
+// these models; a refactor that silently bends the physics diverges from
+// the twin and fails the conformance gate.
+//
+// The models deliberately live in a package that imports nothing from the
+// simulator's data path — only units — so they cannot inherit a bug from
+// the code they are meant to check.
+package twin
+
+import "element/internal/units"
+
+// WireDelay is the wire-stage law: serialization plus propagation for one
+// packet of the given size over a link of the given rate,
+//
+//	d_wire = bytes·8/rate + propagation.
+//
+// The queue-exit→receiver-TCP interval the waterfall attributes as "wire"
+// is exactly this for every delivered packet (jitter off).
+func WireDelay(bytes int, rate units.Rate, propagation units.Duration) units.Duration {
+	return rate.TransmissionTime(bytes) + propagation
+}
+
+// MG1Wait is the Pollaczek–Khinchine mean waiting time (time in queue,
+// excluding service) of an M/G/1 queue: Poisson arrivals at lambda jobs/s
+// into a single server with service-time first and second moments es and
+// es2 (seconds and seconds²):
+//
+//	W_q = λ·E[S²] / (2·(1−ρ)),  ρ = λ·E[S].
+//
+// A rate-limited link with a FIFO discipline is exactly this server; the
+// M/M/1 law is the special case E[S²] = 2·E[S]². An overloaded (ρ ≥ 1) or
+// empty system reports -1 (no steady state).
+func MG1Wait(lambda, es, es2 float64) float64 {
+	rho := lambda * es
+	if lambda <= 0 || rho >= 1 {
+		return -1
+	}
+	return lambda * es2 / (2 * (1 - rho))
+}
+
+// ShiftedExpMoments reports E[S] and E[S²] of a shifted exponential
+// service time S = c + E, E ~ Exp(mean m): the service distribution of a
+// link serializing packets with a fixed header (c seconds on the wire)
+// plus an exponentially-sized payload (mean m seconds).
+func ShiftedExpMoments(c, m float64) (es, es2 float64) {
+	return c + m, c*c + 2*c*m + 2*m*m
+}
+
+// StandingQueueDelay is the drop-tail bufferbloat law: a loss-based bulk
+// flow keeps a drop-tail bottleneck queue of limit qPackets standing, so
+// queue residency approaches the full drain time
+//
+//	d_queue ≈ fill · qPackets · pktBytes · 8 / rate,
+//
+// with fill the average occupancy fraction. The sawtooth of a loss-based
+// controller keeps fill below 1 but well above 1/2; callers state the
+// band they accept.
+func StandingQueueDelay(qPackets, pktBytes int, rate units.Rate, fill float64) units.Duration {
+	return units.DurationFromSeconds(fill * float64(qPackets) * float64(pktBytes) * 8 / float64(rate))
+}
+
+// AutotuneOccupancy is the Linux send-buffer auto-tuning law the paper
+// leans on (§2): the kernel grows SO_SNDBUF toward twice the congestion
+// window, so a saturated writer keeps
+//
+//	occupancy ≈ 2 · cwnd · mss
+//
+// bytes in the send buffer. The growth is monotone (grow-only), so the
+// law tracks the largest window seen so far, not the instantaneous one.
+func AutotuneOccupancy(cwndSegs, mss int) int {
+	return 2 * cwndSegs * mss
+}
+
+// SndbufDelay is the pinned-SO_SNDBUF law: with the socket buffer capped
+// at bufBytes and the path saturated, a newly written byte finds the
+// buffer full and drains at the bottleneck rate,
+//
+//	d_sndbuf ≈ (bufBytes − inflight) · 8 / rate,
+//
+// where inflight (≈ one BDP) has already left the socket. Callers that
+// sweep bufBytes well above the BDP may drop the inflight term and accept
+// the slope alone.
+func SndbufDelay(bufBytes, inflightBytes int, rate units.Rate) units.Duration {
+	waiting := bufBytes - inflightBytes
+	if waiting < 0 {
+		waiting = 0
+	}
+	return units.DurationFromSeconds(float64(waiting) * 8 / float64(rate))
+}
+
+// ReassemblyDelay is the small-loss reassembly law: an i.i.d. loss of
+// probability p holds the in-flight bytes behind the hole in the
+// receiver's reassembly queue for roughly the retransmission recovery
+// time. With W bytes in flight and segments of mss bytes, a fraction
+// ≈ p·W/mss of segments is preceded by a hole per loss event, each
+// waiting ≈ recovery, so the per-byte mean is linear in p:
+//
+//	d_reassembly ≈ p · (W/mss) · recovery.
+//
+// The law holds for small p (isolated losses); the harness checks slope
+// and linearity over p ≤ a few percent.
+func ReassemblyDelay(p float64, inflightBytes, mss int, recovery units.Duration) units.Duration {
+	if mss <= 0 {
+		return 0
+	}
+	return units.Duration(p * float64(inflightBytes) / float64(mss) * float64(recovery))
+}
+
+// RetxWait is the small-loss retransmit-wait law: only the lost segment
+// itself re-enters the transmit path, waiting ≈ recovery between its
+// first and delivering transmissions, so the byte-weighted mean across
+// the stream is
+//
+//	d_retx ≈ p · recovery.
+func RetxWait(p float64, recovery units.Duration) units.Duration {
+	return units.Duration(p * float64(recovery))
+}
+
+// PacedReadDelay is the rcvbuf law for a reader that drains the socket
+// every period while the network delivers continuously: arrivals land
+// uniformly within the read period, so a delivered byte waits
+//
+//	d_rcvbuf ≈ period / 2
+//
+// in the receive buffer on average.
+func PacedReadDelay(period units.Duration) units.Duration {
+	return period / 2
+}

@@ -1,0 +1,106 @@
+package twin
+
+import (
+	"math"
+	"testing"
+
+	"element/internal/units"
+)
+
+func TestWireDelay(t *testing.T) {
+	// 1500 bytes at 12 Mbps = 1 ms serialization, plus 25 ms propagation.
+	got := WireDelay(1500, 12*units.Mbps, 25*units.Millisecond)
+	if got != 26*units.Millisecond {
+		t.Fatalf("WireDelay = %v, want 26ms", got)
+	}
+}
+
+func TestMG1Wait(t *testing.T) {
+	// M/M/1 special case: E[S²] = 2·E[S]² ⇒ W_q = ρ/(μ−λ).
+	es := 0.01 // 10 ms service
+	es2 := 2 * es * es
+	lambda := 50.0 // ρ = 0.5
+	want := 0.5 / (100 - 50)
+	if got := MG1Wait(lambda, es, es2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MG1Wait = %v, want %v", got, want)
+	}
+	// Deterministic service halves the wait (M/D/1).
+	if got := MG1Wait(lambda, es, es*es); math.Abs(got-want/2) > 1e-12 {
+		t.Fatalf("M/D/1 wait = %v, want %v", got, want/2)
+	}
+	if got := MG1Wait(200, es, es2); got != -1 {
+		t.Fatalf("overloaded MG1Wait = %v, want -1", got)
+	}
+}
+
+func TestMG1WaitMonotoneInLoad(t *testing.T) {
+	es := 0.001
+	es2 := 2 * es * es
+	prev := 0.0
+	for _, lam := range []float64{100, 300, 500, 700, 900} {
+		w := MG1Wait(lam, es, es2)
+		if w <= prev {
+			t.Fatalf("W_q not increasing at λ=%v: %v after %v", lam, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestShiftedExpMoments(t *testing.T) {
+	es, es2 := ShiftedExpMoments(0, 0.5)
+	if es != 0.5 || math.Abs(es2-0.5) > 1e-12 {
+		t.Fatalf("pure exponential moments = %v, %v", es, es2)
+	}
+	es, es2 = ShiftedExpMoments(1, 0)
+	if es != 1 || es2 != 1 {
+		t.Fatalf("deterministic moments = %v, %v", es, es2)
+	}
+}
+
+func TestStandingQueueDelay(t *testing.T) {
+	// 100 full-size packets at 10 Mbps, full queue: 120 ms.
+	got := StandingQueueDelay(100, 1500, 10*units.Mbps, 1)
+	if math.Abs(got.Seconds()-0.12) > 1e-9 {
+		t.Fatalf("StandingQueueDelay = %v, want 120ms", got)
+	}
+}
+
+func TestAutotuneOccupancy(t *testing.T) {
+	if got := AutotuneOccupancy(10, 1448); got != 28960 {
+		t.Fatalf("AutotuneOccupancy = %d", got)
+	}
+}
+
+func TestSndbufDelay(t *testing.T) {
+	// 100 KB waiting beyond inflight at 10 Mbps = 80 ms.
+	got := SndbufDelay(150_000, 50_000, 10*units.Mbps)
+	if math.Abs(got.Seconds()-0.08) > 1e-9 {
+		t.Fatalf("SndbufDelay = %v", got)
+	}
+	if got := SndbufDelay(10_000, 50_000, 10*units.Mbps); got != 0 {
+		t.Fatalf("inflight beyond buffer should clamp to 0, got %v", got)
+	}
+}
+
+func TestLossLawsLinearInP(t *testing.T) {
+	rtt := 40 * units.Millisecond
+	for _, p := range []float64{0.001, 0.01, 0.02} {
+		r := ReassemblyDelay(p, 16000, 1448, rtt)
+		want := units.Duration(p * 16000 / 1448 * float64(rtt))
+		if r != want {
+			t.Fatalf("ReassemblyDelay(%v) = %v, want %v", p, r, want)
+		}
+		if got := RetxWait(p, rtt); got != units.Duration(p*float64(rtt)) {
+			t.Fatalf("RetxWait(%v) = %v", p, got)
+		}
+	}
+	if ReassemblyDelay(0.01, 16000, 0, rtt) != 0 {
+		t.Fatal("zero mss must not divide by zero")
+	}
+}
+
+func TestPacedReadDelay(t *testing.T) {
+	if got := PacedReadDelay(40 * units.Millisecond); got != 20*units.Millisecond {
+		t.Fatalf("PacedReadDelay = %v", got)
+	}
+}
