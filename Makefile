@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test bench bench-smoke bench-baseline bench-gate soak soak-short soak-overload soak-overload-short conformance conformance-short
+.PHONY: check fmt vet staticcheck build test bench bench-smoke bench-baseline bench-gate soak soak-short soak-overload soak-overload-short soak-scale soak-scale-short conformance conformance-short
 
 ## check: the full local gate — format, vet, staticcheck, build,
-## race-enabled tests, the CI-sized overload soak, and the CI-sized
-## conformance gate.
-check: fmt vet staticcheck build test soak-overload-short conformance-short
+## race-enabled tests, the CI-sized overload and scale soaks, and the
+## CI-sized conformance gate.
+check: fmt vet staticcheck build test soak-overload-short soak-scale-short conformance-short
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -79,6 +79,18 @@ soak-overload:
 ## soak-overload-short: the CI-sized overload soak (one seed, ~seconds).
 soak-overload-short:
 	$(GO) test -race -timeout 10m -run TestFleetOverloadSoakShort -v ./internal/fleet/
+
+## soak-scale: the million-monitor-mode scale soak — 100k closed-form
+## flows through the per-shard event loops (hashed timer wheel, SoA
+## lite columns, budget-gated two-phase escalation) under the race
+## detector, asserting zero goroutine leaks and a byte-identical result
+## across two different shard counts of the same seed.
+soak-scale:
+	$(GO) test -race -timeout 30m -run 'TestFleetScaleSoak$$' -v ./internal/fleet/
+
+## soak-scale-short: the CI-sized scale soak (10k flows).
+soak-scale-short:
+	$(GO) test -race -short -timeout 10m -run 'TestFleetScaleSoak$$' -v ./internal/fleet/
 
 ## bench: every table/figure benchmark plus the overhead ablations.
 bench:

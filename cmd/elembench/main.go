@@ -125,13 +125,24 @@ func main() {
 			fmt.Printf("--- metrics (%s) ---\n", e.ID)
 			trackerNs := printCost(elapsed, memAfter.Mallocs-memBefore.Mallocs,
 				memAfter.TotalAlloc-memBefore.TotalAlloc, pollCount(exp.DefaultTelemetry))
-			if !printStreamCost(trackerNs) {
+			// The overhead budgets below are defined against a full
+			// tracker poll (~2.8 µs in the baseline). Experiments whose
+			// poll population is dominated by the scale mode's lite
+			// polls (a few hundred ns each) would misnormalize the
+			// fraction — a cheaper fleet must not read as a more
+			// expensive pipeline — so the baseline never drops below a
+			// nominal full poll.
+			budgetNs := trackerNs
+			if budgetNs > 0 && budgetNs < nominalTrackerPollNs {
+				budgetNs = nominalTrackerPollNs
+			}
+			if !printStreamCost(budgetNs) {
 				failed++
 			}
-			if !printReqtraceCost(trackerNs) {
+			if !printReqtraceCost(budgetNs) {
 				failed++
 			}
-			if !printGovernorCost(trackerNs) {
+			if !printGovernorCost(budgetNs) {
 				failed++
 			}
 			if err := exp.DefaultTelemetry.Export(os.Stdout, telemetry.FormatText); err != nil {
@@ -180,6 +191,11 @@ func main() {
 // natural "op" to normalize the run's cost by: one poll is one iteration
 // of the Algorithm 1/2 tracking thread, the hot path the paper's
 // overhead argument is about.
+// nominalTrackerPollNs is the overhead checks' normalization floor: a
+// conservative full SenderTracker poll cost (the baseline's
+// BenchmarkTrackerOverhead/telemetry=off measures ~2.8 µs).
+const nominalTrackerPollNs = 2000
+
 func pollCount(telem *telemetry.Telemetry) uint64 {
 	if telem == nil {
 		return 0

@@ -94,6 +94,8 @@ func main() {
 		minimize  = flag.Bool("minimize", false, "run the Algorithm 3 minimizer on every monitor")
 		cpEvery   = flag.Float64("checkpoint-every", 500, "checkpoint cadence in ms (negative disables)")
 		shards    = flag.Int("shards", 0, "parallel shard count (0 = one per core, 1 = single-threaded); results are identical for any value")
+		eventLoop = flag.Bool("event-loop", false, "drive monitors from per-shard event loops (hashed timer wheel) instead of per-monitor goroutines; results are identical")
+		scaleN    = flag.Int("scale", 0, "million-monitor mode: run N closed-form flows through per-shard event loops with two-phase escalation (replaces the simulated-stack fleet; honors -seed -dur -interval -shards -escalate -window-ms and the -budget-* flags)")
 
 		openWindow = flag.Float64("open-window", 1, "stagger connection opens over this many seconds")
 		closeFrac  = flag.Float64("close-frac", 0.25, "fraction of connections closing early")
@@ -147,6 +149,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *scaleN > 0 {
+		runScale(*scaleN, *seed, *dur, *interval, *shards, *escalate, *windowMs,
+			*budgetLive, *budgetSamp, *budgetSketch, *streamOn, *metrics, *snapOut, *snapIn)
+		return
+	}
+
 	cfg := fleet.Config{
 		Seed:            *seed,
 		Connections:     *conns,
@@ -158,6 +166,7 @@ func main() {
 		Minimize:        *minimize,
 		Shards:          *shards,
 		CheckpointEvery: units.DurationFromSeconds(*cpEvery / 1e3),
+		EventLoop:       *eventLoop,
 		Churn: fleet.ChurnConfig{
 			OpenWindow: units.DurationFromSeconds(*openWindow),
 			CloseFrac:  *closeFrac,
@@ -369,5 +378,81 @@ func main() {
 	if v := res.Violations(); v != 0 {
 		fmt.Fprintf(os.Stderr, "elemfleet: %d bounded-or-flagged violations\n", v)
 		os.Exit(1)
+	}
+}
+
+// runScale is the -scale entry point: the million-monitor mode. The
+// simulated stack is replaced by closed-form flows, so the only
+// per-flow cost is the lite poll column sweep; escalated flows get the
+// same full SenderTracker the big fleet uses.
+func runScale(flows int, seed int64, dur, intervalMs float64, shards int, escalateMs, windowMs float64, budgetLive, budgetSamp, budgetSketch int, streamOn, metrics bool, snapOut, snapIn string) {
+	cfg := fleet.ScaleConfig{
+		Seed:     seed,
+		Flows:    flows,
+		Duration: units.DurationFromSeconds(dur),
+		Interval: units.DurationFromSeconds(intervalMs / 1e3),
+		Shards:   shards,
+		Window:   units.DurationFromSeconds(windowMs / 1e3),
+	}
+	if escalateMs > 0 {
+		cfg.EscalateAbove = units.DurationFromSeconds(escalateMs / 1e3)
+	}
+	if budgetLive > 0 || budgetSamp > 0 || budgetSketch > 0 {
+		cfg.Overload = &overload.Config{Budgets: overload.Budgets{
+			LiveFull:        budgetLive,
+			RetainedSamples: budgetSamp,
+			SketchBytes:     budgetSketch,
+		}}
+	}
+	if streamOn {
+		cfg.Sink = stream.NewTextExporter(os.Stdout)
+	}
+	var telem *telemetry.Telemetry
+	if metrics {
+		telem = telemetry.New()
+		cfg.Telem = telem
+	}
+	if snapIn != "" {
+		raw, err := os.ReadFile(snapIn)
+		if err == nil {
+			cfg.Resume, err = fleet.UnmarshalScaleSnapshot(raw)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: resume:", err)
+			os.Exit(1)
+		}
+	}
+
+	fl := fleet.NewScale(cfg)
+	res := fl.Run()
+	fmt.Printf("scale{flows=%d shards=%d polls=%d tracker_polls=%d flagged=%d}\n",
+		res.Flows, shards, res.Polls, res.TrackerPolls, res.Flagged)
+	fmt.Printf("escalation{escalations=%d demotions=%d false_alarms=%d escalated=%d restores=%d retained=%d}\n",
+		res.Escalations, res.Demotions, res.FalseAlarms, res.Escalated, res.Restores, res.RetainedSamples)
+	fmt.Printf("stream{windows=%d late=%d} snd_p50=%.1fms snd_p99=%.1fms rcv_p99=%.1fms\n",
+		res.StreamWindows, res.StreamLate, res.SndP50*1e3, res.SndP99*1e3, res.RcvP99*1e3)
+	if cfg.Overload != nil {
+		tc := res.TierCounts
+		fmt.Printf("overload{sheds=%d reclaims=%d parked_skips=%d tiers=[full=%d sketch=%d counters=%d parked=%d]}\n",
+			res.Sheds, res.Reclaims, res.ParkedSkips,
+			tc[overload.TierFull], tc[overload.TierSketch], tc[overload.TierCounters], tc[overload.TierParked])
+	}
+	if res.StreamErr != nil {
+		fmt.Fprintln(os.Stderr, "elemfleet: stream:", res.StreamErr)
+		os.Exit(1)
+	}
+	if telem != nil {
+		telem.WriteText(os.Stdout)
+	}
+	if snapOut != "" {
+		raw, err := fl.Snapshot().Marshal()
+		if err == nil {
+			err = os.WriteFile(snapOut, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elemfleet: snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot: %d flows -> %s\n", res.Flows, snapOut)
 	}
 }

@@ -1,0 +1,91 @@
+package core
+
+import "element/internal/units"
+
+// Lite poll entry points: the struct-of-arrays-friendly distillation of
+// Algorithm 1/2 for the fleet's million-monitor mode. A full tracker
+// carries a ring FIFO, a sanitizer and checkpoint state — right for an
+// escalated flow, two orders of magnitude too heavy to keep per flow at
+// 10^6 concurrent monitors. LitePoll is the few-bytes-per-flow phase:
+// a pure function over scalar state the caller keeps in parallel arrays
+// (previous cumulative counter + smoothed drain rate, 16 bytes), so a
+// shard can batch-poll a packed column of flows with no pointer chasing
+// and no allocation.
+//
+// The estimate is the same quantity the trackers bound: buffer residence
+// time ≈ backlog / drain rate. For the send side, pass the cumulative
+// bytes written and acked; the symmetric receive-side call passes bytes
+// delivered and bytes read. Like the full trackers, LitePoll never
+// returns a silently wrong number: polls whose inputs are untrustworthy
+// (counter regression, a stall with no measurable drain rate) come back
+// flagged, the lite analogue of ConfidenceLow.
+
+// LiteRateAlpha is the drain-rate EWMA gain — the same 1/8 smoothing
+// family TCP uses for SRTT.
+const LiteRateAlpha = 0.125
+
+// LitePoll advances one flow's lightweight delay estimate by one poll.
+//
+//	enqueued  — cumulative bytes that entered the buffer (written, or
+//	            delivered for the receive side)
+//	drained   — cumulative bytes that left it (acked, or read)
+//	prevDrained, prevRate — the flow's scalar state from the last poll
+//	dt        — time since the last poll
+//
+// It returns the delay estimate, the updated rate state, and whether
+// the sample is flagged. Callers persist (drained, rate) back into
+// their arrays; nothing else carries over between polls.
+func LitePoll(enqueued, drained, prevDrained uint64, prevRate float64, dt units.Duration) (delay units.Duration, rate float64, flagged bool) {
+	if dt <= 0 {
+		return 0, prevRate, true
+	}
+	if drained < prevDrained || enqueued < drained {
+		// Counter anomaly — a reset or fabricated snapshot. No estimate
+		// this poll; keep the rate state untouched.
+		return 0, prevRate, true
+	}
+	inst := float64(drained-prevDrained) / dt.Seconds()
+	if prevRate <= 0 {
+		rate = inst
+	} else {
+		rate = prevRate + LiteRateAlpha*(inst-prevRate)
+	}
+	backlog := enqueued - drained
+	if backlog == 0 {
+		return 0, rate, false
+	}
+	if rate <= 0 {
+		// Backlog with no observed drain: the delay is unbounded from
+		// below. Report the poll interval as the widening floor and flag
+		// it — the caller's escalation trigger treats flagged polls as
+		// pressure, mirroring the full tracker's stall handling.
+		return dt, rate, true
+	}
+	d := float64(backlog) / rate * float64(units.Second)
+	if d > float64(liteDelayCap) {
+		return liteDelayCap, rate, true
+	}
+	return units.Duration(d), rate, false
+}
+
+// liteDelayCap bounds a single lite estimate: a backlog over a
+// near-zero smoothed rate extrapolates to hours, which is noise, not
+// measurement. Estimates at the cap are flagged.
+const liteDelayCap = 10 * units.Minute
+
+// LiteEscalate advances a flow's O(1) escalation streak and reports
+// whether the flow should promote to a full tracker. It is the
+// lightweight stand-in for the windowed stream.Escalator rules (which
+// need a per-flow sketch): a poll counts as hot when its delay crosses
+// the threshold or it is flagged, and `after` consecutive hot polls
+// trip. One byte of state per flow.
+func LiteEscalate(streak uint8, delay units.Duration, flagged bool, threshold units.Duration, after uint8) (newStreak uint8, escalate bool) {
+	hot := flagged || (threshold > 0 && delay > threshold)
+	if !hot {
+		return 0, false
+	}
+	if streak < 255 {
+		streak++
+	}
+	return streak, streak >= after && after > 0
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"element/internal/units"
+)
+
+// TestLitePollTracksSteadyBacklog: at a constant drain rate r with a
+// constant backlog B, the estimate must converge to B/r — the same
+// quantity Algorithm 1 bounds.
+func TestLitePollTracksSteadyBacklog(t *testing.T) {
+	const rate = 1_000_000.0 // B/s
+	const backlog = 50_000.0 // B → 50 ms true delay
+	dt := 10 * units.Millisecond
+	var drained uint64
+	var est float64
+	var delay units.Duration
+	for i := 0; i < 200; i++ {
+		next := drained + uint64(rate*dt.Seconds())
+		var flagged bool
+		delay, est, flagged = LitePoll(next+backlog, next, drained, est, dt)
+		if flagged {
+			t.Fatalf("poll %d flagged on clean steady input", i)
+		}
+		drained = next
+	}
+	want := 50 * units.Millisecond
+	if diff := delay - want; diff < -units.Millisecond || diff > units.Millisecond {
+		t.Fatalf("steady-state delay = %v, want ~%v", delay, want)
+	}
+}
+
+// TestLitePollFlagsAnomalies: the bounded-or-flagged contract carries
+// over — untrustworthy inputs flag rather than skew.
+func TestLitePollFlagsAnomalies(t *testing.T) {
+	dt := 10 * units.Millisecond
+	cases := []struct {
+		name                         string
+		enq, drained, prev           uint64
+		prevRate                     float64
+		wantDelay                    units.Duration
+		wantFlag                     bool
+		checkDelay, wantRateUnharmed bool
+	}{
+		{name: "counter regression", enq: 100, drained: 40, prev: 60, prevRate: 5e5,
+			wantFlag: true, wantRateUnharmed: true},
+		{name: "drained beyond enqueued", enq: 100, drained: 150, prev: 90, prevRate: 5e5,
+			wantFlag: true, wantRateUnharmed: true},
+		{name: "stall with backlog", enq: 1000, drained: 500, prev: 500, prevRate: 0,
+			wantFlag: true, checkDelay: true, wantDelay: dt},
+		{name: "empty buffer", enq: 500, drained: 500, prev: 400, prevRate: 1e5,
+			wantFlag: false, checkDelay: true, wantDelay: 0},
+	}
+	for _, tc := range cases {
+		delay, rate, flagged := LitePoll(tc.enq, tc.drained, tc.prev, tc.prevRate, dt)
+		if flagged != tc.wantFlag {
+			t.Errorf("%s: flagged = %v, want %v", tc.name, flagged, tc.wantFlag)
+		}
+		if tc.checkDelay && delay != tc.wantDelay {
+			t.Errorf("%s: delay = %v, want %v", tc.name, delay, tc.wantDelay)
+		}
+		if tc.wantRateUnharmed && rate != tc.prevRate {
+			t.Errorf("%s: rate state mutated to %v on an anomalous poll", tc.name, rate)
+		}
+	}
+	// Zero dt can never divide: flagged, no estimate.
+	if _, _, flagged := LitePoll(10, 5, 0, 0, 0); !flagged {
+		t.Errorf("dt=0 not flagged")
+	}
+}
+
+// TestLitePollCapsRunaway: a huge backlog over a vanishing rate clamps
+// at the cap and flags instead of reporting an hours-long "estimate".
+func TestLitePollCapsRunaway(t *testing.T) {
+	delay, _, flagged := LitePoll(1<<40, 0, 0, 0.001, 10*units.Millisecond)
+	if !flagged || delay != 10*units.Minute {
+		t.Fatalf("runaway poll = (%v, flagged=%v), want capped+flagged", delay, flagged)
+	}
+}
+
+// TestLitePollWidensUnderStall mirrors the full tracker's stall
+// behaviour directionally: while drain progress stops, successive
+// estimates must not shrink.
+func TestLitePollWidensUnderStall(t *testing.T) {
+	dt := 10 * units.Millisecond
+	var est float64 = 1e6
+	var drained uint64 = 1_000_000
+	enq := drained
+	last := units.Duration(0)
+	for i := 0; i < 50; i++ {
+		enq += 10_000 // writer keeps writing, nothing drains
+		delay, rate, _ := LitePoll(enq, drained, drained, est, dt)
+		if delay < last {
+			t.Fatalf("poll %d: stall delay shrank %v → %v", i, last, delay)
+		}
+		last, est = delay, rate
+	}
+	if last < 100*units.Millisecond {
+		t.Fatalf("stall delay only reached %v; EWMA should decay toward a growing estimate", last)
+	}
+}
+
+// TestLiteEscalate pins the O(1) trigger semantics: `after` consecutive
+// hot polls trip, any clean poll resets, and the streak saturates
+// without wrapping.
+func TestLiteEscalate(t *testing.T) {
+	th := 100 * units.Millisecond
+	var streak uint8
+	var esc bool
+	for i := 0; i < 7; i++ {
+		streak, esc = LiteEscalate(streak, 200*units.Millisecond, false, th, 8)
+		if esc {
+			t.Fatalf("escalated after %d hot polls, want 8", i+1)
+		}
+	}
+	if streak, esc = LiteEscalate(streak, 200*units.Millisecond, false, th, 8); !esc {
+		t.Fatalf("not escalated after 8 hot polls (streak %d)", streak)
+	}
+	// A flagged poll is hot even below threshold.
+	if s, _ := LiteEscalate(0, 0, true, th, 8); s != 1 {
+		t.Fatalf("flagged poll streak = %d, want 1", s)
+	}
+	// Clean poll resets.
+	if s, _ := LiteEscalate(5, 10*units.Millisecond, false, th, 8); s != 0 {
+		t.Fatalf("clean poll streak = %d, want 0", s)
+	}
+	// Saturation: no uint8 wrap back below `after`.
+	s := uint8(255)
+	if s, esc = LiteEscalate(s, 200*units.Millisecond, false, th, 8); s != 255 || !esc {
+		t.Fatalf("saturated streak = (%d, %v), want (255, true)", s, esc)
+	}
+}
+
+// TestLitePollZeroAlloc: the batch poll path must not allocate.
+func TestLitePollZeroAlloc(t *testing.T) {
+	dt := 10 * units.Millisecond
+	var drained uint64 = 1000
+	var est float64
+	avg := testing.AllocsPerRun(200, func() {
+		_, est, _ = LitePoll(drained+5000, drained, drained-1000, est, dt)
+		drained += 1000
+	})
+	if avg != 0 {
+		t.Fatalf("LitePoll allocates %.1f/op, want 0", avg)
+	}
+}

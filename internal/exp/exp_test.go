@@ -339,7 +339,7 @@ func TestOverloadShape(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "tab1", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig13", "fig14", "fig15", "fig16", "fig18", "tab_cpu", "degraded",
-		"fleet", "stream", "tail", "overload"}
+		"fleet", "stream", "tail", "overload", "scale"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}

@@ -59,6 +59,8 @@ var Registry = []Experiment{
 		"fan-out fleets over degree × cc × qdisc with request-scoped span trees: per-stage p50/p99/p999 decomposition, sibwait, critical-path spread", Tail},
 	{"overload", "Overload governor: budgeted shedding and backpressured export",
 		"unbudgeted vs budgeted vs budgeted+flapping-sink fleets: degradation-ladder sheds and reclaims, widened-but-flagged bounds, queue retry/backoff accounting", Overload},
+	{"scale", "Million-monitor fleet: event-loop polling with two-phase escalation",
+		"closed-form flows on per-shard timer wheels at 10k-100k scale: escalation funnel, merged quantiles, per-poll cost independent of fleet size", Scale},
 }
 
 // Register appends an experiment contributed by a higher layer. The

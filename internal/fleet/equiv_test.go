@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"element/internal/testutil"
+	"element/internal/units"
+	"element/internal/waterfall"
+)
+
+// TestFleetEventLoopEquivalence runs the same seeded mid-size fleet in
+// goroutine mode and event-loop mode and demands identical sample
+// series, anomaly counts and waterfall aggregates.
+//
+// The two modes are exactly equivalent when every poll lands on the
+// same virtual instant in both: the wheel quantizes deadlines up to
+// the poll interval, so the config keeps all poll times on the
+// interval grid — opens at t=0 (OpenWindow 0) and no crash restarts
+// (backoff jitter lands off-grid; CrashFrac 0). Stalls and early
+// closes stay in: the watchdog cadence (10 intervals) and the recycle
+// restart (immediate) are grid-aligned, so wedge/recycle behaviour
+// must match sample-for-sample. Crash/backoff behaviour in event-loop
+// mode is pinned separately by the shard-count invariance tests.
+func TestFleetEventLoopEquivalence(t *testing.T) {
+	testutil.NoLeaks(t)
+	run := func(eventLoop bool) (*Result, waterfall.Breakdown) {
+		wf := waterfall.New()
+		cfg := Config{
+			Seed:        47,
+			Connections: 16,
+			Duration:    4 * units.Second,
+			Shards:      4,
+			EventLoop:   eventLoop,
+			Churn: ChurnConfig{
+				StallFrac: 0.4,
+				CloseFrac: 0.4,
+			},
+			Waterfall: wf,
+		}
+		res := New(cfg).Run()
+		return res, wf.Aggregate()
+	}
+	want, wantWF := run(false)
+	got, gotWF := run(true)
+
+	if want.Recycles == 0 {
+		t.Fatal("config exercised no watchdog recycles; equivalence vacuous for the supervisor")
+	}
+	if want.Restarts != got.Restarts || want.Crashes != got.Crashes ||
+		want.Recycles != got.Recycles || want.Checkpoints != got.Checkpoints ||
+		want.Evictions != got.Evictions || want.Restores != got.Restores {
+		t.Fatalf("supervisor counters diverge:\n  goroutine: %v\n  event-loop: %v", want, got)
+	}
+	for i := range want.Conns {
+		cw, cg := want.Conns[i], got.Conns[i]
+		if cw.Anomalies != cg.Anomalies {
+			t.Fatalf("conn %d anomaly counts diverge:\n  goroutine: %+v\n  event-loop: %+v",
+				i, cw.Anomalies, cg.Anomalies)
+		}
+		if cw.Restarts != cg.Restarts || cw.Crashes != cg.Crashes || cw.Recycles != cg.Recycles ||
+			cw.Closed != cg.Closed || cw.GoodputBps != cg.GoodputBps {
+			t.Fatalf("conn %d counters diverge:\n  goroutine: %+v\n  event-loop: %+v", i, cw, cg)
+		}
+		if err := sameSeries(cw.SndLog, cg.SndLog); err != nil {
+			t.Fatalf("conn %d sender series: %v", i, err)
+		}
+		if err := sameSeries(cw.RcvLog, cg.RcvLog); err != nil {
+			t.Fatalf("conn %d receiver series: %v", i, err)
+		}
+		if len(cw.SndLog) == 0 {
+			t.Fatalf("conn %d produced no sender samples; equivalence vacuous", i)
+		}
+	}
+	if !reflect.DeepEqual(wantWF, gotWF) {
+		t.Fatalf("waterfall aggregates diverge:\n  goroutine: %+v\n  event-loop: %+v", wantWF, gotWF)
+	}
+}

@@ -1,0 +1,706 @@
+package fleet
+
+import (
+	"sync"
+
+	"element/internal/core"
+	"element/internal/overload"
+	"element/internal/sim"
+	"element/internal/telemetry"
+	"element/internal/telemetry/stream"
+	"element/internal/units"
+)
+
+// Scale mode: the million-monitor fleet. The full Fleet simulates every
+// connection through the packet stack and spends a goroutine-free but
+// still heavyweight monitor (trackers, sanitizers, ground-truth
+// collectors) per connection; that tops out around 10^4 connections per
+// process. ScaleFleet is the same supervision architecture — sharded
+// event loops, barrier-synchronized streaming telemetry, the overload
+// governor — applied to 10^6 flows by inverting the default
+// granularity: every flow starts in the lightweight phase (16 bytes of
+// lite-poll state in struct-of-arrays columns, a hashed timer wheel
+// deadline, windowed sketch aggregation) and only flows whose lite
+// estimates trip the escalation trigger are promoted to a full
+// SenderTracker with a retained measurement series — the two-phase
+// Dapper-style design from the streaming layer, at fleet scale.
+//
+// Workload counters come from the closed-form synthetic flows in
+// synth.go, so every observable is a pure function of (seed, flow id,
+// time). Two consequences the tests pin: a run's merged stream export
+// is byte-identical for any shard count, and per-flow decisions
+// (escalation, demotion, governor tiers) never depend on shard layout.
+
+// ScaleConfig parameterizes a scale-mode run. Zero values select the
+// defaults noted per field.
+type ScaleConfig struct {
+	// Seed derives every flow's workload parameters.
+	Seed int64
+	// Flows is the number of concurrent monitored flows.
+	Flows int
+	// Duration is the virtual run length (default 10 s).
+	Duration units.Duration
+	// Interval is the per-flow lite poll period (default 100 ms — the
+	// fleet-scale setting; escalated flows poll every wheel tick).
+	Interval units.Duration
+	// Shards is the worker count (default 1). Results are invariant.
+	Shards int
+
+	// EscalateAbove is the lite delay threshold that arms the
+	// escalation streak (default 35 ms: above the synthetic workload's
+	// normal wobble, below every burst). Negative disables escalation.
+	EscalateAbove units.Duration
+	// EscalateAfter is how many consecutive hot lite polls promote a
+	// flow to a full tracker (default 2).
+	EscalateAfter uint8
+	// DemoteAfter is the false-alarm horizon: an escalated flow whose
+	// windowed rules never confirm within this many stream windows is
+	// demoted and counted in FalseAlarms (default 3).
+	DemoteAfter int
+	// Rules is the windowed demotion policy for escalated flows (zero →
+	// P99Above = EscalateAbove).
+	Rules stream.Rules
+
+	// Window is the stream window width (default 500 ms).
+	Window units.Duration
+	// Sink receives each merged fleet window as it seals (nil = counted
+	// and discarded; quantiles still accumulate into the result).
+	Sink stream.Sink
+
+	// Overload enables the degradation-ladder governor, ticked at every
+	// barrier with Usage.LiveFull reporting the escalated population.
+	Overload *overload.Config
+	// Telem, when set, receives the run's counters (including the
+	// snd_polls/rcv_polls counters the elembench per-poll cost line
+	// reads) after the run completes.
+	Telem *telemetry.Telemetry
+	// Resume restores tiers and escalated-tracker state from a
+	// ScaleSnapshot; flows re-home onto the new shard layout by id.
+	Resume *ScaleSnapshot
+}
+
+func (c ScaleConfig) normalize() ScaleConfig {
+	if c.Flows <= 0 {
+		c.Flows = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * units.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * units.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.Flows {
+		c.Shards = c.Flows
+	}
+	if c.EscalateAbove == 0 {
+		c.EscalateAbove = 35 * units.Millisecond
+	}
+	if c.EscalateAfter == 0 {
+		c.EscalateAfter = 2
+	}
+	if c.DemoteAfter <= 0 {
+		c.DemoteAfter = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 500 * units.Millisecond
+	}
+	if c.Rules == (stream.Rules{}) {
+		c.Rules = stream.Rules{P99Above: c.EscalateAbove}
+	}
+	return c
+}
+
+// gran is the wheel tick width: an eighth of the poll interval when it
+// divides evenly (so per-flow phases spread polls across sub-ticks of
+// the interval instead of thundering on one instant), else the interval
+// itself.
+func (c ScaleConfig) gran() units.Duration {
+	if c.Interval%8 == 0 {
+		return c.Interval / 8
+	}
+	return c.Interval
+}
+
+// slice is the barrier length: ~1/64 of the run, never under one poll
+// interval, rounded up to a whole number of intervals so wheel ticks
+// and barriers share a grid. Barrier times are a pure function of the
+// config — never of the shard count — which is what keeps stream seals
+// and governor ticks shard-invariant.
+func (c ScaleConfig) slice() units.Duration {
+	s := c.Duration / 64
+	if s < c.Interval {
+		s = c.Interval
+	}
+	if r := s % c.Interval; r != 0 {
+		s += c.Interval - r
+	}
+	return s
+}
+
+// scaleFull is the promoted state of one escalated flow: the full
+// tracker over the flow's synthetic socket surface, the windowed
+// demotion escalator, and the retained measurement series that
+// escalation buys back.
+type scaleFull struct {
+	src        *synthSource
+	tr         *core.SenderTracker
+	esc        *stream.Escalator
+	log        []core.Measurement
+	promotedAt units.Time
+	hotSet     bool
+}
+
+// scaleShard is one worker: a bare engine used only as the clock for
+// escalated trackers, the timer wheel, and the lite flow state in
+// packed parallel columns indexed by slot.
+type scaleShard struct {
+	fl  *ScaleFleet
+	eng *sim.Engine
+	wh  *wheel
+	now units.Time
+
+	ids   []int32 // slot → global flow id
+	flows []synthFlow
+
+	// Lite poll state, struct-of-arrays: previous drained counter and
+	// smoothed drain rate per side, escalation streak, last poll
+	// instant, governor tier.
+	sndPrev   []uint64
+	sndRate   []float64
+	rcvPrev   []uint64
+	rcvRate   []float64
+	sndStreak []uint8
+	tier      []uint8
+	lastPoll  []int64
+
+	full map[int32]*scaleFull // slot → escalated state
+
+	stream       *stream.Stream
+	seSnd, seRcv *stream.Series
+
+	// Counters folded into the fleet at drain (shards run in parallel
+	// between barriers, so nothing here touches shared state).
+	polls, flagged, trackerPolls uint64
+	parkedSkips, escalations     uint64
+}
+
+// ScaleResult is a scale run's summary.
+type ScaleResult struct {
+	Flows int
+	// Polls counts lite per-side polls; TrackerPolls the driven polls
+	// of escalated flows' full trackers; Flagged the low-confidence
+	// lite samples.
+	Polls, TrackerPolls, Flagged uint64
+	// Escalations / Demotions count lite-trigger promotions and their
+	// reversals; FalseAlarms is the subset of demotions where the
+	// windowed rules never confirmed the lite trigger. Escalated is the
+	// population still promoted at the end; Restores counts trackers
+	// revived from a snapshot.
+	Escalations, Demotions, FalseAlarms uint64
+	Escalated                           int
+	Restores                            int
+	// RetainedSamples is the measurement-log total retained by
+	// escalated flows at the end.
+	RetainedSamples int
+	// ParkedSkips counts polls suppressed by TierParked.
+	ParkedSkips uint64
+
+	StreamWindows uint64
+	StreamLate    uint64
+	StreamErr     error
+
+	Sheds, Reclaims int
+	TierCounts      [overload.NumTiers]int
+
+	// Run-wide quantiles of the merged delay sketches, in seconds.
+	SndP50, SndP99, RcvP99 float64
+}
+
+// ScaleFleet runs a scale-mode fleet. Build with NewScale, run once
+// with Run.
+type ScaleFleet struct {
+	cfg    ScaleConfig
+	shards []*scaleShard
+	gov    *overload.Governor
+
+	names []string
+	fwin  stream.Window // per-barrier merge scratch
+	total stream.Window // run-wide accumulation of every merged window
+
+	streamWindows uint64
+	streamErr     error
+
+	// demotions/falseAlarms are coordinator-only (demote runs at
+	// barriers); promotions count shard-locally in pollBatch.
+	demotions, falseAlarms uint64
+	restores               int
+
+	// promoteOK gates new promotions. It is written only between
+	// barriers (from the LiveFull budget against the escalated census)
+	// and read by the shard goroutines during a slice, so the gate's
+	// value for any given poll is a pure function of barrier state —
+	// shard-count invariant. While the gate is closed a tripped flow's
+	// streak saturates and re-trips on every poll, so it promotes at
+	// the first barrier that reopens the gate.
+	promoteOK bool
+}
+
+// NewScale builds a scale fleet: flows deal round-robin onto shards
+// (flow id mod shard count — the same id-keyed re-homing rule the big
+// fleet uses, so snapshots restore into any layout), each shard gets a
+// wheel sized for its population, and every flow's first deadline is
+// phase-spread across the interval from its parameter hash.
+func NewScale(cfg ScaleConfig) *ScaleFleet {
+	cfg = cfg.normalize()
+	f := &ScaleFleet{cfg: cfg}
+	gran := cfg.gran()
+	scfg := stream.Config{
+		Width:  cfg.Window,
+		Lag:    cfg.slice(),
+		Retain: int(cfg.slice()/cfg.Window) + 2,
+	}
+	if scfg.Retain < stream.DefaultRetain {
+		scfg.Retain = stream.DefaultRetain
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		n := cfg.Flows / cfg.Shards
+		if s < cfg.Flows%cfg.Shards {
+			n++
+		}
+		sh := &scaleShard{
+			fl:        f,
+			eng:       sim.New(connSeed(cfg.Seed, -1-s)),
+			wh:        newWheel(gran, n, n/4),
+			ids:       make([]int32, n),
+			flows:     make([]synthFlow, n),
+			sndPrev:   make([]uint64, n),
+			sndRate:   make([]float64, n),
+			rcvPrev:   make([]uint64, n),
+			rcvRate:   make([]float64, n),
+			sndStreak: make([]uint8, n),
+			tier:      make([]uint8, n),
+			lastPoll:  make([]int64, n),
+			full:      map[int32]*scaleFull{},
+			stream:    stream.New(scfg),
+		}
+		sh.seSnd = sh.stream.Series("snd_delay")
+		sh.seRcv = sh.stream.Series("rcv_delay")
+		f.shards = append(f.shards, sh)
+	}
+	f.names = f.shards[0].stream.Names()
+	for id := 0; id < cfg.Flows; id++ {
+		sh := f.shards[id%cfg.Shards]
+		slot := int32(id / cfg.Shards)
+		sh.ids[slot] = int32(id)
+		fl := synthParams(cfg.Seed, int32(id))
+		sh.flows[slot] = fl
+		// First deadline: the flow's phase within one interval, plus a
+		// tick so the first dt is strictly positive. The wheel
+		// quantizes up; subsequent polls re-arm at +Interval, keeping
+		// the phase.
+		phase := units.Time(int64(fl.hash%uint64(cfg.Interval)) + int64(gran))
+		sh.wh.arm(slot, phase)
+	}
+	f.promoteOK = true
+	if cfg.Overload != nil {
+		oc := *cfg.Overload
+		if oc.Seed == 0 {
+			oc.Seed = cfg.Seed
+		}
+		if cfg.Resume != nil {
+			f.gov = overload.NewWithTiers(oc, cfg.Resume.tiers(cfg.Flows))
+		} else {
+			f.gov = overload.New(oc, cfg.Flows)
+		}
+	}
+	f.applyResume()
+	return f
+}
+
+// shardSlot maps a global flow id to its (shard, slot) home.
+func (f *ScaleFleet) shardSlot(id int) (*scaleShard, int32) {
+	return f.shards[id%len(f.shards)], int32(id / len(f.shards))
+}
+
+// Run executes the scale run: shards advance in parallel to each
+// barrier; stream sealing, export and the governor run single-threaded
+// between barriers.
+func (f *ScaleFleet) Run() *ScaleResult {
+	end := units.Time(f.cfg.Duration)
+	slice := f.cfg.slice()
+	now := units.Time(0)
+	for now < end {
+		next := now.Add(slice)
+		if next > end {
+			next = end
+		}
+		f.stepTo(next)
+		now = next
+	}
+	return f.drain()
+}
+
+// stepTo is one barrier: advance every shard to next (in parallel when
+// sharded), then seal/merge/export windows and tick the governor.
+func (f *ScaleFleet) stepTo(next units.Time) {
+	if len(f.shards) == 1 {
+		f.shards[0].advance(next)
+	} else {
+		var wg sync.WaitGroup
+		for _, sh := range f.shards {
+			sh := sh
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sh.advance(next)
+			}()
+		}
+		wg.Wait()
+	}
+	f.streamAdvance(next)
+	f.escalationTick(next)
+	f.governorTick(next)
+}
+
+// advance steps the shard's wheel tick-by-tick to the barrier. Every
+// fired batch polls at its exact tick instant; the bare engine tracks
+// the same instant so escalated trackers timestamp correctly.
+//
+// Escalated flows additionally record a write at every wheel tick, not
+// just their poll ticks: the tracker's delay resolution is the spacing
+// of its write records (a record pushed at the poll instant itself can
+// only ever match one whole interval later, which would pin every
+// escalated estimate at exactly the interval). Tick-grain writes
+// restore sub-interval resolution — and the escalated set is small and
+// budget-bounded, so the extra per-tick sweep is O(live full), not
+// O(flows).
+func (sh *scaleShard) advance(to units.Time) {
+	g := sh.wh.gran
+	for t := sh.now.Add(g); t <= to; t = t.Add(g) {
+		fired := sh.wh.expire(t)
+		if len(fired) == 0 && len(sh.full) == 0 {
+			continue
+		}
+		sh.eng.RunUntil(t)
+		for slot, fu := range sh.full {
+			sh.pollFull(slot, fu, t)
+		}
+		sh.pollBatch(t, fired)
+	}
+	sh.eng.RunUntil(to)
+	sh.now = to
+}
+
+// pollBatch services one wheel tick's expiries: a packed sweep over the
+// fired slots' columns. Lite flows take a LitePoll per side and feed
+// the shard sketches; escalated flows drive their full tracker instead
+// of the lite send path. Steady state allocates nothing — the wheel
+// batch, the columns and the open stream windows are all reused.
+func (sh *scaleShard) pollBatch(now units.Time, fired []int32) {
+	cfg := &sh.fl.cfg
+	interval := cfg.Interval
+	for _, slot := range fired {
+		sh.wh.arm(slot, now.Add(interval))
+		if overload.Tier(sh.tier[slot]) == overload.TierParked {
+			sh.parkedSkips++
+			continue
+		}
+		fl := sh.flows[slot]
+		dt := units.Duration(int64(now) - sh.lastPoll[slot])
+		sh.lastPoll[slot] = int64(now)
+		sketch := overload.Tier(sh.tier[slot]) <= overload.TierSketch
+
+		if sh.full[slot] == nil {
+			enq, dr := fl.written(now), fl.acked(now)
+			delay, rate, flg := core.LitePoll(enq, dr, sh.sndPrev[slot], sh.sndRate[slot], dt)
+			sh.sndPrev[slot], sh.sndRate[slot] = dr, rate
+			sh.polls++
+			if flg {
+				sh.flagged++
+			}
+			if sketch {
+				observe(sh.seSnd, now, delay.Seconds(), flg)
+			}
+			if cfg.EscalateAbove >= 0 && overload.Tier(sh.tier[slot]) <= overload.TierSketch {
+				streak, esc := core.LiteEscalate(sh.sndStreak[slot], delay, flg, cfg.EscalateAbove, cfg.EscalateAfter)
+				sh.sndStreak[slot] = streak
+				if esc && sh.fl.promoteOK {
+					sh.promote(slot, now)
+				}
+			}
+		}
+		// Escalated flows' send side was already driven at tick grain
+		// by the advance sweep; only the receive side remains here.
+
+		// Receive side stays lite even for escalated flows: the
+		// receiver model drains promptly, the sender is where the
+		// paper's pathologies live.
+		renq, rdr := fl.acked(now), fl.read(now)
+		rdelay, rrate, rflg := core.LitePoll(renq, rdr, sh.rcvPrev[slot], sh.rcvRate[slot], dt)
+		sh.rcvPrev[slot], sh.rcvRate[slot] = rdr, rrate
+		sh.polls++
+		if rflg {
+			sh.flagged++
+		}
+		if sketch {
+			observe(sh.seRcv, now, rdelay.Seconds(), rflg)
+		}
+	}
+}
+
+// pollFull drives one escalated flow's send side for one wheel tick:
+// record the write, poll the tracker, and drain any matched estimates
+// into the shard sketch, the flow's demotion escalator, and its
+// retained series. Escalated flows run at tick grain — not the lite
+// interval — because the estimator's resolution is its poll cadence: a
+// record can only match at a poll instant, so interval-grain polling
+// would quantize every matched delay up toward a full interval and a
+// clean (demotable) window could never be observed. The escalated
+// population is budget-bounded, so the per-tick sweep is O(live full),
+// not O(flows).
+func (sh *scaleShard) pollFull(slot int32, fu *scaleFull, now units.Time) {
+	fu.src.now = now
+	fu.tr.OnWrite(fu.src.flow.written(now))
+	fu.tr.PollOnce()
+	sh.trackerPolls++
+	sketch := overload.Tier(sh.tier[slot]) <= overload.TierSketch
+	fu.tr.Estimates().DrainLog(func(mm core.Measurement) {
+		flg := mm.Confidence == core.ConfidenceLow
+		if sketch {
+			observe(sh.seSnd, mm.At, mm.Delay.Seconds(), flg)
+		}
+		fu.esc.Observe(mm.At, mm.Delay.Seconds(), flg)
+		fu.log = append(fu.log, mm)
+	})
+}
+
+// newScaleEscalator builds an escalated flow's windowed demotion
+// escalator from the run policy.
+func newScaleEscalator(c *ScaleConfig) *stream.Escalator {
+	return stream.NewEscalator(c.Rules, c.Window)
+}
+
+// observe routes one sample into a stream series with its flag.
+func observe(se *stream.Series, at units.Time, v float64, flagged bool) {
+	if flagged {
+		se.ObserveFlagged(at, v)
+	} else {
+		se.Observe(at, v)
+	}
+}
+
+// promote escalates a flow to full granularity: a real SenderTracker
+// (Detached — the shard drives every poll) over the flow's synthetic
+// socket surface, plus the windowed escalator that will decide when the
+// flow has been clean long enough to demote.
+func (sh *scaleShard) promote(slot int32, now units.Time) {
+	cfg := &sh.fl.cfg
+	src := &synthSource{flow: sh.flows[slot], now: now}
+	fu := &scaleFull{
+		src:        src,
+		esc:        newScaleEscalator(cfg),
+		promotedAt: now,
+	}
+	fu.tr = core.NewSenderTrackerOpts(sh.eng, src, core.TrackerOptions{
+		Interval: cfg.Interval,
+		Detached: true,
+	})
+	fu.tr.OnWrite(sh.flows[slot].written(now))
+	sh.full[slot] = fu
+	sh.sndStreak[slot] = 0
+	sh.escalations++
+}
+
+// demote tears a flow's full state down and warm-resets its lite send
+// column from the closed-form counters at the demotion instant.
+func (sh *scaleShard) demote(slot int32, now units.Time, confirmed bool) {
+	fu := sh.full[slot]
+	fu.tr.Stop()
+	delete(sh.full, slot)
+	sh.sndPrev[slot] = sh.flows[slot].acked(now)
+	sh.sndRate[slot] = 0
+	sh.sndStreak[slot] = 0
+	sh.fl.demotions++
+	if !confirmed {
+		sh.fl.falseAlarms++
+	}
+	if sh.fl.gov != nil {
+		sh.fl.gov.SetHot(int(sh.ids[slot]), false)
+	}
+}
+
+// escalationTick runs at every barrier, single-threaded: settle each
+// escalated flow's windowed escalator up to the barrier and demote the
+// flows it has cleared (or never confirmed within the false-alarm
+// horizon). Decisions are a pure function of the flow's own samples.
+func (f *ScaleFleet) escalationTick(now units.Time) {
+	horizon := units.Duration(f.cfg.DemoteAfter) * f.cfg.Window
+	for _, sh := range f.shards {
+		for slot, fu := range sh.full {
+			if !fu.hotSet {
+				// Promoted since the last barrier (on the shard
+				// goroutine, where the governor must not be touched):
+				// mark it hot now.
+				fu.hotSet = true
+				if f.gov != nil {
+					f.gov.SetHot(int(sh.ids[slot]), true)
+				}
+			}
+			fu.esc.AdvanceTo(now)
+			switch {
+			case fu.esc.Escalations() > 0 && !fu.esc.Escalated():
+				// Confirmed, then demoted by clean windows.
+				sh.demote(slot, now, true)
+			case fu.esc.Escalations() == 0 && now.Sub(fu.promotedAt) >= horizon:
+				// The windowed rules never agreed with the lite
+				// trigger: a false alarm.
+				sh.demote(slot, now, false)
+			}
+		}
+	}
+}
+
+// governorTick meters usage and applies ladder transitions at a
+// barrier. LiveFull reports the escalated population — in scale mode
+// full granularity is escalation-driven, so the governor's own tier
+// census cannot see it.
+func (f *ScaleFleet) governorTick(now units.Time) {
+	if f.gov == nil {
+		return
+	}
+	live, retained, sketchBytes := 0, 0, 0
+	for _, sh := range f.shards {
+		live += len(sh.full)
+		sketchBytes += sh.stream.ApproxBytes()
+		for _, fu := range sh.full {
+			retained += len(fu.log)
+		}
+	}
+	// The promotion gate closes while the escalated census is at or
+	// over the LiveFull budget: the governor can only demote after the
+	// fact, so the gate is what bounds the full-tier population between
+	// its ticks (modulo one slice's worth of in-flight promotions).
+	if b := f.cfg.Overload.Budgets.LiveFull; b > 0 {
+		f.promoteOK = live < b
+	}
+	u := overload.Usage{
+		RetainedSamples: retained,
+		SketchBytes:     sketchBytes,
+		LiveFull:        live,
+	}
+	for _, tr := range f.gov.Tick(u) {
+		sh, slot := f.shardSlot(tr.Flow)
+		sh.tier[slot] = uint8(tr.To)
+		if tr.To >= overload.TierCounters && sh.full[slot] != nil {
+			// Degraded below sketch granularity: the full tracker goes
+			// too, confirmed or not.
+			sh.demote(slot, now, sh.full[slot].esc.Escalations() > 0)
+		}
+		if tr.From == overload.TierParked && tr.To < overload.TierParked {
+			// Unparked: warm-reset both lite columns from the
+			// closed-form counters so the first poll back never spans
+			// the parked gap.
+			fl := sh.flows[slot]
+			sh.sndPrev[slot] = fl.acked(now)
+			sh.rcvPrev[slot] = fl.read(now)
+			sh.sndRate[slot], sh.rcvRate[slot] = 0, 0
+			sh.sndStreak[slot] = 0
+			sh.lastPoll[slot] = int64(now)
+		}
+	}
+}
+
+// streamAdvance seals every shard's watermark-expired windows at a
+// barrier and exports them merged, index-aligned — the same invariant
+// protocol as the big fleet. Every merged window also folds into the
+// run-wide accumulation window the result quantiles come from.
+func (f *ScaleFleet) streamAdvance(now units.Time) {
+	for _, sh := range f.shards {
+		sh.stream.AdvanceTo(now)
+	}
+	f.exportSealed()
+}
+
+func (f *ScaleFleet) exportSealed() {
+	s0 := f.shards[0].stream
+	for s0.NextSealed() != nil {
+		f.fwin.Reset()
+		for _, sh := range f.shards {
+			f.fwin.Merge(sh.stream.NextSealed())
+			sh.stream.ReleaseSealed()
+		}
+		f.streamWindows++
+		f.total.Merge(&f.fwin)
+		if f.cfg.Sink != nil {
+			if err := f.cfg.Sink.ExportWindow(f.names, &f.fwin); err != nil && f.streamErr == nil {
+				f.streamErr = err
+			}
+		}
+	}
+}
+
+// drain finishes the run: seal through the final window, settle
+// escalators, fold counters, and compute the run-wide quantiles.
+func (f *ScaleFleet) drain() *ScaleResult {
+	final := int64(f.cfg.Duration) / int64(f.cfg.Window)
+	for _, sh := range f.shards {
+		sh.stream.SealThrough(final)
+	}
+	f.exportSealed()
+
+	res := &ScaleResult{
+		Flows:       f.cfg.Flows,
+		Demotions:   f.demotions,
+		FalseAlarms: f.falseAlarms,
+		Restores:    f.restores,
+	}
+	for _, sh := range f.shards {
+		res.Escalations += sh.escalations
+		res.Polls += sh.polls
+		res.TrackerPolls += sh.trackerPolls
+		res.Flagged += sh.flagged
+		res.ParkedSkips += sh.parkedSkips
+		res.StreamLate += sh.stream.Late()
+		res.Escalated += len(sh.full)
+		for _, fu := range sh.full {
+			res.RetainedSamples += len(fu.log)
+			fu.tr.Stop()
+		}
+	}
+	res.StreamWindows = f.streamWindows
+	res.StreamErr = f.streamErr
+	if f.gov != nil {
+		res.Sheds = f.gov.Sheds()
+		res.Reclaims = f.gov.Reclaims()
+		res.TierCounts = f.gov.TierCounts()
+	}
+	if len(f.total.Sketches) >= 2 {
+		res.SndP50 = f.total.Sketches[0].Quantile(0.50)
+		res.SndP99 = f.total.Sketches[0].Quantile(0.99)
+		res.RcvP99 = f.total.Sketches[1].Quantile(0.99)
+	}
+	f.foldTelemetry(res)
+	return res
+}
+
+// foldTelemetry publishes the run's counters into the caller's
+// telemetry, including the poll counters the elembench -metrics-summary
+// per-poll cost line normalizes by.
+func (f *ScaleFleet) foldTelemetry(res *ScaleResult) {
+	if f.cfg.Telem == nil {
+		return
+	}
+	sc := f.cfg.Telem.Scope("scale")
+	// Lite polls are pairs of per-side polls plus the driven tracker
+	// polls on the send side.
+	sc.Counter("snd_polls").Add(float64(res.Polls/2 + res.TrackerPolls))
+	sc.Counter("rcv_polls").Add(float64(res.Polls / 2))
+	sc.Counter("escalations").Add(float64(res.Escalations))
+	sc.Counter("demotions").Add(float64(res.Demotions))
+	sc.Counter("false_alarms").Add(float64(res.FalseAlarms))
+	sc.Counter("flagged").Add(float64(res.Flagged))
+	sc.Counter("stream_windows").Add(float64(res.StreamWindows))
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"element/internal/core"
+	"element/internal/overload"
+	"element/internal/units"
+)
+
+// ScaleSnapshot is a scale run's resumable state, keyed by flow id —
+// never by shard index — so a snapshot taken at one shard count
+// restores into any other: NewScale re-homes each flow onto whatever
+// shard its id maps to in the new layout. Lite state is deliberately
+// absent: it is 16 bytes of smoothing that closed-form counters rebuild
+// within a poll or two, so resuming warm-restarts every lite column and
+// preserves only what cannot be recomputed — the governor tier ladder
+// and the escalated flows' tracker state (rebased at capture, like the
+// big fleet's checkpoints, so resumed series restart at degraded
+// confidence instead of pretending continuity).
+type ScaleSnapshot struct {
+	Seed    int64           `json:"seed"`
+	Flows   int             `json:"flows"`
+	Shards  int             `json:"shards"` // layout at capture, informational only
+	TakenAt units.Time      `json:"taken_at"`
+	Tiers   []overload.Tier `json:"tiers,omitempty"`
+	Full    []ScaleFullSnap `json:"full,omitempty"`
+}
+
+// ScaleFullSnap is one escalated flow's entry: its id and the rebased
+// sender checkpoint (nil when the tracker state didn't serialize — the
+// flow then resumes escalated with a fresh tracker).
+type ScaleFullSnap struct {
+	ID  int32           `json:"id"`
+	Snd json.RawMessage `json:"snd,omitempty"`
+}
+
+// Snapshot captures the fleet's resumable state. Valid during and
+// after Run (between barriers); entries are sorted by flow id so the
+// encoding is deterministic.
+func (f *ScaleFleet) Snapshot() *ScaleSnapshot {
+	s := &ScaleSnapshot{
+		Seed:    f.cfg.Seed,
+		Flows:   f.cfg.Flows,
+		Shards:  len(f.shards),
+		TakenAt: f.shards[0].now,
+		Tiers:   make([]overload.Tier, f.cfg.Flows),
+	}
+	for _, sh := range f.shards {
+		for slot, id := range sh.ids {
+			s.Tiers[id] = overload.Tier(sh.tier[slot])
+		}
+		for slot, fu := range sh.full {
+			fs := ScaleFullSnap{ID: sh.ids[slot]}
+			if b, err := fu.tr.Checkpoint().Rebase().Marshal(); err == nil {
+				fs.Snd = b
+			}
+			s.Full = append(s.Full, fs)
+		}
+	}
+	sort.Slice(s.Full, func(i, j int) bool { return s.Full[i].ID < s.Full[j].ID })
+	return s
+}
+
+// Marshal serializes the snapshot.
+func (s *ScaleSnapshot) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalScaleSnapshot parses a snapshot, rejecting sizes that could
+// not have been produced by a real capture (the resume path then
+// tolerates everything else: out-of-range ids and invalid tiers are
+// dropped or clamped, never trusted).
+func UnmarshalScaleSnapshot(b []byte) (*ScaleSnapshot, error) {
+	var s ScaleSnapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	if s.Flows < 0 {
+		return nil, fmt.Errorf("fleet: scale snapshot with negative flow count %d", s.Flows)
+	}
+	if len(s.Tiers) > s.Flows {
+		return nil, fmt.Errorf("fleet: scale snapshot tiers length %d exceeds flow count %d", len(s.Tiers), s.Flows)
+	}
+	return &s, nil
+}
+
+// tiers adapts the snapshot's tier vector to the resuming fleet's flow
+// count: missing entries start at TierFull, invalid values are clamped
+// by overload.NewWithTiers.
+func (s *ScaleSnapshot) tiers(flows int) []overload.Tier {
+	out := make([]overload.Tier, flows)
+	copy(out, s.Tiers)
+	return out
+}
+
+// applyResume re-homes a snapshot into the freshly built fleet: tiers
+// land by flow id, and every snapshotted escalated flow is re-promoted
+// on its new shard — restoring the rebased tracker checkpoint when it
+// parses (counted in Restores), or starting a fresh escalated tracker
+// when it doesn't. Out-of-range and duplicate ids are dropped.
+func (f *ScaleFleet) applyResume() {
+	snap := f.cfg.Resume
+	if snap == nil {
+		return
+	}
+	for id, tier := range snap.Tiers {
+		if id >= f.cfg.Flows {
+			break
+		}
+		if tier >= overload.NumTiers {
+			// Out-of-range tier in a hand-edited or corrupted snapshot:
+			// park it, matching overload.NewWithTiers's clamp.
+			tier = overload.TierParked
+		}
+		sh, slot := f.shardSlot(id)
+		sh.tier[slot] = uint8(tier)
+	}
+	for _, fs := range snap.Full {
+		id := int(fs.ID)
+		if id < 0 || id >= f.cfg.Flows {
+			continue
+		}
+		sh, slot := f.shardSlot(id)
+		if sh.full[slot] != nil {
+			continue // duplicate entry
+		}
+		if overload.Tier(sh.tier[slot]) >= overload.TierCounters {
+			// The ladder already degraded this flow below full
+			// granularity; the tier wins over the escalation record.
+			continue
+		}
+		src := &synthSource{flow: sh.flows[slot]}
+		fu := &scaleFull{src: src, esc: newScaleEscalator(&f.cfg)}
+		if cp, err := core.UnmarshalSenderCheckpoint(fs.Snd); err == nil && len(fs.Snd) > 0 {
+			fu.tr = core.RestoreSenderTracker(sh.eng, src, cp, core.TrackerOptions{
+				Interval: f.cfg.Interval,
+				Detached: true,
+			})
+			f.restores++
+		} else {
+			fu.tr = core.NewSenderTrackerOpts(sh.eng, src, core.TrackerOptions{
+				Interval: f.cfg.Interval,
+				Detached: true,
+			})
+		}
+		sh.full[slot] = fu
+	}
+}

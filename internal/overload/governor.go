@@ -86,6 +86,13 @@ type Usage struct {
 	// pressure directly (a full queue is pressure 1.0 regardless of
 	// budgets) so a wedged sink degrades collection before dropping data.
 	QueueFrac float64
+	// LiveFull, when > 0, overrides the governor's own full-tier census
+	// for the LiveFull budget. The scale fleet uses it: there the
+	// full-granularity population is the escalated-tracker set, which the
+	// escalation trigger moves in and out of independently of ladder
+	// transitions, so the governor's tier counts undercount what is
+	// actually live at full granularity.
+	LiveFull int
 }
 
 // Config parameterizes the governor. Zero values select the defaults
@@ -210,7 +217,11 @@ func splitmix64(x uint64) uint64 {
 func (g *Governor) Pressure(u Usage) float64 {
 	p := u.QueueFrac
 	if b := g.cfg.Budgets.LiveFull; b > 0 {
-		if v := float64(g.counts[TierFull]) / float64(b); v > p {
+		live := g.counts[TierFull]
+		if u.LiveFull > 0 {
+			live = u.LiveFull
+		}
+		if v := float64(live) / float64(b); v > p {
 			p = v
 		}
 	}
